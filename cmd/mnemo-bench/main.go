@@ -1,0 +1,208 @@
+// Command mnemo-bench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	mnemo-bench [flags] [experiment ...]
+//
+// With no arguments every experiment runs in order. Experiments:
+//
+//	fig1 table1 table2 fig3 fig4 fig5a fig5b fig5c
+//	fig8a fig8b fig8c fig8d fig8f fig9 table4 downsample
+//	ablation-llc ablation-noise ablation-knapsack ablation-anchor
+//	ablation-sizeaware modeb ext-tails ext-tech ycsb-core
+//
+// Flags:
+//
+//	-quick    run at 10×-reduced scale (default is the paper's full
+//	          scale: 10 000 keys × 100 000 requests per workload)
+//	-seed n   deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mnemo/internal/experiments"
+	"mnemo/internal/server"
+)
+
+// experiment is one runnable unit.
+type experiment struct {
+	name string
+	run  func(scale experiments.Scale, seed int64, w io.Writer) error
+}
+
+func renderTo[T interface{ Render(io.Writer) error }](w io.Writer, r T, err error) error {
+	if err != nil {
+		return err
+	}
+	return r.Render(w)
+}
+
+var all = []experiment{
+	{"fig1", func(_ experiments.Scale, _ int64, w io.Writer) error {
+		r, err := experiments.Fig1()
+		return renderTo(w, r, err)
+	}},
+	{"table1", func(_ experiments.Scale, _ int64, w io.Writer) error {
+		return experiments.Table1().Render(w)
+	}},
+	{"table2", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Table2(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"fig3", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Fig3(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"fig4", func(_ experiments.Scale, seed int64, w io.Writer) error {
+		return experiments.Fig4(seed).Render(w)
+	}},
+	{"fig5a", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Fig5a(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"fig5b", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Fig5b(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"fig5c", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Fig5c(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"fig8a", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Fig8a(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"fig8b", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Fig8b(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"fig8c", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Fig8cde(s, server.RedisLike, seed)
+		return renderTo(w, r, err)
+	}},
+	{"fig8d", func(s experiments.Scale, seed int64, w io.Writer) error {
+		// Tail latencies across all three stores (Fig 8d/8e); the
+		// DynamoDB-like engine carries the heaviest tails.
+		for _, e := range server.Engines() {
+			r, err := experiments.Fig8cde(s, e, seed)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}},
+	{"fig8f", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Fig8f(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"fig9", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Fig9(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"table4", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Table4(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"downsample", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.Downsample(s, seed, []int{2, 5, 10, 20})
+		return renderTo(w, r, err)
+	}},
+	{"ablation-llc", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.AblationLLC(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"ablation-noise", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.AblationNoise(s, seed, []float64{0, 0.01, 0.02, 0.05})
+		return renderTo(w, r, err)
+	}},
+	{"ablation-knapsack", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.AblationKnapsack(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"ablation-anchor", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.AblationAnchor(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"ablation-sizeaware", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.AblationSizeAware(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"modeb", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.ModeB(s, seed, []int{1, 64, 1024, 16384})
+		return renderTo(w, r, err)
+	}},
+	{"ycsb-core", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.YCSBCore(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"ext-tech", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.ExtTech(s, seed)
+		return renderTo(w, r, err)
+	}},
+	{"ext-tails", func(s experiments.Scale, seed int64, w io.Writer) error {
+		for _, e := range server.Engines() {
+			r, err := experiments.ExtTails(s, e, seed)
+			if err != nil {
+				return err
+			}
+			if err := r.Render(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}},
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mnemo-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mnemo-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run at 10x-reduced scale")
+	seed := fs.Int64("seed", 42, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	selected := fs.Args()
+	if len(selected) == 0 {
+		for _, e := range all {
+			selected = append(selected, e.name)
+		}
+	}
+	byName := map[string]experiment{}
+	for _, e := range all {
+		byName[e.name] = e
+	}
+	for _, name := range selected {
+		e, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		start := time.Now()
+		fmt.Fprintf(stdout, "\n######## %s (scale=%s seed=%d) ########\n", e.name, scale.Name, *seed)
+		if err := e.run(scale, *seed, stdout); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintf(stderr, "[%s done in %v]\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

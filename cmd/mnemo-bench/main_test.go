@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperiments(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-quick", "table1", "table2", "fig4"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"######## table1", "######## table2", "######## fig4",
+		"Table I", "Table II", "Fig 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if !strings.Contains(stderr.String(), "[table1 done in") {
+		t.Error("timing lines missing")
+	}
+}
+
+func TestRunMeasuredExperimentQuick(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "7", "fig9"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Fig 9") {
+		t.Error("fig9 output missing")
+	}
+	// All five workload rows render.
+	for _, wl := range []string{"trending", "news_feed", "timeline", "edit_thumbnail", "trending_preview"} {
+		if !strings.Contains(stdout.String(), wl) {
+			t.Errorf("fig9 missing row %s", wl)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"bogus"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentListHasNoDuplicates(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.name] {
+			t.Errorf("experiment %q registered twice", e.name)
+		}
+		seen[e.name] = true
+		if e.run == nil {
+			t.Errorf("experiment %q has no runner", e.name)
+		}
+	}
+	if len(all) < 19 {
+		t.Errorf("only %d experiments registered", len(all))
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

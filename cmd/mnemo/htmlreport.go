@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"mnemo"
+	"mnemo/internal/report"
+)
+
+// buildHTMLReport assembles the shareable consulting artifact: workload
+// profile, measured baselines, the advised sizing and the estimate curve
+// as an SVG chart.
+func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload) *report.HTMLReport {
+	doc := &report.HTMLReport{
+		Title: fmt.Sprintf("Mnemo sizing report — %s on %s", rep.Workload, rep.Engine),
+	}
+
+	// Workload profile.
+	prof := mnemo.DescribeWorkload(w)
+	doc.Sections = append(doc.Sections, report.HTMLSection{
+		Heading: "Workload",
+		Paragraphs: []string{
+			fmt.Sprintf("%d keys, %d requests, %.0f%% reads, %s dataset.",
+				prof.Keys, prof.Requests, prof.ReadFraction*100, report.FormatBytes(prof.TotalBytes)),
+			fmt.Sprintf("Hot set: 90%% of requests hit %d keys (%s); access skew (Gini) %.3f.",
+				prof.HotKeys90, report.FormatBytes(prof.HotBytes90), prof.Gini),
+		},
+	})
+
+	// Baselines.
+	bt := report.NewTable("", "placement", "throughput ops/s", "avg read µs", "avg write µs", "p99 µs")
+	b := rep.Baselines
+	bt.AddRow("all FastMem", fmt.Sprintf("%.0f", b.Fast.ThroughputOpsSec),
+		fmt.Sprintf("%.1f", b.Fast.AvgReadNs/1000), fmt.Sprintf("%.1f", b.Fast.AvgWriteNs/1000),
+		fmt.Sprintf("%.1f", b.Fast.P99Ns/1000))
+	bt.AddRow("all SlowMem", fmt.Sprintf("%.0f", b.Slow.ThroughputOpsSec),
+		fmt.Sprintf("%.1f", b.Slow.AvgReadNs/1000), fmt.Sprintf("%.1f", b.Slow.AvgWriteNs/1000),
+		fmt.Sprintf("%.1f", b.Slow.P99Ns/1000))
+	doc.Sections = append(doc.Sections, report.HTMLSection{
+		Heading: "Measured baselines",
+		Paragraphs: []string{fmt.Sprintf(
+			"Running everything from SlowMem slows this workload down %.2fx.",
+			b.SlowdownAllSlow())},
+		Table: bt,
+	})
+
+	// Advice.
+	if rep.Advice != nil {
+		a := rep.Advice
+		at := report.NewTable("", "quantity", "value")
+		at.AddRow("permissible slowdown", fmt.Sprintf("%.0f%%", a.MaxSlowdown*100))
+		at.AddRow("keys in FastMem", a.Point.KeysInFast)
+		at.AddRow("FastMem capacity", report.FormatBytes(a.Point.FastBytes))
+		at.AddRow("memory cost factor", fmt.Sprintf("%.3f of DRAM-only", a.Point.CostFactor))
+		at.AddRow("cost savings", fmt.Sprintf("%.0f%%", a.CostSavings*100))
+		at.AddRow("estimated throughput", fmt.Sprintf("%.0f ops/s", a.Point.EstThroughputOps))
+		doc.Sections = append(doc.Sections, report.HTMLSection{
+			Heading: "Advised sizing",
+			Table:   at,
+		})
+	}
+
+	// Curve chart.
+	var xs, ys []float64
+	step := len(rep.Curve.Points) / 200
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(rep.Curve.Points); i += step {
+		p := rep.Curve.Points[i]
+		xs = append(xs, p.CostFactor)
+		ys = append(ys, p.EstThroughputOps)
+	}
+	last := rep.Curve.FastOnly()
+	xs = append(xs, last.CostFactor)
+	ys = append(ys, last.EstThroughputOps)
+	doc.Sections = append(doc.Sections, report.HTMLSection{
+		Heading: "Cost / performance estimate",
+		Paragraphs: []string{
+			"Each point sizes FastMem to hold one more key of the " +
+				rep.Curve.Ordering + " ordering; pick any point that fits your budget.",
+		},
+		Chart: &report.Chart{
+			XLabel: "memory cost factor R(p)",
+			YLabel: "estimated throughput (ops/s)",
+			Series: []report.Series{{Label: "estimate", X: xs, Y: ys}},
+		},
+	})
+	return doc
+}
+
+// writeHTMLReport renders the document to w.
+func writeHTMLReport(out io.Writer, rep *mnemo.Report, w *mnemo.Workload) error {
+	return buildHTMLReport(rep, w).Render(out)
+}

@@ -1,0 +1,214 @@
+// Command mnemo is the consultant CLI: it profiles a key-value store
+// workload on the emulated hybrid memory testbed and emits the paper's
+// three-column cost/performance csv, an ASCII rendering of the estimate
+// curve, and (with -slo) the advised capacity sizing.
+//
+// Usage:
+//
+//	mnemo [flags]
+//
+//	-workload name    Table III workload (trending, news_feed, timeline,
+//	                  edit_thumbnail, trending_preview), or "-" to read a
+//	                  mnemo-workload v1 csv from stdin
+//	-store name       redislike | memcachedlike | dynamolike
+//	-mode name        standalone | mnemot
+//	-slo pct          permissible slowdown, e.g. 0.10 (0 = no advice)
+//	-p factor         SlowMem:FastMem per-byte price ratio (default 0.2)
+//	-runs n           repetitions per baseline measurement
+//	-seed n           deterministic seed
+//	-keys n           key-space override (0 = Table III default)
+//	-requests n       trace-length override (0 = Table III default)
+//	-o file           write the curve csv here (default stdout, "" = skip)
+//	-plot             also render the curve as an ASCII plot on stderr
+//	-json             emit a JSON report summary on stdout instead of csv
+//	-html file        also write a standalone HTML report (SVG charts)
+//	-monitor          parse stdin as a Redis MONITOR capture (-workload -)
+//	-default-size n   record size for keys a capture never writes
+//
+// Example:
+//
+//	mnemo -workload trending -store redislike -slo 0.10 -o curve.csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mnemo"
+	"mnemo/internal/report"
+	"mnemo/internal/ycsb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mnemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mnemo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workload = fs.String("workload", "trending", "Table III workload name, or '-' for csv on stdin")
+		store    = fs.String("store", "redislike", "store engine: redislike|memcachedlike|dynamolike")
+		mode     = fs.String("mode", "standalone", "pattern engine: standalone|mnemot")
+		slo      = fs.Float64("slo", 0.10, "permissible slowdown for the advisor (0 disables)")
+		price    = fs.Float64("p", mnemo.DefaultPriceFactor, "SlowMem:FastMem per-byte price ratio")
+		runs     = fs.Int("runs", 1, "repetitions per baseline measurement")
+		seed     = fs.Int64("seed", 42, "deterministic seed")
+		keys     = fs.Int("keys", 0, "key-space size override")
+		requests = fs.Int("requests", 0, "request-count override")
+		outPath  = fs.String("o", "-", "curve csv destination ('-' = stdout, '' = skip)")
+		plot     = fs.Bool("plot", false, "render the curve as an ASCII plot on stderr")
+		jsonOut  = fs.Bool("json", false, "emit a JSON report summary on stdout instead of the csv")
+		htmlOut  = fs.String("html", "", "also write a standalone HTML report to this file")
+		monitor  = fs.Bool("monitor", false, "with -workload -, parse stdin as a Redis MONITOR capture")
+		defSize  = fs.Int("default-size", 1024, "record size for keys a MONITOR capture never writes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var w *mnemo.Workload
+	var err error
+	if *monitor {
+		if *workload != "-" {
+			return fmt.Errorf("-monitor requires -workload - (capture on stdin)")
+		}
+		w, err = mnemo.LoadRedisMonitor(stdin, *defSize)
+	} else {
+		w, err = loadWorkload(*workload, *seed, *keys, *requests, stdin)
+	}
+	if err != nil {
+		return err
+	}
+	engine, ok := mnemo.EngineByName(*store)
+	if !ok {
+		return fmt.Errorf("unknown store %q", *store)
+	}
+	opts := mnemo.Options{
+		Store:       engine,
+		Seed:        *seed,
+		Runs:        *runs,
+		PriceFactor: *price,
+		SLO:         *slo,
+	}
+	switch *mode {
+	case "standalone":
+	case "mnemot":
+		opts.UseMnemoT = true
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	rep, err := mnemo.Profile(w, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stderr, "workload %s on %s: %d keys, %d requests, dataset %s\n",
+		w.Spec.Name, *store, len(w.Dataset.Records), len(w.Ops),
+		report.FormatBytes(w.Dataset.TotalBytes))
+	fmt.Fprintf(stderr, "baselines: FastMem %.0f ops/s, SlowMem %.0f ops/s (%.2fx slowdown)\n",
+		rep.Baselines.Fast.ThroughputOpsSec, rep.Baselines.Slow.ThroughputOpsSec,
+		rep.Baselines.SlowdownAllSlow())
+
+	if rep.Advice != nil {
+		a := rep.Advice
+		fmt.Fprintf(stderr,
+			"advice (%.0f%% slowdown SLO): place %d keys (%s) in FastMem → cost %.3f of FastMem-only (%.0f%% savings)\n",
+			a.MaxSlowdown*100, a.Point.KeysInFast, report.FormatBytes(a.Point.FastBytes),
+			a.Point.CostFactor, a.CostSavings*100)
+	}
+
+	if *plot {
+		if err := plotCurve(stderr, rep.Curve); err != nil {
+			return err
+		}
+	}
+
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := writeHTMLReport(f, rep, w); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "html report written to %s\n", *htmlOut)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep.Summary(16))
+	}
+
+	switch *outPath {
+	case "":
+		return nil
+	case "-":
+		return rep.Curve.WriteCSV(stdout)
+	default:
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.Curve.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "curve written to %s\n", *outPath)
+		return nil
+	}
+}
+
+func loadWorkload(name string, seed int64, keys, requests int, stdin io.Reader) (*mnemo.Workload, error) {
+	if name == "-" {
+		return mnemo.LoadWorkloadCSV(stdin)
+	}
+	if name == "ycsb_f" {
+		k, r := ycsb.DefaultKeys, ycsb.DefaultRequests
+		if keys > 0 {
+			k = keys
+		}
+		if requests > 0 {
+			r = requests
+		}
+		return ycsb.GenerateF(seed, k, r)
+	}
+	spec, ok := ycsb.AnySpecByName(name, seed)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (want one of %v or '-')", name, mnemo.AllWorkloadNames())
+	}
+	if keys > 0 {
+		spec.Keys = keys
+	}
+	if requests > 0 {
+		spec.Requests = requests
+	}
+	return mnemo.GenerateWorkload(spec)
+}
+
+func plotCurve(w io.Writer, c *mnemo.Curve) error {
+	var xs, ys []float64
+	step := len(c.Points) / 120
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(c.Points); i += step {
+		xs = append(xs, c.Points[i].CostFactor)
+		ys = append(ys, c.Points[i].EstThroughputOps)
+	}
+	return report.Plot(w, fmt.Sprintf("%s on %s (%s ordering)", c.Workload, c.Engine, c.Ordering),
+		"memory cost factor R(p)", "estimated ops/s", 72, 18,
+		report.Series{Label: "estimate", X: xs, Y: ys})
+}

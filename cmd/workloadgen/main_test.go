@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mnemo/internal/ycsb"
+)
+
+func TestGeneratePresetToStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-workload", "trending", "-keys", "50", "-requests", "500"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ycsb.ReadCSV(&stdout)
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if len(w.Dataset.Records) != 50 || len(w.Ops) != 500 {
+		t.Fatalf("scale wrong: %d keys, %d ops", len(w.Dataset.Records), len(w.Ops))
+	}
+	if !strings.Contains(stderr.String(), "wrote trending") {
+		t.Error("summary missing")
+	}
+}
+
+func TestGenerateCustomToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "w.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "custom", "-dist", "zipfian", "-theta", "0.8",
+		"-read", "0.7", "-sizes", "photo_caption",
+		"-keys", "100", "-requests", "1000", "-o", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := ycsb.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Spec.Name != "custom_zipfian" {
+		t.Errorf("name = %q", w.Spec.Name)
+	}
+	rf := w.ReadFraction()
+	if rf < 0.6 || rf > 0.8 {
+		t.Errorf("read fraction %.2f, want ≈0.7", rf)
+	}
+}
+
+func TestGenerateDownsampled(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-workload", "timeline", "-keys", "50", "-requests", "1000",
+		"-downsample", "10"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ycsb.ReadCSV(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Ops) != 100 {
+		t.Fatalf("downsampled ops = %d, want 100", len(w.Ops))
+	}
+}
+
+func TestDescribeFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-workload", "trending", "-keys", "100", "-requests", "1000",
+		"-describe", "-o", "-"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hot set", "Gini", "touched keys"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("describe output missing %q", want)
+		}
+	}
+}
+
+func TestStandardWorkloadNamesResolved(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-workload", "ycsb_a", "-keys", "50", "-requests", "500"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "ycsb_a") {
+		t.Error("standard workload not generated")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "bogus"},
+		{"-workload", "custom", "-dist", "bogus"},
+		{"-workload", "custom", "-sizes", "bogus"},
+		{"-downsample", "0"},
+		{"-keys", "0"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestAllDistAndSizeNamesAccepted(t *testing.T) {
+	for _, d := range []string{"uniform", "zipfian", "scrambled_zipfian", "hotspot", "latest"} {
+		for _, s := range []string{"thumbnail", "text_post", "photo_caption",
+			"trending_preview_mix", "fixed_1kb", "fixed_10kb", "fixed_100kb"} {
+			var stdout, stderr bytes.Buffer
+			err := run([]string{"-workload", "custom", "-dist", d, "-sizes", s,
+				"-keys", "20", "-requests", "100"}, &stdout, &stderr)
+			if err != nil {
+				t.Errorf("dist %s sizes %s: %v", d, s, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package mnemo_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mnemo"
+)
+
+// The canonical session: profile a Table III workload, ask for the
+// cheapest sizing within a 10% slowdown budget. Noise is disabled so the
+// output is reproducible.
+func Example() {
+	w, err := mnemo.WorkloadByName("trending", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := mnemo.Profile(w, mnemo.Options{
+		Store:      mnemo.RedisLike,
+		Seed:       42,
+		SLO:        0.10,
+		NoiseSigma: -1, // deterministic for the example
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := rep.Advice
+	fmt.Printf("cost factor %.2f of DRAM-only (%d of %d keys in FastMem)\n",
+		a.Point.CostFactor, a.Point.KeysInFast, len(w.Dataset.Records))
+	// Output:
+	// cost factor 0.36 of DRAM-only (2005 of 10000 keys in FastMem)
+}
+
+// Re-asking the advisor with different budgets reuses the curve; no
+// further executions happen.
+func ExampleAdvise() {
+	w, err := mnemo.WorkloadByName("trending", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := mnemo.Profile(w, mnemo.Options{Store: mnemo.RedisLike, Seed: 42, NoiseSigma: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, slo := range []float64{0.02, 0.10, 0.50} {
+		a, err := mnemo.Advise(rep.Curve, slo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.0f%% slowdown -> cost %.2f\n", slo*100, a.Point.CostFactor)
+	}
+	// Output:
+	// 2% slowdown -> cost 0.54
+	// 10% slowdown -> cost 0.36
+	// 50% slowdown -> cost 0.20
+}
+
+// The cost model alone: the paper's §III example — FastMem sized to 20%
+// of the dataset bytes at p = 0.2 costs 36% of a DRAM-only system.
+func ExampleCostReduction() {
+	fmt.Printf("R = %.2f\n", mnemo.CostReduction(20, 100, 0.2))
+	// Output:
+	// R = 0.36
+}
+
+// Importing a production trace from a Redis MONITOR capture.
+func ExampleLoadRedisMonitor() {
+	capture := `OK
+1530699284.926984 [0 127.0.0.1:51442] "SET" "user:1001" "0123456789"
+1530699284.930000 [0 127.0.0.1:51442] "GET" "user:1001"
+1530699285.000000 [0 127.0.0.1:51442] "GET" "user:1001"
+`
+	w, err := mnemo.LoadRedisMonitor(strings.NewReader(capture), 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d key, %d ops, %.0f%% reads\n",
+		len(w.Dataset.Records), len(w.Ops), w.ReadFraction()*100)
+	// Output:
+	// 1 key, 3 ops, 67% reads
+}

@@ -1,0 +1,77 @@
+// Cloud-sizing: combine the paper's two cost analyses. First reproduce
+// the Fig 1 observation — memory dominates the price of Memory Optimized
+// cloud VMs — then translate a Mnemo sizing into projected hourly savings
+// for a concrete cache deployment.
+//
+//	go run ./examples/cloud-sizing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mnemo"
+)
+
+func main() {
+	// Part 1 — Fig 1: how much of a Memory Optimized VM's price is memory?
+	shares, err := mnemo.CloudMemoryShares()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Memory share of Memory Optimized VM cost (least-squares over 2018 catalogs):")
+	provider := ""
+	for _, s := range shares {
+		if s.Provider != provider {
+			provider = s.Provider
+			fmt.Printf("  %s:\n", provider)
+		}
+		fmt.Printf("    %-18s %5.1f%%\n", s.Instance, s.MemoryShare*100)
+	}
+
+	// Part 2 — size a Redis-like cache for the Trending workload and
+	// project the hosting savings for a VM whose memory is ~65% of cost.
+	w, err := mnemo.WorkloadByName("trending", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Suppose the operator has actual price quotes: NVM at $1.6/GB vs
+	// DRAM at $8/GB → p = 0.2, the paper's default.
+	p, err := mnemo.PriceFactorFromHardware(1.6, 8.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := mnemo.Profile(w, mnemo.Options{
+		Store:       mnemo.RedisLike,
+		Seed:        7,
+		SLO:         0.10,
+		PriceFactor: p,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := rep.Advice
+
+	const (
+		vmHourly    = 6.30 // n1-ultramem-40-class instance, $/h
+		memoryShare = 0.65 // from part 1
+	)
+	memHourly := vmHourly * memoryShare
+	hybridMemHourly := memHourly * a.Point.CostFactor
+	fmt.Println()
+	fmt.Printf("Sizing trending on redis-like with p=%.2f:\n", p)
+	fmt.Printf("  advised FastMem:   %.1f MiB of %.1f MiB (%d of %d keys)\n",
+		float64(a.Point.FastBytes)/(1<<20), float64(w.Dataset.TotalBytes)/(1<<20),
+		a.Point.KeysInFast, len(w.Dataset.Records))
+	fmt.Printf("  memory cost:       %.1f%% of DRAM-only\n", a.Point.CostFactor*100)
+	fmt.Printf("  estimated perf:    %.0f ops/s (FastMem-only: %.0f ops/s)\n",
+		a.Point.EstThroughputOps, rep.Baselines.Fast.ThroughputOpsSec)
+	fmt.Println()
+	fmt.Printf("Projected onto a $%.2f/h memory-optimized VM (%.0f%% memory):\n", vmHourly, memoryShare*100)
+	fmt.Printf("  DRAM-only memory spend:  $%.2f/h\n", memHourly)
+	fmt.Printf("  hybrid memory spend:     $%.2f/h\n", hybridMemHourly)
+	fmt.Printf("  saving:                  $%.2f/h (%.0f%% of the VM bill)\n",
+		memHourly-hybridMemHourly, (memHourly-hybridMemHourly)/vmHourly*100)
+}

@@ -1,0 +1,61 @@
+// Quickstart: profile the paper's Trending workload on the Redis-like
+// store and print the advised FastMem sizing plus the head of the
+// cost/performance curve — the 30-second tour of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mnemo"
+)
+
+func main() {
+	// 1. A workload descriptor: Table III's Trending — a hotspot read-only
+	//    trace over 10 000 ≈100 KB thumbnails. (Use GenerateWorkload or
+	//    LoadWorkloadCSV for your own traces.)
+	w, err := mnemo.WorkloadByName("trending", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Profile it: two real baseline executions on the emulated hybrid
+	//    memory testbed, then the analytical estimate, then the advisor
+	//    with the paper's 10% slowdown SLO.
+	rep, err := mnemo.Profile(w, mnemo.Options{
+		Store: mnemo.RedisLike,
+		Seed:  42,
+		SLO:   0.10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Workload:  %s (%d keys, %d requests)\n",
+		rep.Workload, len(w.Dataset.Records), len(w.Ops))
+	fmt.Printf("Baselines: FastMem-only %.0f ops/s | SlowMem-only %.0f ops/s (%.2fx slower)\n",
+		rep.Baselines.Fast.ThroughputOpsSec,
+		rep.Baselines.Slow.ThroughputOpsSec,
+		rep.Baselines.SlowdownAllSlow())
+
+	// 3. The advised sweet spot.
+	a := rep.Advice
+	fmt.Printf("\nAdvice for a %.0f%% slowdown budget:\n", a.MaxSlowdown*100)
+	fmt.Printf("  keys in FastMem:   %d of %d\n", a.Point.KeysInFast, len(w.Dataset.Records))
+	fmt.Printf("  FastMem capacity:  %.1f MiB of %.1f MiB total\n",
+		float64(a.Point.FastBytes)/(1<<20), float64(w.Dataset.TotalBytes)/(1<<20))
+	fmt.Printf("  memory cost:       %.1f%% of a DRAM-only system (%.0f%% savings)\n",
+		a.Point.CostFactor*100, a.CostSavings*100)
+	fmt.Printf("  est. throughput:   %.0f ops/s\n", a.Point.EstThroughputOps)
+
+	// 4. A few rows of the paper's three-column output: pick any line
+	//    that fits your budget.
+	fmt.Println("\ncurve (every 2000th key):")
+	fmt.Println("  keys_in_fast  cost_factor  est_ops/s")
+	for k := 0; k < len(rep.Curve.Points); k += 2000 {
+		p := rep.Curve.Points[k]
+		fmt.Printf("  %12d  %11.3f  %9.0f\n", p.KeysInFast, p.CostFactor, p.EstThroughputOps)
+	}
+}

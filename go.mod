@@ -1,0 +1,3 @@
+module mnemo
+
+go 1.22

@@ -1,0 +1,187 @@
+// Package baselines implements the competing profiling approaches of
+// Table IV, so the paper's overhead comparison can be regenerated:
+//
+//   - An instrumentation-based tiering profiler in the mold of X-Mem and
+//     Unimem: the workload is executed under per-memory-access
+//     instrumentation (Pin / PEBS style), which X-Mem's authors report
+//     costs up to 40× in application runtime, and the observed access
+//     counts drive the same density tiering MnemoT computes for free.
+//   - An X-Mem-style microbenchmark stage that measures each tier's
+//     latency and bandwidth before profiling.
+//   - A Tahoe-style ML baseline: execute only the SlowMem run, then infer
+//     the FastMem baseline from a model trained on instrumented training
+//     executions — accurate, but the training-data collection dominates.
+//
+// All costs are accounted in simulated time on the same clock the
+// workloads run on, so the comparison is apples-to-apples with MnemoT's
+// two plain executions.
+package baselines
+
+import (
+	"fmt"
+
+	"mnemo/internal/client"
+	"mnemo/internal/core"
+	"mnemo/internal/memsim"
+	"mnemo/internal/server"
+	"mnemo/internal/simclock"
+	"mnemo/internal/ycsb"
+)
+
+// InstrumentationSlowdown is the application slowdown under per-access
+// binary instrumentation, per the X-Mem authors' report ("can add up to
+// 40x overhead").
+const InstrumentationSlowdown = 40.0
+
+// OverheadReport breaks a profiling method's cost into the Table IV
+// stages. All durations are simulated time.
+type OverheadReport struct {
+	Method string
+	// InputPrep covers instrumenting the server / wiring custom
+	// allocation APIs (zero for black-box methods).
+	InputPrep simclock.Duration
+	// BaselineTime is the execution time spent obtaining performance
+	// baselines (including any training-data collection).
+	BaselineTime simclock.Duration
+	// TieringTime is the time to compute the tiering ordering.
+	TieringTime simclock.Duration
+}
+
+// Total sums the stages.
+func (r OverheadReport) Total() simclock.Duration {
+	return r.InputPrep + r.BaselineTime + r.TieringTime
+}
+
+// String renders one Table IV row.
+func (r OverheadReport) String() string {
+	return fmt.Sprintf("%-22s prep=%-12v baselines=%-12v tiering=%-12v total=%v",
+		r.Method, r.InputPrep, r.BaselineTime, r.TieringTime, r.Total())
+}
+
+// instrumentedServerWiring is the simulated engineering cost of adapting
+// the server to a custom allocation API (X-Mem/Unimem expose custom
+// malloc-like interfaces the application must be ported to). Charged as a
+// token constant — the paper's point is that it is nonzero and
+// MnemoT's is zero.
+const instrumentedServerWiring = 30 * simclock.Second
+
+// MnemoTOverhead profiles the workload the MnemoT way — two plain
+// executions for the baselines and an instantaneous weight calculation —
+// and returns the overhead report together with the products (baselines
+// and tiering ordering).
+func MnemoTOverhead(cfg core.Config, w *ycsb.Workload) (OverheadReport, core.Baselines, core.Ordering, error) {
+	se, err := core.NewSensitivityEngine(cfg)
+	if err != nil {
+		return OverheadReport{}, core.Baselines{}, core.Ordering{}, err
+	}
+	b, err := se.Baselines(w)
+	if err != nil {
+		return OverheadReport{}, core.Baselines{}, core.Ordering{}, err
+	}
+	// The Pattern Engine is pure arithmetic over the workload descriptor;
+	// charge its real compute at a conservative 100ns per key.
+	ord := core.MnemoTOrdering(w)
+	tiering := simclock.Duration(len(ord.Keys)) * 100 * simclock.Nanosecond
+	rep := OverheadReport{
+		Method:       "MnemoT",
+		InputPrep:    0,
+		BaselineTime: b.Fast.Runtime + b.Slow.Runtime,
+		TieringTime:  tiering,
+	}
+	return rep, b, ord, nil
+}
+
+// InstrumentedProfilerOverhead models the X-Mem/Unimem-class approach:
+// port the server to the custom allocation API, execute the workload once
+// under per-access instrumentation (InstrumentationSlowdown×) to obtain
+// per-object access counts, run tier microbenchmarks for the performance
+// baselines, and compute the same density tiering. The ordering produced
+// is identical to MnemoT's — the point of Table IV is the cost of
+// obtaining it.
+func InstrumentedProfilerOverhead(cfg core.Config, w *ycsb.Workload) (OverheadReport, core.Ordering, error) {
+	// One instrumented execution on the (default) FastMem deployment.
+	runCfg := cfg.Server
+	st, err := client.Execute(runCfg, w, server.AllFast())
+	if err != nil {
+		return OverheadReport{}, core.Ordering{}, err
+	}
+	instrumented := simclock.Duration(float64(st.Runtime) * InstrumentationSlowdown)
+
+	// X-Mem microbenchmarks: pointer-chase and streaming sweeps per tier.
+	micro := microbenchTime(runCfg)
+
+	ord := core.MnemoTOrdering(w) // same weights, observed via instrumentation
+	tiering := simclock.Duration(len(ord.Keys)) * 100 * simclock.Nanosecond
+	return OverheadReport{
+		Method:       "instrumented(X-Mem)",
+		InputPrep:    instrumentedServerWiring,
+		BaselineTime: instrumented + micro,
+		TieringTime:  tiering,
+	}, ord, nil
+}
+
+// microbenchTime estimates the cost of X-Mem's latency/bandwidth
+// microbenchmark suite on the emulated machine: one million dependent
+// chases plus a 1 GiB stream per tier.
+func microbenchTime(cfg server.Config) simclock.Duration {
+	m := memsim.NewMachine(cfg.Machine)
+	var total float64
+	for _, tier := range []memsim.Tier{memsim.Fast, memsim.Slow} {
+		p := m.Node(tier).Params
+		total += p.ChaseNs(1_000_000)
+		total += p.TransferNs(1 << 30)
+	}
+	return simclock.FromNanos(total)
+}
+
+// TahoeResult carries the ML baseline's products: the measured SlowMem
+// run, the inferred FastMem runtime, and the true FastMem runtime for
+// error reporting.
+type TahoeResult struct {
+	Slow               client.RunStats
+	InferredFastNs     float64
+	TrueFastNs         float64
+	InferenceErrorPct  float64
+	TrainingWorkloads  int
+	TrainingExecutions int
+}
+
+// TahoeOverhead models the Tahoe-style approach: execute the workload on
+// SlowMem only, then infer the FastMem baseline with a model trained on
+// instrumented executions of training workloads (each training workload
+// must run on both tiers under monitoring). The returned report charges
+// the training-data collection, which is what MnemoT's second plain run
+// avoids many times over.
+func TahoeOverhead(cfg core.Config, w *ycsb.Workload, trainer *TahoeModel) (OverheadReport, TahoeResult, error) {
+	runCfg := cfg.Server
+	slow, err := client.Execute(runCfg, w, server.AllSlow())
+	if err != nil {
+		return OverheadReport{}, TahoeResult{}, err
+	}
+	inferred := trainer.InferFastRuntimeNs(w, slow)
+
+	// The true FastMem run, executed only to report inference error (not
+	// charged to the method).
+	fast, err := client.Execute(runCfg, w, server.AllFast())
+	if err != nil {
+		return OverheadReport{}, TahoeResult{}, err
+	}
+	res := TahoeResult{
+		Slow:               slow,
+		InferredFastNs:     inferred,
+		TrueFastNs:         float64(fast.Runtime.Nanoseconds()),
+		TrainingWorkloads:  trainer.Workloads(),
+		TrainingExecutions: trainer.Executions(),
+	}
+	if res.TrueFastNs > 0 {
+		res.InferenceErrorPct = (res.TrueFastNs - inferred) / res.TrueFastNs * 100
+	}
+	ord := core.MnemoTOrdering(w)
+	tiering := simclock.Duration(len(ord.Keys)) * 100 * simclock.Nanosecond
+	return OverheadReport{
+		Method:       "ml-inferred(Tahoe)",
+		InputPrep:    instrumentedServerWiring,
+		BaselineTime: slow.Runtime + trainer.TrainingTime(),
+		TieringTime:  tiering,
+	}, res, nil
+}

@@ -1,0 +1,102 @@
+package client
+
+import (
+	"math/bits"
+	"sort"
+
+	"mnemo/internal/stats"
+)
+
+// BucketStat is the average service time observed for requests whose
+// record size falls in one power-of-two bucket. The size-aware estimate
+// extension (internal/core, SizeAware option) consumes these instead of
+// the paper's single global average, which repairs the estimate's
+// systematic bias on workloads whose FastMem/SlowMem split is
+// size-skewed (e.g. MnemoT orderings over mixed record sizes).
+type BucketStat struct {
+	// Bucket is the power-of-two class: records of size s fall in bucket
+	// bits.Len(s), i.e. bucket b covers [2^(b-1), 2^b).
+	Bucket int
+	Count  int
+	MeanNs float64
+}
+
+// SizeBucket returns the bucket index for a record size.
+func SizeBucket(size int) int {
+	if size <= 0 {
+		return 0
+	}
+	return bits.Len(uint(size))
+}
+
+// BucketRange reports the [lo, hi) size range of a bucket.
+func BucketRange(bucket int) (lo, hi int) {
+	if bucket <= 0 {
+		return 0, 1
+	}
+	return 1 << (bucket - 1), 1 << bucket
+}
+
+// bucketAccum collects per-bucket summaries during a run.
+type bucketAccum struct {
+	m map[int]*stats.Summary
+}
+
+func newBucketAccum() *bucketAccum { return &bucketAccum{m: map[int]*stats.Summary{}} }
+
+func (a *bucketAccum) add(size int, ns float64) {
+	b := SizeBucket(size)
+	s, ok := a.m[b]
+	if !ok {
+		s = &stats.Summary{}
+		a.m[b] = s
+	}
+	s.Add(ns)
+}
+
+func (a *bucketAccum) stats() []BucketStat {
+	out := make([]BucketStat, 0, len(a.m))
+	for b, s := range a.m {
+		out = append(out, BucketStat{Bucket: b, Count: s.N(), MeanNs: s.Mean()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
+	return out
+}
+
+// MeanFor returns the mean service time of the bucket, or (0, false) if
+// the bucket was never observed.
+func MeanFor(bs []BucketStat, bucket int) (float64, bool) {
+	for _, b := range bs {
+		if b.Bucket == bucket {
+			return b.MeanNs, true
+		}
+	}
+	return 0, false
+}
+
+// mergeBuckets combines two per-bucket breakdowns with count-weighted
+// means (used when averaging repeated runs).
+func mergeBuckets(a, b []BucketStat) []BucketStat {
+	byBucket := map[int]BucketStat{}
+	for _, s := range a {
+		byBucket[s.Bucket] = s
+	}
+	for _, s := range b {
+		if prev, ok := byBucket[s.Bucket]; ok {
+			n := prev.Count + s.Count
+			if n > 0 {
+				prev.MeanNs = (prev.MeanNs*float64(prev.Count) + s.MeanNs*float64(s.Count)) / float64(n)
+			}
+			prev.Count = n
+			byBucket[s.Bucket] = prev
+		} else {
+			byBucket[s.Bucket] = s
+		}
+	}
+	out := make([]BucketStat, 0, len(byBucket))
+	for _, s := range byBucket {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
+	return out
+}

@@ -1,0 +1,242 @@
+// Package client is the YCSB-like load driver of the reproduction: it
+// replays a workload trace against a hybrid deployment (routing every
+// request to the server instance that owns the key, as the paper's
+// modified YCSB core module does) and measures what the paper measures —
+// total runtime, throughput, average read/write response times, and the
+// tail latencies of Fig 8d/8e.
+package client
+
+import (
+	"fmt"
+	"sort"
+
+	"mnemo/internal/kvstore"
+	"mnemo/internal/server"
+	"mnemo/internal/simclock"
+	"mnemo/internal/stats"
+	"mnemo/internal/ycsb"
+)
+
+// RunStats are the client-side measurements of one workload execution.
+type RunStats struct {
+	Workload string
+	Engine   string
+
+	Requests int
+	Reads    int
+	Writes   int
+
+	Runtime          simclock.Duration
+	ThroughputOpsSec float64
+
+	// Average response times per request kind, in nanoseconds — the
+	// FastReadTime/SlowReadTime/FastWriteTime/SlowWriteTime inputs of
+	// Mnemo's estimate model when measured on a baseline placement.
+	AvgReadNs  float64
+	AvgWriteNs float64
+	AvgNs      float64
+
+	// Latency percentiles in nanoseconds (Fig 8c–8e).
+	P50Ns, P95Ns, P99Ns, MaxNs float64
+
+	// LLCHitRate is the record-cache hit fraction over the run.
+	LLCHitRate float64
+
+	// ReadBuckets and WriteBuckets break the averages down by
+	// power-of-two record-size class, feeding the size-aware estimate
+	// extension. Empty buckets are omitted.
+	ReadBuckets, WriteBuckets []BucketStat
+
+	// ReadLatency and WriteLatency carry the full per-size-class latency
+	// histograms of the run, feeding the tail-latency estimation
+	// extension (internal/core TailEstimator). Empty classes are
+	// omitted.
+	ReadLatency, WriteLatency []BucketHistogram
+}
+
+// BucketHistogram pairs a record-size class with the latency histogram
+// of its requests.
+type BucketHistogram struct {
+	Bucket int
+	Hist   *stats.Histogram
+}
+
+// HistFor returns the histogram of a size class, or nil if unobserved.
+func HistFor(bhs []BucketHistogram, bucket int) *stats.Histogram {
+	for _, bh := range bhs {
+		if bh.Bucket == bucket {
+			return bh.Hist
+		}
+	}
+	return nil
+}
+
+// latencyHistParams are shared by every per-class histogram so mixtures
+// across runs and classes are well defined.
+const (
+	latencyHistMin    = 100  // ns
+	latencyHistGrowth = 1.02 // ≤2% quantile error
+)
+
+// histAccum collects per-bucket latency histograms during a run.
+type histAccum struct {
+	m map[int]*stats.Histogram
+}
+
+func newHistAccum() *histAccum { return &histAccum{m: map[int]*stats.Histogram{}} }
+
+func (a *histAccum) add(size int, ns float64) {
+	b := SizeBucket(size)
+	h, ok := a.m[b]
+	if !ok {
+		h = stats.NewHistogram(latencyHistMin, latencyHistGrowth)
+		a.m[b] = h
+	}
+	h.Record(ns)
+}
+
+func (a *histAccum) histograms() []BucketHistogram {
+	out := make([]BucketHistogram, 0, len(a.m))
+	for b, h := range a.m {
+		out = append(out, BucketHistogram{Bucket: b, Hist: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
+	return out
+}
+
+// mergeHistograms folds run B's per-class histograms into run A's.
+func mergeHistograms(a, b []BucketHistogram) []BucketHistogram {
+	byBucket := map[int]*stats.Histogram{}
+	for _, bh := range a {
+		byBucket[bh.Bucket] = bh.Hist
+	}
+	for _, bh := range b {
+		if h, ok := byBucket[bh.Bucket]; ok {
+			h.Merge(bh.Hist)
+		} else {
+			byBucket[bh.Bucket] = bh.Hist
+		}
+	}
+	out := make([]BucketHistogram, 0, len(byBucket))
+	for bkt, h := range byBucket {
+		out = append(out, BucketHistogram{Bucket: bkt, Hist: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
+	return out
+}
+
+// String summarizes the run for logs.
+func (s RunStats) String() string {
+	return fmt.Sprintf("%s/%s: %d ops in %v (%.0f ops/s, avg %.1fµs, p99 %.1fµs)",
+		s.Engine, s.Workload, s.Requests, s.Runtime, s.ThroughputOpsSec,
+		s.AvgNs/1000, s.P99Ns/1000)
+}
+
+// Run replays the workload trace against an already-loaded deployment.
+func Run(d *server.Deployment, w *ycsb.Workload) RunStats {
+	start := d.Clock()
+	var readSum, writeSum stats.Summary
+	readBuckets, writeBuckets := newBucketAccum(), newBucketAccum()
+	readHists, writeHists := newHistAccum(), newHistAccum()
+	hist := stats.NewHistogram(latencyHistMin, latencyHistGrowth)
+	for _, op := range w.Ops {
+		rec := w.Dataset.Records[op.Key]
+		res := d.Do(rec.Key, op.Kind, rec.Size)
+		ns := float64(res.Latency.Nanoseconds())
+		hist.Record(ns)
+		if op.Kind == kvstore.Read {
+			readSum.Add(ns)
+			readBuckets.add(rec.Size, ns)
+			readHists.add(rec.Size, ns)
+		} else {
+			writeSum.Add(ns)
+			writeBuckets.add(rec.Size, ns)
+			writeHists.add(rec.Size, ns)
+		}
+	}
+	runtime := d.Clock() - start
+	out := RunStats{
+		Workload: w.Spec.Name,
+		Engine:   d.Engine().String(),
+		Requests: len(w.Ops),
+		Reads:    readSum.N(),
+		Writes:   writeSum.N(),
+		Runtime:  runtime,
+	}
+	if runtime > 0 {
+		out.ThroughputOpsSec = float64(len(w.Ops)) / runtime.Seconds()
+	}
+	out.AvgReadNs = readSum.Mean()
+	out.AvgWriteNs = writeSum.Mean()
+	out.AvgNs = hist.Mean()
+	out.P50Ns = hist.Quantile(0.50)
+	out.P95Ns = hist.Quantile(0.95)
+	out.P99Ns = hist.Quantile(0.99)
+	out.MaxNs = hist.Max()
+	if llc := d.Machine().LLC(); llc != nil {
+		out.LLCHitRate = llc.HitRate()
+	}
+	out.ReadBuckets = readBuckets.stats()
+	out.WriteBuckets = writeBuckets.stats()
+	out.ReadLatency = readHists.histograms()
+	out.WriteLatency = writeHists.histograms()
+	return out
+}
+
+// Execute builds a fresh deployment, loads the dataset under the given
+// placement (the untimed load phase) and replays the trace.
+func Execute(cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats, error) {
+	d := server.NewDeployment(cfg)
+	if err := d.Load(w.Dataset, p); err != nil {
+		return RunStats{}, err
+	}
+	return Run(d, w), nil
+}
+
+// ExecuteMean runs the workload `runs` times with distinct noise seeds
+// and returns the per-field means — the paper reports "the mean of
+// multiple experiment runs". Percentiles are averaged across runs.
+func ExecuteMean(cfg server.Config, w *ycsb.Workload, p server.Placement, runs int) (RunStats, error) {
+	if runs <= 0 {
+		return RunStats{}, fmt.Errorf("client: runs %d must be positive", runs)
+	}
+	var agg RunStats
+	for i := 0; i < runs; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1009
+		st, err := Execute(c, w, p)
+		if err != nil {
+			return RunStats{}, err
+		}
+		if i == 0 {
+			agg = st
+			continue
+		}
+		agg.ReadBuckets = mergeBuckets(agg.ReadBuckets, st.ReadBuckets)
+		agg.WriteBuckets = mergeBuckets(agg.WriteBuckets, st.WriteBuckets)
+		agg.ReadLatency = mergeHistograms(agg.ReadLatency, st.ReadLatency)
+		agg.WriteLatency = mergeHistograms(agg.WriteLatency, st.WriteLatency)
+		agg.Runtime += st.Runtime
+		agg.ThroughputOpsSec += st.ThroughputOpsSec
+		agg.AvgReadNs += st.AvgReadNs
+		agg.AvgWriteNs += st.AvgWriteNs
+		agg.AvgNs += st.AvgNs
+		agg.P50Ns += st.P50Ns
+		agg.P95Ns += st.P95Ns
+		agg.P99Ns += st.P99Ns
+		agg.MaxNs += st.MaxNs
+		agg.LLCHitRate += st.LLCHitRate
+	}
+	n := float64(runs)
+	agg.Runtime = simclock.Duration(float64(agg.Runtime) / n)
+	agg.ThroughputOpsSec /= n
+	agg.AvgReadNs /= n
+	agg.AvgWriteNs /= n
+	agg.AvgNs /= n
+	agg.P50Ns /= n
+	agg.P95Ns /= n
+	agg.P99Ns /= n
+	agg.MaxNs /= n
+	agg.LLCHitRate /= n
+	return agg, nil
+}

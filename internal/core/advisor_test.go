@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"mnemo/internal/server"
+)
+
+func TestAdviseLatency(t *testing.T) {
+	w := testWorkload(51)
+	rep, err := Profile(DefaultConfig(server.RedisLike, 51), w, StandAlone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Curve
+	fastAvg := c.FastOnly().EstAvgLatencyNs
+	slowAvg := c.SlowOnly().EstAvgLatencyNs
+	if fastAvg >= slowAvg {
+		t.Fatalf("fast avg %v not below slow avg %v", fastAvg, slowAvg)
+	}
+
+	// A budget between the endpoints yields an interior, satisfiable
+	// sizing whose estimate honors the budget.
+	budget := (fastAvg + slowAvg) / 2
+	a, err := AdviseLatency(c, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Satisfiable {
+		t.Fatal("mid budget unsatisfiable")
+	}
+	if a.Point.EstAvgLatencyNs > budget {
+		t.Fatal("advice misses its own budget")
+	}
+	if a.Point.KeysInFast == 0 || a.Point.KeysInFast == len(rep.Ordering.Keys) {
+		t.Fatalf("mid budget should land interior, got k=%d", a.Point.KeysInFast)
+	}
+	// Minimality: no cheaper point honors the budget.
+	for _, p := range c.Points {
+		if p.CostFactor < a.Point.CostFactor-1e-12 && p.EstAvgLatencyNs <= budget {
+			t.Fatalf("cheaper point %d also satisfies the budget", p.KeysInFast)
+		}
+	}
+
+	// A generous budget is satisfied by all-SlowMem.
+	loose, err := AdviseLatency(c, slowAvg*1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Point.KeysInFast != 0 {
+		t.Errorf("generous budget advised %d keys in fast", loose.Point.KeysInFast)
+	}
+
+	// An impossible budget is reported unsatisfiable.
+	tight, err := AdviseLatency(c, fastAvg*0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Satisfiable {
+		t.Error("impossible budget reported satisfiable")
+	}
+}
+
+func TestAdviseLatencyErrors(t *testing.T) {
+	if _, err := AdviseLatency(&Curve{}, 100); err == nil {
+		t.Error("empty curve accepted")
+	}
+	w := testWorkload(52)
+	rep, err := Profile(DefaultConfig(server.RedisLike, 52), w, StandAlone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AdviseLatency(rep.Curve, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := AdviseLatency(rep.Curve, -5); err == nil {
+		t.Error("negative budget accepted")
+	}
+}

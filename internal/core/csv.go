@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the curve in the paper's output format (§IV,
+// "Interfacing with Mnemo"): a csv with three columns — key identifier,
+// estimated performance, and cost reduction factor. "Each row contains a
+// key identifier, the estimated performance and cost reduction factor,
+// when FastMem will service all previous keys in the file" — so row k
+// describes the sizing that pins keys from rows 1..k to FastMem. The
+// leading row with an empty key is the all-SlowMem origin.
+func (c *Curve) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"key", "est_throughput_ops", "cost_factor"}); err != nil {
+		return err
+	}
+	for _, p := range c.Points {
+		row := []string{
+			p.LastKey,
+			strconv.FormatFloat(p.EstThroughputOps, 'f', 2, 64),
+			strconv.FormatFloat(p.CostFactor, 'f', 6, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCurveCSV parses a csv written by WriteCSV back into the point
+// fields it carries (key, throughput, cost factor). It is the consumer
+// side of the tool's interface: "The user of Mnemo should choose the line
+// that satisfies its performance requirements and price allowance".
+func ReadCurveCSV(r io.Reader) ([]CurvePoint, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading curve header: %w", err)
+	}
+	if header[0] != "key" {
+		return nil, fmt.Errorf("core: unexpected curve header %q", header)
+	}
+	var out []CurvePoint
+	k := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading curve row %d: %w", k, err)
+		}
+		tput, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: row %d: bad throughput %q", k, row[1])
+		}
+		cost, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: row %d: bad cost factor %q", k, row[2])
+		}
+		out = append(out, CurvePoint{
+			KeysInFast:       k,
+			LastKey:          row[0],
+			EstThroughputOps: tput,
+			CostFactor:       cost,
+		})
+		k++
+	}
+	return out, nil
+}

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCurveCSV hammers the curve parser: arbitrary input must yield
+// an error or a well-formed point list, never a panic.
+func FuzzReadCurveCSV(f *testing.F) {
+	f.Add("key,est_throughput_ops,cost_factor\n,5826.00,0.200000\nuser1,7326.14,0.360000\n")
+	f.Add("key,est_throughput_ops,cost_factor\n")
+	f.Add("")
+	f.Add("a,b,c\n")
+	f.Add("key,est_throughput_ops,cost_factor\nk,notanumber,0.5\n")
+	f.Add("key,est_throughput_ops,cost_factor\nk,1,huge\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		points, err := ReadCurveCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i, p := range points {
+			if p.KeysInFast != i {
+				t.Fatalf("point %d carries index %d", i, p.KeysInFast)
+			}
+		}
+	})
+}

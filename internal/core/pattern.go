@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"mnemo/internal/knapsack"
+	"mnemo/internal/ycsb"
+)
+
+// keyStats tallies the per-key access pattern of the trace.
+func keyStats(w *ycsb.Workload) []KeyStat {
+	reads, writes := w.AccessCounts()
+	out := make([]KeyStat, len(w.Dataset.Records))
+	for i, rec := range w.Dataset.Records {
+		out[i] = KeyStat{Index: i, Key: rec.Key, Size: rec.Size, Reads: reads[i], Writes: writes[i]}
+	}
+	return out
+}
+
+// TouchOrdering is the stand-alone Mnemo Pattern Engine (Fig 2a): keys
+// are prioritized for FastMem in the order the workload first touches
+// them. Untouched keys follow in index order.
+func TouchOrdering(w *ycsb.Workload) Ordering {
+	stats := keyStats(w)
+	order := w.TouchOrder()
+	keys := make([]KeyStat, len(order))
+	for i, idx := range order {
+		keys[i] = stats[idx]
+	}
+	return Ordering{Name: "touch", Keys: keys}
+}
+
+// MnemoTOrdering is the MnemoT Pattern Engine (Fig 7): each key gets a
+// placement weight of accesses ÷ key-value size, and keys are ordered by
+// descending weight — the 0/1-knapsack density heuristic predominant
+// across existing tiering solutions, computed here from just the workload
+// description at key-value granularity (Table IV's zero-overhead tiering
+// calculation).
+func MnemoTOrdering(w *ycsb.Workload) Ordering {
+	stats := keyStats(w)
+	items := make([]knapsack.Item, len(stats))
+	for i, k := range stats {
+		items[i] = knapsack.Item{Weight: int64(k.Size), Profit: float64(k.Accesses())}
+	}
+	order := knapsack.DensityOrder(items)
+	keys := make([]KeyStat, len(order))
+	for i, idx := range order {
+		keys[i] = stats[idx]
+	}
+	return Ordering{Name: "mnemot", Keys: keys}
+}
+
+// ExternalOrdering wraps a key ordering produced by an existing generic
+// tiering solution (deployment mode of Fig 2b): Mnemo then estimates the
+// cost curve for incremental DRAM sizing "following the tiered key
+// ordering". Keys absent from the external list are appended in dataset
+// order; unknown keys are rejected.
+func ExternalOrdering(w *ycsb.Workload, tieredKeys []string) (Ordering, error) {
+	stats := keyStats(w)
+	byKey := make(map[string]int, len(stats))
+	for i, k := range stats {
+		byKey[k.Key] = i
+	}
+	seen := make([]bool, len(stats))
+	keys := make([]KeyStat, 0, len(stats))
+	for _, k := range tieredKeys {
+		idx, ok := byKey[k]
+		if !ok {
+			return Ordering{}, fmt.Errorf("core: external ordering references unknown key %q", k)
+		}
+		if seen[idx] {
+			return Ordering{}, fmt.Errorf("core: external ordering repeats key %q", k)
+		}
+		seen[idx] = true
+		keys = append(keys, stats[idx])
+	}
+	for i := range stats {
+		if !seen[i] {
+			keys = append(keys, stats[i])
+		}
+	}
+	return Ordering{Name: "external", Keys: keys}, nil
+}

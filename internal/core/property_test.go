@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// randomSpec draws a small but arbitrary workload configuration.
+func randomSpec(rng *rand.Rand) ycsb.Spec {
+	dists := []ycsb.DistSpec{
+		{Kind: ycsb.Uniform},
+		{Kind: ycsb.Zipfian},
+		{Kind: ycsb.ScrambledZipfian},
+		{Kind: ycsb.Hotspot, HotSetFraction: 0.05 + rng.Float64()*0.4, HotOpnFraction: rng.Float64()},
+		{Kind: ycsb.Latest},
+	}
+	sizes := []ycsb.SizeKind{
+		ycsb.SizeThumbnail, ycsb.SizeTextPost, ycsb.SizePhotoCaption,
+		ycsb.SizeTrendingPreview, ycsb.SizeFixed1KB, ycsb.SizeFixed100KB,
+	}
+	return ycsb.Spec{
+		Name:      "prop",
+		Keys:      50 + rng.Intn(300),
+		Requests:  500 + rng.Intn(3000),
+		Dist:      dists[rng.Intn(len(dists))],
+		ReadRatio: rng.Float64(),
+		Sizes:     sizes[rng.Intn(len(sizes))],
+		Seed:      rng.Int63(),
+	}
+}
+
+// TestPipelineInvariantsOnRandomWorkloads profiles a batch of arbitrary
+// workloads on arbitrary engines and checks the invariants every curve
+// must satisfy, whatever the inputs.
+func TestPipelineInvariantsOnRandomWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		spec := randomSpec(rng)
+		w := ycsb.MustGenerate(spec)
+		engine := server.Engines()[rng.Intn(3)]
+		mode := StandAlone
+		if rng.Intn(2) == 1 {
+			mode = MnemoT
+		}
+		cfg := DefaultConfig(engine, rng.Int63())
+		cfg.SizeAwareEstimate = rng.Intn(2) == 1
+		rep, err := Profile(cfg, w, mode, 0.10)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, spec, err)
+		}
+		c := rep.Curve
+
+		// Structural invariants.
+		if len(c.Points) != spec.Keys+1 {
+			t.Fatalf("trial %d: %d points for %d keys", trial, len(c.Points), spec.Keys)
+		}
+		if c.FastOnly().FastBytes != w.Dataset.TotalBytes {
+			t.Fatalf("trial %d: fast endpoint holds %d of %d bytes",
+				trial, c.FastOnly().FastBytes, w.Dataset.TotalBytes)
+		}
+		prevCost := -1.0
+		for k, p := range c.Points {
+			if p.KeysInFast != k {
+				t.Fatalf("trial %d: point %d misindexed", trial, k)
+			}
+			if p.CostFactor < prevCost {
+				t.Fatalf("trial %d: cost not monotone at %d", trial, k)
+			}
+			prevCost = p.CostFactor
+			if p.EstRuntime <= 0 || p.EstThroughputOps <= 0 {
+				t.Fatalf("trial %d: degenerate estimate at %d", trial, k)
+			}
+		}
+		if c.SlowOnly().CostFactor < 0.199 || c.FastOnly().CostFactor > 1.0001 {
+			t.Fatalf("trial %d: cost endpoints %v..%v",
+				trial, c.SlowOnly().CostFactor, c.FastOnly().CostFactor)
+		}
+
+		// Advisor optimality: the advised point satisfies the SLO budget
+		// and no strictly cheaper curve point does.
+		a := rep.Advice
+		budget := float64(c.FastOnly().EstRuntime) * 1.10
+		if float64(a.Point.EstRuntime) > budget {
+			t.Fatalf("trial %d: advice violates SLO", trial)
+		}
+		for _, p := range c.Points {
+			if p.CostFactor < a.Point.CostFactor-1e-12 && float64(p.EstRuntime) <= budget {
+				t.Fatalf("trial %d: cheaper point %d (cost %.4f) also satisfies the SLO",
+					trial, p.KeysInFast, p.CostFactor)
+			}
+		}
+
+		// Ordering covers the whole key space exactly once.
+		seen := map[string]bool{}
+		for _, ks := range rep.Ordering.Keys {
+			if seen[ks.Key] {
+				t.Fatalf("trial %d: key %q repeated in ordering", trial, ks.Key)
+			}
+			seen[ks.Key] = true
+		}
+		if len(seen) != spec.Keys {
+			t.Fatalf("trial %d: ordering covers %d of %d keys", trial, len(seen), spec.Keys)
+		}
+	}
+}
+
+// TestEstimateBracketsBaselines: for read-only workloads the estimate at
+// every interior point must lie between the two baseline estimates.
+func TestEstimateBracketsBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 6; trial++ {
+		spec := randomSpec(rng)
+		spec.ReadRatio = 1.0
+		w := ycsb.MustGenerate(spec)
+		rep, err := Profile(DefaultConfig(server.RedisLike, rng.Int63()), w, StandAlone, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := rep.Curve.FastOnly().EstRuntime
+		hi := rep.Curve.SlowOnly().EstRuntime
+		for _, p := range rep.Curve.Points {
+			if p.EstRuntime < lo || p.EstRuntime > hi {
+				t.Fatalf("trial %d: point %d runtime %v outside [%v, %v]",
+					trial, p.KeysInFast, p.EstRuntime, lo, hi)
+			}
+		}
+	}
+}

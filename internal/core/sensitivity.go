@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"mnemo/internal/client"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// SensitivityEngine obtains the real performance baselines by executing
+// the workload "as-is" in the two extreme configurations (paper §IV,
+// component 1): a customized YCSB client run against an all-FastMem and
+// an all-SlowMem deployment, extracting total runtime and average read
+// and write response times.
+type SensitivityEngine struct {
+	cfg Config
+}
+
+// NewSensitivityEngine builds the engine, applying config defaults.
+func NewSensitivityEngine(cfg Config) (*SensitivityEngine, error) {
+	n, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	return &SensitivityEngine{cfg: n}, nil
+}
+
+// Baselines executes the workload under both extreme placements and
+// returns the measured baselines.
+func (s *SensitivityEngine) Baselines(w *ycsb.Workload) (Baselines, error) {
+	fast, err := client.ExecuteMean(s.cfg.Server, w, server.AllFast(), s.cfg.Runs)
+	if err != nil {
+		return Baselines{}, fmt.Errorf("core: FastMem baseline: %w", err)
+	}
+	// Decorrelate the noise streams of the two baseline runs, as two
+	// separate physical executions would be.
+	slowCfg := s.cfg.Server
+	slowCfg.Seed += 7919
+	slow, err := client.ExecuteMean(slowCfg, w, server.AllSlow(), s.cfg.Runs)
+	if err != nil {
+		return Baselines{}, fmt.Errorf("core: SlowMem baseline: %w", err)
+	}
+	return Baselines{Fast: fast, Slow: slow}, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mnemo/internal/client"
+	"mnemo/internal/ycsb"
+)
+
+// ValidationPoint pairs an estimated curve point with a real measured
+// execution at the same tiering.
+type ValidationPoint struct {
+	Point    CurvePoint
+	Measured client.RunStats
+	// ThroughputErrPct is the paper's error metric (r−e)/r·100% between
+	// the real throughput r and the estimate e.
+	ThroughputErrPct float64
+	// AvgLatencyErrPct is the same metric on average request latency
+	// (Fig 8c).
+	AvgLatencyErrPct float64
+}
+
+// Validate executes the workload at `samples` evenly spaced tierings of
+// the curve (excluding the endpoints, which were measured as baselines)
+// and reports the estimate errors — the raw material of Fig 8a/8c.
+func Validate(cfg Config, w *ycsb.Workload, c *Curve, ord Ordering, samples int) ([]ValidationPoint, error) {
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		return nil, fmt.Errorf("core: samples %d must be positive", samples)
+	}
+	keys := len(ord.Keys)
+	if keys+1 != len(c.Points) {
+		return nil, fmt.Errorf("core: curve/ordering mismatch (%d points, %d keys)", len(c.Points), keys)
+	}
+	var out []ValidationPoint
+	var pe PlacementEngine
+	for i := 1; i <= samples; i++ {
+		k := i * keys / (samples + 1)
+		if k <= 0 || k >= keys {
+			continue
+		}
+		point := c.Points[k]
+		placement, err := pe.PlacementFor(ord, point)
+		if err != nil {
+			return nil, err
+		}
+		// Each validation run is an independent execution with its own
+		// noise stream, like a fresh run on the testbed.
+		runCfg := ncfg.Server
+		runCfg.Seed += int64(i) * 104729
+		measured, err := client.ExecuteMean(runCfg, w, placement, ncfg.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("core: validating point %d: %w", k, err)
+		}
+		vp := ValidationPoint{Point: point, Measured: measured}
+		if measured.ThroughputOpsSec > 0 {
+			vp.ThroughputErrPct = (measured.ThroughputOpsSec - point.EstThroughputOps) /
+				measured.ThroughputOpsSec * 100
+		}
+		if measured.AvgNs > 0 {
+			vp.AvgLatencyErrPct = (measured.AvgNs - point.EstAvgLatencyNs) /
+				measured.AvgNs * 100
+		}
+		out = append(out, vp)
+	}
+	return out, nil
+}
+
+// AbsErrors extracts |throughput error| percentages from validation
+// points, the quantity boxplotted in Fig 8a.
+func AbsErrors(points []ValidationPoint) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = math.Abs(p.ThroughputErrPct)
+	}
+	return out
+}

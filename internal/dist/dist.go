@@ -1,0 +1,285 @@
+// Package dist implements the request-distribution generators of the
+// Yahoo! Cloud Serving Benchmark that the paper's custom workloads are
+// built from (Table III, Fig 3): uniform, zipfian, scrambled zipfian,
+// hotspot and latest, plus the record-size distributions of Fig 4.
+//
+// The zipfian generator follows the incremental algorithm of Gray et al.
+// ("Quickly generating billion-record synthetic databases") exactly as
+// YCSB implements it, with the default skew θ = 0.99. The scrambled
+// variant hashes the zipfian rank across the key space with FNV-1a so the
+// hot keys are scattered rather than clustered at the low IDs — the
+// distinction Fig 3 draws between "zipfian" and "scrambled zipfian".
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KeyChooser selects key IDs in [0, Keys) according to a request
+// distribution. Implementations may be stateful (Latest advances an
+// internal head); none are safe for concurrent use. All randomness flows
+// through the caller-supplied *rand.Rand so traces are reproducible.
+type KeyChooser interface {
+	// Next returns the key ID for the next request.
+	Next(r *rand.Rand) int
+	// Keys reports the size of the key space.
+	Keys() int
+	// Name identifies the distribution for reports and figures.
+	Name() string
+}
+
+// ZipfianTheta is the default skew constant used by YCSB and by the paper.
+const ZipfianTheta = 0.99
+
+// Uniform selects keys uniformly at random.
+type Uniform struct {
+	keys int
+}
+
+// NewUniform returns a uniform chooser over [0, keys).
+func NewUniform(keys int) *Uniform {
+	mustPositiveKeys(keys)
+	return &Uniform{keys: keys}
+}
+
+// Next implements KeyChooser.
+func (u *Uniform) Next(r *rand.Rand) int { return r.Intn(u.keys) }
+
+// Keys implements KeyChooser.
+func (u *Uniform) Keys() int { return u.keys }
+
+// Name implements KeyChooser.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Zipfian selects keys with a zipfian popularity skew: key 0 is the most
+// popular, key 1 the second most, and so on. This is the "zipfian"
+// distribution of Fig 3 where the hot keys sit at the beginning of the key
+// range.
+type Zipfian struct {
+	keys                    int
+	theta                   float64
+	zetan, alpha, eta, half float64
+}
+
+// NewZipfian returns a zipfian chooser over [0, keys) with skew theta.
+// Use ZipfianTheta for the YCSB default.
+func NewZipfian(keys int, theta float64) *Zipfian {
+	mustPositiveKeys(keys)
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("dist: zipfian theta %v outside (0,1)", theta))
+	}
+	z := &Zipfian{keys: keys, theta: theta}
+	z.zetan = zeta(keys, theta)
+	zeta2 := zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(keys), 1-theta)) / (1 - zeta2/z.zetan)
+	z.half = 1 + math.Pow(0.5, theta)
+	return z
+}
+
+// zeta computes the generalized harmonic number Σ_{i=1..n} 1/i^theta.
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements KeyChooser using Gray et al.'s inverse-CDF approximation.
+func (z *Zipfian) Next(r *rand.Rand) int {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	k := int(float64(z.keys) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.keys {
+		k = z.keys - 1
+	}
+	return k
+}
+
+// Keys implements KeyChooser.
+func (z *Zipfian) Keys() int { return z.keys }
+
+// Name implements KeyChooser.
+func (z *Zipfian) Name() string { return "zipfian" }
+
+// Theta reports the configured skew.
+func (z *Zipfian) Theta() float64 { return z.theta }
+
+// ScrambledZipfian draws a zipfian rank and hashes it across the key
+// space, so the popular keys are scattered rather than contiguous —
+// Fig 3's "scrambled zipfian", used by the Timeline and Edit Thumbnail
+// workloads.
+type ScrambledZipfian struct {
+	z *Zipfian
+}
+
+// NewScrambledZipfian returns a scrambled zipfian chooser over [0, keys).
+func NewScrambledZipfian(keys int, theta float64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(keys, theta)}
+}
+
+// fnv1a64 is the 64-bit FNV-1a hash of an integer's eight bytes; it is the
+// scatter function YCSB uses for its scrambled generator.
+func fnv1a64(v uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// Next implements KeyChooser.
+func (s *ScrambledZipfian) Next(r *rand.Rand) int {
+	rank := s.z.Next(r)
+	return int(fnv1a64(uint64(rank)) % uint64(s.z.keys))
+}
+
+// Keys implements KeyChooser.
+func (s *ScrambledZipfian) Keys() int { return s.z.keys }
+
+// Name implements KeyChooser.
+func (s *ScrambledZipfian) Name() string { return "scrambled_zipfian" }
+
+// Hotspot sends a configurable fraction of operations to a contiguous hot
+// set of keys and spreads the remainder uniformly over the cold set — the
+// distribution of the Trending workloads ("a workload heavily accesses 20%
+// of the keys").
+type Hotspot struct {
+	keys    int
+	hotKeys int
+	hotOpn  float64
+}
+
+// NewHotspot returns a hotspot chooser: hotSetFraction of the key space
+// receives hotOpnFraction of the operations.
+func NewHotspot(keys int, hotSetFraction, hotOpnFraction float64) *Hotspot {
+	mustPositiveKeys(keys)
+	if hotSetFraction <= 0 || hotSetFraction > 1 {
+		panic(fmt.Sprintf("dist: hotspot set fraction %v outside (0,1]", hotSetFraction))
+	}
+	if hotOpnFraction < 0 || hotOpnFraction > 1 {
+		panic(fmt.Sprintf("dist: hotspot op fraction %v outside [0,1]", hotOpnFraction))
+	}
+	hot := int(float64(keys) * hotSetFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	return &Hotspot{keys: keys, hotKeys: hot, hotOpn: hotOpnFraction}
+}
+
+// Next implements KeyChooser.
+func (h *Hotspot) Next(r *rand.Rand) int {
+	if r.Float64() < h.hotOpn {
+		return r.Intn(h.hotKeys)
+	}
+	if h.hotKeys == h.keys {
+		return r.Intn(h.keys)
+	}
+	return h.hotKeys + r.Intn(h.keys-h.hotKeys)
+}
+
+// Keys implements KeyChooser.
+func (h *Hotspot) Keys() int { return h.keys }
+
+// Name implements KeyChooser.
+func (h *Hotspot) Name() string { return "hotspot" }
+
+// HotKeys reports the size of the hot set.
+func (h *Hotspot) HotKeys() int { return h.hotKeys }
+
+// Latest favors the most recently produced content. The paper's News Feed
+// workload reads a feed whose head keeps advancing: fresh items are hot
+// for a short while and then decay. We model the static 10 000-key space
+// as a timeline the head sweeps across once during the trace; each request
+// picks head − z where z is a small zipfian offset. Over the whole run
+// every key gets roughly equal total accesses, which is exactly why Fig 9
+// finds News Feed almost impossible to tier statically.
+type Latest struct {
+	keys     int
+	requests int
+	issued   int
+	offset   *Zipfian
+}
+
+// NewLatest returns a latest chooser over [0, keys) for a trace of the
+// given total length (the head advances in proportion to issued requests).
+func NewLatest(keys, totalRequests int) *Latest {
+	mustPositiveKeys(keys)
+	if totalRequests <= 0 {
+		panic("dist: latest needs a positive request count")
+	}
+	return &Latest{keys: keys, requests: totalRequests, offset: NewZipfian(keys, ZipfianTheta)}
+}
+
+// Next implements KeyChooser.
+func (l *Latest) Next(r *rand.Rand) int {
+	head := l.issued * l.keys / l.requests
+	if head >= l.keys {
+		head = l.keys - 1
+	}
+	l.issued++
+	off := l.offset.Next(r)
+	k := head - off
+	if k < 0 {
+		k += l.keys // wrap: "older than the epoch" folds to the tail
+	}
+	return k
+}
+
+// Keys implements KeyChooser.
+func (l *Latest) Keys() int { return l.keys }
+
+// Name implements KeyChooser.
+func (l *Latest) Name() string { return "latest" }
+
+// Reset rewinds the head so the chooser can generate another trace.
+func (l *Latest) Reset() { l.issued = 0 }
+
+func mustPositiveKeys(keys int) {
+	if keys <= 0 {
+		panic(fmt.Sprintf("dist: key space size %d must be positive", keys))
+	}
+}
+
+// Counts generates n draws from c using the seeded rng and returns the
+// per-key access counts — the raw material of Fig 3's key-space CDF.
+func Counts(c KeyChooser, n int, r *rand.Rand) []int {
+	counts := make([]int, c.Keys())
+	for i := 0; i < n; i++ {
+		counts[c.Next(r)]++
+	}
+	return counts
+}
+
+// CDFByKeyID turns per-key counts into Fig 3's curve: the cumulative
+// probability that a request targets a key with ID ≤ i.
+func CDFByKeyID(counts []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	cum := 0
+	for i, c := range counts {
+		cum += c
+		if total > 0 {
+			out[i] = float64(cum) / float64(total)
+		}
+	}
+	return out
+}

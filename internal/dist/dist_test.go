@@ -1,0 +1,325 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformRangeAndSpread(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	u := NewUniform(100)
+	counts := Counts(u, 100000, r)
+	for k, c := range counts {
+		if c == 0 {
+			t.Fatalf("key %d never drawn", k)
+		}
+		if c < 700 || c > 1300 {
+			t.Errorf("key %d count %d too far from 1000", k, c)
+		}
+	}
+	if u.Name() != "uniform" || u.Keys() != 100 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestZipfianSkewAndBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	z := NewZipfian(10000, ZipfianTheta)
+	counts := Counts(z, 200000, r)
+	// Key 0 must dominate.
+	maxIdx := 0
+	for i, c := range counts {
+		if c > counts[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if maxIdx != 0 {
+		t.Errorf("most popular key = %d, want 0", maxIdx)
+	}
+	// Top 20% of key IDs should capture well over half the accesses.
+	top := 0
+	total := 0
+	for i, c := range counts {
+		total += c
+		if i < 2000 {
+			top += c
+		}
+	}
+	if frac := float64(top) / float64(total); frac < 0.7 {
+		t.Errorf("top-20%% share = %.3f, want > 0.7 for θ=0.99", frac)
+	}
+	if z.Theta() != ZipfianTheta {
+		t.Error("Theta accessor wrong")
+	}
+}
+
+func TestZipfianInRangeProperty(t *testing.T) {
+	z := NewZipfian(1000, 0.9)
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		k := z.Next(r)
+		return k >= 0 && k < 1000
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfianPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipfian(0, 0.99) },
+		func() { NewZipfian(10, 0) },
+		func() { NewZipfian(10, 1) },
+		func() { NewZipfian(10, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestScrambledZipfianScatters(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	s := NewScrambledZipfian(10000, ZipfianTheta)
+	counts := Counts(s, 200000, r)
+	// The hottest keys must NOT be clustered at low IDs: find top-10 keys
+	// and check their spread across the ID space.
+	type kc struct{ k, c int }
+	var all []kc
+	for k, c := range counts {
+		all = append(all, kc{k, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	var ids []int
+	for _, e := range all[:10] {
+		ids = append(ids, e.k)
+	}
+	sort.Ints(ids)
+	if ids[9]-ids[0] < 1000 {
+		t.Errorf("top-10 hot keys clustered within %d IDs; want scattered", ids[9]-ids[0])
+	}
+	if s.Name() != "scrambled_zipfian" || s.Keys() != 10000 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestScrambledZipfianSameSkewAsZipfian(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	s := NewScrambledZipfian(10000, ZipfianTheta)
+	counts := Counts(s, 200000, r)
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 0
+	total := 0
+	for i, c := range counts {
+		total += c
+		if i < 2000 {
+			top += c
+		}
+	}
+	if frac := float64(top) / float64(total); frac < 0.7 {
+		t.Errorf("sorted top-20%% share = %.3f, want > 0.7", frac)
+	}
+}
+
+func TestHotspotShares(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	h := NewHotspot(10000, 0.2, 0.95)
+	if h.HotKeys() != 2000 {
+		t.Fatalf("hot keys = %d, want 2000", h.HotKeys())
+	}
+	counts := Counts(h, 100000, r)
+	hot := 0
+	total := 0
+	for i, c := range counts {
+		total += c
+		if i < 2000 {
+			hot += c
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if math.Abs(frac-0.95) > 0.01 {
+		t.Errorf("hot share = %.3f, want ≈0.95", frac)
+	}
+}
+
+func TestHotspotFullHotSet(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	h := NewHotspot(100, 1.0, 0.5)
+	for i := 0; i < 1000; i++ {
+		k := h.Next(r)
+		if k < 0 || k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestHotspotPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHotspot(100, 0, 0.5) },
+		func() { NewHotspot(100, 1.5, 0.5) },
+		func() { NewHotspot(100, 0.2, -0.1) },
+		func() { NewHotspot(100, 0.2, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLatestHeadAdvances(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	l := NewLatest(10000, 100000)
+	// Early draws should be near the start, late draws near the end.
+	var early, late []int
+	for i := 0; i < 100000; i++ {
+		k := l.Next(r)
+		if i < 5000 {
+			early = append(early, k)
+		}
+		if i >= 95000 {
+			late = append(late, k)
+		}
+	}
+	meanOf := func(xs []int) float64 {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return float64(s) / float64(len(xs))
+	}
+	if me, ml := meanOf(early), meanOf(late); ml-me < 5000 {
+		t.Errorf("head did not advance: early mean %.0f, late mean %.0f", me, ml)
+	}
+}
+
+func TestLatestTotalCountsRoughlyUniform(t *testing.T) {
+	// The property Fig 9 relies on: over the whole trace, latest spreads
+	// accesses across the key space, so no small static hot set exists.
+	r := rand.New(rand.NewSource(9))
+	l := NewLatest(1000, 100000)
+	counts := Counts(l, 100000, r)
+	sorted := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	top := 0
+	total := 0
+	for i, c := range sorted {
+		total += c
+		if i < 200 { // top 20% of keys by count
+			top += c
+		}
+	}
+	if frac := float64(top) / float64(total); frac > 0.55 {
+		t.Errorf("latest top-20%% share = %.3f; want < 0.55 (no strong static hot set)", frac)
+	}
+}
+
+func TestLatestReset(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	l := NewLatest(100, 1000)
+	for i := 0; i < 500; i++ {
+		l.Next(r)
+	}
+	l.Reset()
+	// After reset the head is back near zero.
+	sum := 0
+	for i := 0; i < 100; i++ {
+		sum += l.Next(r)
+	}
+	if mean := float64(sum) / 100; mean > 50 {
+		t.Errorf("post-reset mean key %.1f, want near 0", mean)
+	}
+}
+
+func TestLatestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewLatest(0, 10) },
+		func() { NewLatest(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCDFByKeyID(t *testing.T) {
+	counts := []int{5, 0, 3, 2}
+	cdf := CDFByKeyID(counts)
+	want := []float64{0.5, 0.5, 0.8, 1.0}
+	for i := range want {
+		if math.Abs(cdf[i]-want[i]) > 1e-12 {
+			t.Errorf("cdf[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+}
+
+func TestCDFByKeyIDEmptyAndZero(t *testing.T) {
+	if got := CDFByKeyID(nil); len(got) != 0 {
+		t.Error("nil counts should give empty cdf")
+	}
+	got := CDFByKeyID([]int{0, 0})
+	if got[0] != 0 || got[1] != 0 {
+		t.Error("all-zero counts should give zero cdf")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		counts := make([]int, len(raw))
+		for i, v := range raw {
+			counts[i] = int(v)
+		}
+		cdf := CDFByKeyID(counts)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i] < cdf[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	gen := func() []int {
+		r := rand.New(rand.NewSource(99))
+		z := NewScrambledZipfian(500, ZipfianTheta)
+		return Counts(z, 10000, r)
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestFNVScatterIsStable(t *testing.T) {
+	// The scatter function must be a pure function of the rank so the same
+	// rank always maps to the same key (keys keep their identity).
+	if fnv1a64(42) != fnv1a64(42) {
+		t.Fatal("fnv1a64 not deterministic")
+	}
+	if fnv1a64(1) == fnv1a64(2) {
+		t.Fatal("suspicious collision between adjacent ranks")
+	}
+}

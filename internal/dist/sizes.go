@@ -1,0 +1,186 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SizeDist produces record sizes in bytes. The paper infers the size
+// distributions of common social-media payloads from public "cheat
+// sheets" (Fig 4): photo thumbnails around 100 KB, text posts around
+// 10 KB and photo captions around 1 KB.
+type SizeDist interface {
+	// Next returns the size, in bytes, of the next record.
+	Next(r *rand.Rand) int
+	// Mean returns the expected record size in bytes.
+	Mean() float64
+	// Name identifies the distribution for reports.
+	Name() string
+}
+
+// Fixed always returns the same record size.
+type Fixed struct {
+	bytes int
+	name  string
+}
+
+// NewFixed returns a constant size distribution.
+func NewFixed(bytes int, name string) *Fixed {
+	if bytes <= 0 {
+		panic(fmt.Sprintf("dist: fixed size %d must be positive", bytes))
+	}
+	return &Fixed{bytes: bytes, name: name}
+}
+
+// Next implements SizeDist.
+func (f *Fixed) Next(*rand.Rand) int { return f.bytes }
+
+// Mean implements SizeDist.
+func (f *Fixed) Mean() float64 { return float64(f.bytes) }
+
+// Name implements SizeDist.
+func (f *Fixed) Name() string { return f.name }
+
+// LogNormal draws sizes from a lognormal distribution clamped to
+// [min, max]. Social-media payload sizes are heavy-tailed multiplicative
+// quantities, which lognormals capture well; Fig 4's CDFs are reproduced
+// by the presets below.
+type LogNormal struct {
+	mu, sigma float64
+	min, max  int
+	name      string
+}
+
+// NewLogNormal returns a lognormal size distribution whose *median* is
+// medianBytes and whose log-space standard deviation is sigma, clamped to
+// [minBytes, maxBytes].
+func NewLogNormal(medianBytes int, sigma float64, minBytes, maxBytes int, name string) *LogNormal {
+	if medianBytes <= 0 || minBytes <= 0 || maxBytes < minBytes {
+		panic("dist: invalid lognormal bounds")
+	}
+	if sigma <= 0 {
+		panic("dist: lognormal sigma must be positive")
+	}
+	return &LogNormal{
+		mu:    math.Log(float64(medianBytes)),
+		sigma: sigma,
+		min:   minBytes,
+		max:   maxBytes,
+		name:  name,
+	}
+}
+
+// Next implements SizeDist.
+func (l *LogNormal) Next(r *rand.Rand) int {
+	v := int(math.Exp(l.mu + l.sigma*r.NormFloat64()))
+	if v < l.min {
+		v = l.min
+	}
+	if v > l.max {
+		v = l.max
+	}
+	return v
+}
+
+// Mean implements SizeDist; it reports the unclamped lognormal mean,
+// exp(µ + σ²/2), which is accurate when the clamp bounds are generous.
+func (l *LogNormal) Mean() float64 { return math.Exp(l.mu + l.sigma*l.sigma/2) }
+
+// Name implements SizeDist.
+func (l *LogNormal) Name() string { return l.name }
+
+// Mixture draws from one of several component distributions with the
+// given weights; the Trending Preview workload mixes thumbnails, text
+// posts and captions in one request stream.
+type Mixture struct {
+	comps   []SizeDist
+	cum     []float64
+	name    string
+	meanVal float64
+}
+
+// NewMixture builds a weighted mixture. Weights need not sum to one; they
+// are normalized. Component and weight counts must match and be non-empty.
+func NewMixture(name string, comps []SizeDist, weights []float64) *Mixture {
+	if len(comps) == 0 || len(comps) != len(weights) {
+		panic("dist: mixture needs matching non-empty components and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("dist: negative mixture weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("dist: mixture weights sum to zero")
+	}
+	m := &Mixture{comps: comps, name: name}
+	cum := 0.0
+	for i, w := range weights {
+		cum += w / total
+		m.cum = append(m.cum, cum)
+		m.meanVal += comps[i].Mean() * w / total
+	}
+	m.cum[len(m.cum)-1] = 1 // guard against rounding
+	return m
+}
+
+// Next implements SizeDist.
+func (m *Mixture) Next(r *rand.Rand) int {
+	u := r.Float64()
+	for i, c := range m.cum {
+		if u <= c {
+			return m.comps[i].Next(r)
+		}
+	}
+	return m.comps[len(m.comps)-1].Next(r)
+}
+
+// Mean implements SizeDist.
+func (m *Mixture) Mean() float64 { return m.meanVal }
+
+// Name implements SizeDist.
+func (m *Mixture) Name() string { return m.name }
+
+// Size presets matching Fig 4 / Table III. Medians follow the paper's
+// approximate sizes; sigmas are chosen so the CDFs span the ranges of the
+// public social-media cheat sheets the paper cites.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+)
+
+// Thumbnail returns the ≈100 KB photo-thumbnail size distribution.
+func Thumbnail() SizeDist {
+	return NewLogNormal(100*KB, 0.35, 20*KB, 400*KB, "thumbnail")
+}
+
+// TextPost returns the ≈10 KB text-post size distribution.
+func TextPost() SizeDist {
+	return NewLogNormal(10*KB, 0.45, 1*KB, 60*KB, "text_post")
+}
+
+// PhotoCaption returns the ≈1 KB photo-caption size distribution.
+func PhotoCaption() SizeDist {
+	return NewLogNormal(1*KB, 0.5, 128, 8*KB, "photo_caption")
+}
+
+// TrendingPreviewMix returns the Trending Preview mixture: thumbnail,
+// caption and news summary previewed together (equal thirds).
+func TrendingPreviewMix() SizeDist {
+	return NewMixture("trending_preview_mix",
+		[]SizeDist{Thumbnail(), TextPost(), PhotoCaption()},
+		[]float64{1, 1, 1})
+}
+
+// SizeCDF samples n record sizes from d and returns them for CDF plotting
+// (Fig 4).
+func SizeCDF(d SizeDist, n int, r *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(d.Next(r))
+	}
+	return out
+}

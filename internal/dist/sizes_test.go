@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFixed(t *testing.T) {
+	f := NewFixed(1024, "1k")
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if f.Next(r) != 1024 {
+			t.Fatal("Fixed returned a different size")
+		}
+	}
+	if f.Mean() != 1024 || f.Name() != "1k" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestFixedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFixed(0, "zero")
+}
+
+func TestLogNormalMedianAndClamp(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	l := NewLogNormal(100*KB, 0.35, 20*KB, 400*KB, "thumb")
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		v := l.Next(r)
+		if v < 20*KB || v > 400*KB {
+			t.Fatalf("size %d outside clamp", v)
+		}
+		xs = append(xs, float64(v))
+	}
+	// Median should be near 100 KB.
+	med := median(xs)
+	if math.Abs(med-100*KB)/float64(100*KB) > 0.05 {
+		t.Errorf("median = %.0f, want ≈ %d", med, 100*KB)
+	}
+	if l.Mean() <= float64(100*KB) {
+		t.Errorf("lognormal mean %.0f should exceed median", l.Mean())
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ { // insertion sort is fine for tests
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func TestLogNormalPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewLogNormal(0, 0.5, 1, 10, "x") },
+		func() { NewLogNormal(10, 0, 1, 10, "x") },
+		func() { NewLogNormal(10, 0.5, 0, 10, "x") },
+		func() { NewLogNormal(10, 0.5, 20, 10, "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := NewMixture("mix",
+		[]SizeDist{NewFixed(100, "a"), NewFixed(1000, "b")},
+		[]float64{3, 1})
+	nA, nB := 0, 0
+	for i := 0; i < 40000; i++ {
+		switch m.Next(r) {
+		case 100:
+			nA++
+		case 1000:
+			nB++
+		default:
+			t.Fatal("unexpected size from mixture")
+		}
+	}
+	frac := float64(nA) / float64(nA+nB)
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("component A fraction = %.3f, want ≈0.75", frac)
+	}
+	if math.Abs(m.Mean()-325) > 1e-9 {
+		t.Errorf("mixture mean = %v, want 325", m.Mean())
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	a := NewFixed(1, "a")
+	for _, fn := range []func(){
+		func() { NewMixture("m", nil, nil) },
+		func() { NewMixture("m", []SizeDist{a}, []float64{1, 2}) },
+		func() { NewMixture("m", []SizeDist{a}, []float64{-1}) },
+		func() { NewMixture("m", []SizeDist{a}, []float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPresetsOrdering(t *testing.T) {
+	// Fig 4: thumbnail ≫ text post ≫ caption in size.
+	th, tp, pc := Thumbnail(), TextPost(), PhotoCaption()
+	if !(th.Mean() > tp.Mean() && tp.Mean() > pc.Mean()) {
+		t.Fatalf("preset means not ordered: %v %v %v", th.Mean(), tp.Mean(), pc.Mean())
+	}
+	r := rand.New(rand.NewSource(4))
+	if v := th.Next(r); v < 20*KB {
+		t.Errorf("thumbnail draw %d below clamp", v)
+	}
+}
+
+func TestTrendingPreviewMixSpansDecades(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := TrendingPreviewMix()
+	small, large := false, false
+	for i := 0; i < 10000; i++ {
+		v := m.Next(r)
+		if v < 4*KB {
+			small = true
+		}
+		if v > 50*KB {
+			large = true
+		}
+	}
+	if !small || !large {
+		t.Fatal("preview mix should span captions through thumbnails")
+	}
+}
+
+func TestSizeCDFLength(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	xs := SizeCDF(PhotoCaption(), 100, r)
+	if len(xs) != 100 {
+		t.Fatalf("len = %d", len(xs))
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			t.Fatal("non-positive size sample")
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mnemo/internal/core"
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/stats"
+	"mnemo/internal/ycsb"
+)
+
+// Fig8aResult is the estimate-error distribution per key-value store.
+type Fig8aResult struct {
+	// Errors maps engine name → |throughput error %| samples across all
+	// Table III workloads.
+	Errors map[string][]float64
+	// Boxes are the corresponding five-number summaries.
+	Boxes map[string]stats.Boxplot
+	// OverallMedianPct is the paper's headline number (0.07%).
+	OverallMedianPct float64
+}
+
+// Fig8a validates the estimate at sampled tierings for every workload ×
+// engine pair and collects the percentage errors.
+func Fig8a(scale Scale, seed int64) (*Fig8aResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Fig8aResult{Errors: map[string][]float64{}, Boxes: map[string]stats.Boxplot{}}
+	var all []float64
+	for _, e := range server.Engines() {
+		for _, spec := range ycsb.TableIII(seed) {
+			w, err := scale.workload(spec)
+			if err != nil {
+				return nil, err
+			}
+			cfg := scale.coreConfig(e, seed)
+			rep, err := core.Profile(cfg, w, core.StandAlone, 0)
+			if err != nil {
+				return nil, err
+			}
+			points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+			if err != nil {
+				return nil, err
+			}
+			errs := core.AbsErrors(points)
+			res.Errors[e.String()] = append(res.Errors[e.String()], errs...)
+			all = append(all, errs...)
+		}
+	}
+	for name, errs := range res.Errors {
+		res.Boxes[name] = stats.NewBoxplot(errs)
+	}
+	res.OverallMedianPct = stats.Median(all)
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *Fig8aResult) Render(w io.Writer) error {
+	t := report.NewTable("Fig 8a — estimate |error| %% distribution per store (paper: 0.07% median)",
+		"store", "min", "q1", "median", "q3", "max", "n")
+	for _, e := range server.Engines() {
+		b, ok := r.Boxes[e.String()]
+		if !ok {
+			continue
+		}
+		t.AddRow(engineLabel(e), b.Min, b.Q1, b.Median, b.Q3, b.Max, b.N)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "overall median |error| = %.4f%%\n", r.OverallMedianPct)
+	return err
+}
+
+// Fig8bResult compares the stores on the Trending workload.
+type Fig8bResult struct {
+	Curves []*CurveComparison
+	// Slowdowns maps engine → all-SlowMem runtime inflation.
+	Slowdowns map[string]float64
+}
+
+// Fig8b measures the Trending cost/throughput curve on all three stores.
+func Fig8b(scale Scale, seed int64) (*Fig8bResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Fig8bResult{Slowdowns: map[string]float64{}}
+	for _, e := range server.Engines() {
+		cc, rep, err := measuredCurve(scale, e, ycsb.Trending(seed), seed, core.StandAlone)
+		if err != nil {
+			return nil, err
+		}
+		res.Curves = append(res.Curves, cc)
+		res.Slowdowns[e.String()] = rep.Baselines.SlowdownAllSlow()
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *Fig8bResult) Render(w io.Writer) error {
+	var series []report.Series
+	for _, c := range r.Curves {
+		series = append(series, report.Series{Label: c.Engine, X: c.MeasCost, Y: normTo(c.MeasTput, c.MeasTput[len(c.MeasTput)-1])})
+	}
+	if err := report.Plot(w, "Fig 8b — Trending across stores (throughput ÷ FastMem-only)",
+		"memory cost factor R(p)", "relative throughput", 72, 16, series...); err != nil {
+		return err
+	}
+	t := report.NewTable("", "store", "all-SlowMem slowdown")
+	for _, e := range server.Engines() {
+		t.AddRow(engineLabel(e), fmt.Sprintf("%.2fx", r.Slowdowns[e.String()]))
+	}
+	return t.Render(w)
+}
+
+func normTo(ys []float64, base float64) []float64 {
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = y / base
+	}
+	return out
+}
+
+// Fig8cdeResult holds average and tail latencies across the curve.
+type Fig8cdeResult struct {
+	Engine string
+	// Cost of each measured tiering.
+	Cost []float64
+	// Measured latencies (ns) and the model's average-latency estimate.
+	AvgMeasNs, AvgEstNs []float64
+	P95Ns, P99Ns        []float64
+	// AvgErrMedianPct is the median |avg-latency error|.
+	AvgErrMedianPct float64
+}
+
+// Fig8cde measures average (Fig 8c) and tail (Fig 8d: p95, Fig 8e: p99)
+// latencies for Trending on the given engine across tierings.
+func Fig8cde(scale Scale, e server.Engine, seed int64) (*Fig8cdeResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	cc, rep, err := measuredCurve(scale, e, ycsb.Trending(seed), seed, core.StandAlone)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8cdeResult{Engine: e.String()}
+	// Slow baseline first.
+	res.Cost = append(res.Cost, rep.Curve.SlowOnly().CostFactor)
+	res.AvgMeasNs = append(res.AvgMeasNs, rep.Baselines.Slow.AvgNs)
+	res.AvgEstNs = append(res.AvgEstNs, rep.Curve.SlowOnly().EstAvgLatencyNs)
+	res.P95Ns = append(res.P95Ns, rep.Baselines.Slow.P95Ns)
+	res.P99Ns = append(res.P99Ns, rep.Baselines.Slow.P99Ns)
+	var errs []float64
+	for _, vp := range cc.Validation {
+		res.Cost = append(res.Cost, vp.Point.CostFactor)
+		res.AvgMeasNs = append(res.AvgMeasNs, vp.Measured.AvgNs)
+		res.AvgEstNs = append(res.AvgEstNs, vp.Point.EstAvgLatencyNs)
+		res.P95Ns = append(res.P95Ns, vp.Measured.P95Ns)
+		res.P99Ns = append(res.P99Ns, vp.Measured.P99Ns)
+		errs = append(errs, math.Abs(vp.AvgLatencyErrPct))
+	}
+	res.Cost = append(res.Cost, 1)
+	res.AvgMeasNs = append(res.AvgMeasNs, rep.Baselines.Fast.AvgNs)
+	res.AvgEstNs = append(res.AvgEstNs, rep.Curve.FastOnly().EstAvgLatencyNs)
+	res.P95Ns = append(res.P95Ns, rep.Baselines.Fast.P95Ns)
+	res.P99Ns = append(res.P99Ns, rep.Baselines.Fast.P99Ns)
+	if len(errs) > 0 {
+		res.AvgErrMedianPct = stats.Median(errs)
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *Fig8cdeResult) Render(w io.Writer) error {
+	if err := report.Plot(w,
+		fmt.Sprintf("Fig 8c — average latency, %s (estimate vs measured)", r.Engine),
+		"memory cost factor R(p)", "avg latency µs", 72, 14,
+		report.Series{Label: "measured", X: r.Cost, Y: scaleAll(r.AvgMeasNs, 1e-3)},
+		report.Series{Label: "estimate", X: r.Cost, Y: scaleAll(r.AvgEstNs, 1e-3)},
+	); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "median |avg latency error| = %.4f%%\n", r.AvgErrMedianPct); err != nil {
+		return err
+	}
+	return report.Plot(w,
+		fmt.Sprintf("Fig 8d/8e — tail latencies, %s (not estimated by the model)", r.Engine),
+		"memory cost factor R(p)", "latency µs", 72, 14,
+		report.Series{Label: "p95", X: r.Cost, Y: scaleAll(r.P95Ns, 1e-3)},
+		report.Series{Label: "p99", X: r.Cost, Y: scaleAll(r.P99Ns, 1e-3)},
+	)
+}
+
+func scaleAll(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * f
+	}
+	return out
+}
+
+// Fig8fResult compares stand-alone Mnemo's touch ordering against
+// MnemoT's tiered ordering, with the tiered estimate validated.
+type Fig8fResult struct {
+	Touch  *CurveComparison
+	MnemoT *CurveComparison
+	// TieredGainPct is MnemoT's estimated throughput gain over touch
+	// ordering in the curve's steep region (cost 0.5); GainAt76Pct is the
+	// paper's 70:30 capacity point (≈6% in the paper).
+	TieredGainPct float64
+	GainAt76Pct   float64
+	// MnemoTMedianErrPct is the estimate accuracy on the tiered ordering.
+	MnemoTMedianErrPct float64
+	// MixedSizeMedianErrPct is the tiered-estimate accuracy on the mixed
+	// record-size preview workload, where MnemoT's size-biased slow set
+	// stresses the global-average service-time model — a limitation the
+	// reproduction surfaces (see EXPERIMENTS.md).
+	MixedSizeMedianErrPct float64
+}
+
+// Fig8f runs both orderings on the Timeline workload (scrambled zipfian:
+// §V describes MnemoT "transforming the input distribution into a
+// zipfian-like one"), plus a mixed-size stress on Trending Preview.
+func Fig8f(scale Scale, seed int64) (*Fig8fResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	spec := ycsb.Timeline(seed)
+	touch, _, err := measuredCurve(scale, server.RedisLike, spec, seed, core.StandAlone)
+	if err != nil {
+		return nil, err
+	}
+	tiered, _, err := measuredCurve(scale, server.RedisLike, spec, seed, core.MnemoT)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8fResult{Touch: touch, MnemoT: tiered}
+	if at := estTputAtCost(touch, 0.5); at > 0 {
+		res.TieredGainPct = (estTputAtCost(tiered, 0.5)/at - 1) * 100
+	}
+	if at := estTputAtCost(touch, 0.76); at > 0 {
+		res.GainAt76Pct = (estTputAtCost(tiered, 0.76)/at - 1) * 100
+	}
+	res.MnemoTMedianErrPct = stats.Median(core.AbsErrors(tiered.Validation))
+
+	mixed, _, err := measuredCurve(scale, server.RedisLike, ycsb.TrendingPreview(seed), seed, core.MnemoT)
+	if err != nil {
+		return nil, err
+	}
+	res.MixedSizeMedianErrPct = stats.Median(core.AbsErrors(mixed.Validation))
+	return res, nil
+}
+
+func estTputAtCost(c *CurveComparison, cost float64) float64 {
+	for i, x := range c.EstCost {
+		if x >= cost {
+			return c.EstTput[i]
+		}
+	}
+	return c.EstTput[len(c.EstTput)-1]
+}
+
+// Render implements the experiment output.
+func (r *Fig8fResult) Render(w io.Writer) error {
+	base := r.Touch.MeasTput[0]
+	if err := report.Plot(w, "Fig 8f — Mnemo (touch order) vs MnemoT (tiered order) estimates",
+		"memory cost factor R(p)", "throughput ÷ SlowMem-only", 72, 16,
+		report.Series{Label: "mnemo est", X: r.Touch.EstCost, Y: normTo(r.Touch.EstTput, base)},
+		report.Series{Label: "mnemot est", X: r.MnemoT.EstCost, Y: normTo(r.MnemoT.EstTput, base)},
+		report.Series{Label: "mnemot meas", X: r.MnemoT.MeasCost, Y: normTo(r.MnemoT.MeasTput, base)},
+	); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"MnemoT gain: %.1f%% at cost 0.5, %.1f%% at 70:30 capacity (paper ≈6%%)\n"+
+			"MnemoT estimate median |error|: %.4f%% (thumbnails), %.4f%% (mixed sizes — model stress)\n",
+		r.TieredGainPct, r.GainAt76Pct, r.MnemoTMedianErrPct, r.MixedSizeMedianErrPct)
+	return err
+}

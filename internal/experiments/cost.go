@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mnemo/internal/core"
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// Fig9Cell is one bar of Fig 9: the advised memory cost for a workload ×
+// store pair under the 10% slowdown SLO.
+type Fig9Cell struct {
+	Workload   string
+	Engine     string
+	CostFactor float64
+	FastBytes  int64
+	KeysInFast int
+}
+
+// Fig9Result is the cost-reduction matrix.
+type Fig9Result struct {
+	PriceFloor float64 // p = 0.2, the all-SlowMem cost
+	SLO        float64
+	Cells      []Fig9Cell
+}
+
+// Fig9 profiles every Table III workload on every store and asks the
+// advisor for the cheapest sizing within the 10% slowdown SLO.
+func Fig9(scale Scale, seed int64) (*Fig9Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{PriceFloor: 0.2, SLO: SLO}
+	for _, spec := range ycsb.TableIII(seed) {
+		w, err := scale.workload(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range server.Engines() {
+			rep, err := core.Profile(scale.coreConfig(e, seed), w, core.StandAlone, SLO)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, Fig9Cell{
+				Workload:   spec.Name,
+				Engine:     e.String(),
+				CostFactor: rep.Advice.Point.CostFactor,
+				FastBytes:  rep.Advice.Point.FastBytes,
+				KeysInFast: rep.Advice.Point.KeysInFast,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Cost returns the advised cost factor for a workload × engine pair
+// (NaN-free: missing pairs return 1).
+func (r *Fig9Result) Cost(workload, engine string) float64 {
+	for _, c := range r.Cells {
+		if c.Workload == workload && c.Engine == engine {
+			return c.CostFactor
+		}
+	}
+	return 1
+}
+
+// Render implements the experiment output.
+func (r *Fig9Result) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("Fig 9 — memory cost at %.0f%% permissible slowdown (floor %.1f = all-SlowMem)",
+			r.SLO*100, r.PriceFloor),
+		"workload", "Redis(-like)", "Memcached(-like)", "DynamoDB(-like)")
+	byWorkload := map[string]map[string]float64{}
+	var order []string
+	for _, c := range r.Cells {
+		if _, ok := byWorkload[c.Workload]; !ok {
+			byWorkload[c.Workload] = map[string]float64{}
+			order = append(order, c.Workload)
+		}
+		byWorkload[c.Workload][c.Engine] = c.CostFactor
+	}
+	for _, wl := range order {
+		m := byWorkload[wl]
+		t.AddRow(wl,
+			fmt.Sprintf("%.3f", m[server.RedisLike.String()]),
+			fmt.Sprintf("%.3f", m[server.MemcachedLike.String()]),
+			fmt.Sprintf("%.3f", m[server.DynamoLike.String()]))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mnemo/internal/core"
+	"mnemo/internal/dist"
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// Fig3Result holds the key-space CDF per request distribution.
+type Fig3Result struct {
+	Keys     int
+	Requests int
+	CDFs     []NamedCDF
+}
+
+// NamedCDF is one labeled cumulative curve.
+type NamedCDF struct {
+	Name string
+	// X[i], Y[i]: cumulative probability Y of a request targeting a key
+	// with ID ≤ X.
+	X, Y []float64
+}
+
+// Fig3 draws each Fig 3 distribution over the scaled key space and
+// computes the probability CDF across key IDs.
+func Fig3(scale Scale, seed int64) (*Fig3Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	choosers := []struct {
+		name string
+		spec ycsb.DistSpec
+	}{
+		{"hotspot", ycsb.DistSpec{Kind: ycsb.Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9}},
+		{"latest", ycsb.DistSpec{Kind: ycsb.Latest}},
+		{"zipfian", ycsb.DistSpec{Kind: ycsb.Zipfian}},
+		{"scrambled_zipfian", ycsb.DistSpec{Kind: ycsb.ScrambledZipfian}},
+	}
+	res := &Fig3Result{Keys: scale.Keys, Requests: scale.Requests}
+	for _, c := range choosers {
+		rng := rand.New(rand.NewSource(seed))
+		counts := dist.Counts(c.spec.New(scale.Keys, scale.Requests), scale.Requests, rng)
+		cdf := dist.CDFByKeyID(counts)
+		nc := NamedCDF{Name: c.name}
+		// Subsample the curve to ~200 points for plotting.
+		step := len(cdf) / 200
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(cdf); i += step {
+			nc.X = append(nc.X, float64(i))
+			nc.Y = append(nc.Y, cdf[i])
+		}
+		res.CDFs = append(res.CDFs, nc)
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *Fig3Result) Render(w io.Writer) error {
+	series := make([]report.Series, len(r.CDFs))
+	for i, c := range r.CDFs {
+		series[i] = report.Series{Label: c.Name, X: c.X, Y: c.Y}
+	}
+	return report.Plot(w, fmt.Sprintf("Fig 3 — CDF of the key space (%d keys, %d requests)", r.Keys, r.Requests),
+		"key ID", "P(request ≤ key)", 72, 18, series...)
+}
+
+// Fig4Result holds the record-size CDFs of the social-media payloads.
+type Fig4Result struct {
+	CDFs []NamedCDF
+}
+
+// Fig4 samples each size distribution and builds CDFs over log10(size).
+func Fig4(seed int64) *Fig4Result {
+	res := &Fig4Result{}
+	for _, d := range []dist.SizeDist{dist.PhotoCaption(), dist.TextPost(), dist.Thumbnail()} {
+		rng := rand.New(rand.NewSource(seed))
+		samples := dist.SizeCDF(d, 20000, rng)
+		sort.Float64s(samples)
+		// Build CDF over log-scaled size, as the paper's Fig 4 axis is
+		// logarithmic.
+		nc := NamedCDF{Name: d.Name()}
+		for _, q := range []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99} {
+			v := samples[int(q*float64(len(samples)-1))]
+			nc.X = append(nc.X, math.Log10(v))
+			nc.Y = append(nc.Y, q)
+		}
+		res.CDFs = append(res.CDFs, nc)
+	}
+	return res
+}
+
+// Render implements the experiment output.
+func (r *Fig4Result) Render(w io.Writer) error {
+	series := make([]report.Series, len(r.CDFs))
+	for i, c := range r.CDFs {
+		series[i] = report.Series{Label: c.Name, X: c.X, Y: c.Y}
+	}
+	return report.Plot(w, "Fig 4 — CDF of common data sizes (x = log10 bytes)",
+		"log10(size B)", "CDF", 72, 16, series...)
+}
+
+// CurveComparison is one workload's estimated curve with measured points.
+type CurveComparison struct {
+	Workload string
+	Engine   string
+	// EstCost/EstTput trace the Estimate Engine's curve.
+	EstCost, EstTput []float64
+	// MeasCost/MeasTput are real executions at sampled tierings
+	// (including both baselines).
+	MeasCost, MeasTput []float64
+	// Validation carries the per-point errors.
+	Validation []core.ValidationPoint
+}
+
+// measuredCurve profiles a workload and measures it at sampled tierings.
+func measuredCurve(scale Scale, e server.Engine, spec ycsb.Spec, seed int64, mode core.Mode) (*CurveComparison, *core.Report, error) {
+	w, err := scale.workload(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := scale.coreConfig(e, seed)
+	rep, err := core.Profile(cfg, w, mode, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+	if err != nil {
+		return nil, nil, err
+	}
+	cc := &CurveComparison{Workload: spec.Name, Engine: e.String(), Validation: points}
+	// Subsample the estimate for plotting.
+	step := len(rep.Curve.Points) / 120
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(rep.Curve.Points); i += step {
+		p := rep.Curve.Points[i]
+		cc.EstCost = append(cc.EstCost, p.CostFactor)
+		cc.EstTput = append(cc.EstTput, p.EstThroughputOps)
+	}
+	last := rep.Curve.FastOnly()
+	cc.EstCost = append(cc.EstCost, last.CostFactor)
+	cc.EstTput = append(cc.EstTput, last.EstThroughputOps)
+	// Measured: slow baseline, sampled interior points, fast baseline.
+	cc.MeasCost = append(cc.MeasCost, rep.Curve.SlowOnly().CostFactor)
+	cc.MeasTput = append(cc.MeasTput, rep.Baselines.Slow.ThroughputOpsSec)
+	for _, vp := range points {
+		cc.MeasCost = append(cc.MeasCost, vp.Point.CostFactor)
+		cc.MeasTput = append(cc.MeasTput, vp.Measured.ThroughputOpsSec)
+	}
+	cc.MeasCost = append(cc.MeasCost, 1)
+	cc.MeasTput = append(cc.MeasTput, rep.Baselines.Fast.ThroughputOpsSec)
+	return cc, rep, nil
+}
+
+// Fig5Result groups the curve comparisons of one Fig 5 panel.
+type Fig5Result struct {
+	Title  string
+	Curves []*CurveComparison
+}
+
+// Fig5a reproduces the key-distribution panel: Redis-like across
+// Trending, News Feed and Timeline (read-only thumbnails).
+func Fig5a(scale Scale, seed int64) (*Fig5Result, error) {
+	return fig5(scale, seed, "Fig 5a — key distribution (Redis-like, readonly thumbnails)",
+		[]ycsb.Spec{ycsb.Trending(seed), ycsb.NewsFeed(seed), ycsb.Timeline(seed)})
+}
+
+// Fig5b reproduces the read:write panel: Timeline (100:0) vs Edit
+// Thumbnail (50:50).
+func Fig5b(scale Scale, seed int64) (*Fig5Result, error) {
+	return fig5(scale, seed, "Fig 5b — read:write ratio (Redis-like, scrambled zipfian)",
+		[]ycsb.Spec{ycsb.Timeline(seed), ycsb.EditThumbnail(seed)})
+}
+
+// Fig5c reproduces the record-size panel: the Trending pattern served
+// with 100 KB, 10 KB and 1 KB records.
+func Fig5c(scale Scale, seed int64) (*Fig5Result, error) {
+	specs := make([]ycsb.Spec, 0, 3)
+	for _, sk := range []ycsb.SizeKind{ycsb.SizeFixed100KB, ycsb.SizeFixed10KB, ycsb.SizeFixed1KB} {
+		s := ycsb.Trending(seed)
+		s.Name = "trending_" + sk.String()
+		s.Sizes = sk
+		specs = append(specs, s)
+	}
+	return fig5(scale, seed, "Fig 5c — record size (Redis-like, hotspot readonly)", specs)
+}
+
+func fig5(scale Scale, seed int64, title string, specs []ycsb.Spec) (*Fig5Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{Title: title}
+	for _, spec := range specs {
+		cc, _, err := measuredCurve(scale, server.RedisLike, spec, seed, core.StandAlone)
+		if err != nil {
+			return nil, err
+		}
+		res.Curves = append(res.Curves, cc)
+	}
+	return res, nil
+}
+
+// Render implements the experiment output: one plot with the measured
+// points and estimate lines normalized to each curve's SlowMem origin so
+// different workloads share the axis.
+func (r *Fig5Result) Render(w io.Writer) error {
+	var series []report.Series
+	for _, c := range r.Curves {
+		base := c.MeasTput[0]
+		norm := func(ys []float64) []float64 {
+			out := make([]float64, len(ys))
+			for i, y := range ys {
+				out[i] = y / base
+			}
+			return out
+		}
+		series = append(series,
+			report.Series{Label: c.Workload + " est", X: c.EstCost, Y: norm(c.EstTput)},
+			report.Series{Label: c.Workload + " meas", X: c.MeasCost, Y: norm(c.MeasTput)},
+		)
+	}
+	if err := report.Plot(w, r.Title, "memory cost factor R(p)", "throughput ÷ SlowMem-only", 72, 18, series...); err != nil {
+		return err
+	}
+	t := report.NewTable("", "workload", "slow ops/s", "fast ops/s", "improvement")
+	for _, c := range r.Curves {
+		slow := c.MeasTput[0]
+		fast := c.MeasTput[len(c.MeasTput)-1]
+		t.AddRow(c.Workload, fmt.Sprintf("%.0f", slow), fmt.Sprintf("%.0f", fast),
+			fmt.Sprintf("%.0f%%", (fast/slow-1)*100))
+	}
+	return t.Render(w)
+}

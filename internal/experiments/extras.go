@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mnemo/internal/core"
+	"mnemo/internal/knapsack"
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/simclock"
+	"mnemo/internal/stats"
+	"mnemo/internal/ycsb"
+)
+
+// DownsampleRow is one sampling factor's outcome.
+type DownsampleRow struct {
+	Factor int
+	// Requests left after sampling.
+	Requests int
+	// AdvisedCost is the 10%-SLO sizing advised from the sampled trace.
+	AdvisedCost float64
+	// MedianErrPct is the estimate accuracy on the sampled trace itself.
+	MedianErrPct float64
+	// CurveDeviationPct is the max deviation of the sampled, normalized
+	// estimate curve from the full-trace curve over a shared cost grid.
+	CurveDeviationPct float64
+}
+
+// DownsampleResult is the §V workload-downsampling study.
+type DownsampleResult struct {
+	Workload string
+	FullCost float64 // advised cost from the full trace
+	Rows     []DownsampleRow
+}
+
+// Downsample profiles the Trending workload at several sampling factors
+// and checks that the cost-to-performance trade-offs survive sampling —
+// the paper's argument that users can profile with downsized traces.
+func Downsample(scale Scale, seed int64, factors []int) (*DownsampleResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	full, err := scale.workload(ycsb.Trending(seed))
+	if err != nil {
+		return nil, err
+	}
+	cfg := scale.coreConfig(server.RedisLike, seed)
+	fullRep, err := core.Profile(cfg, full, core.StandAlone, SLO)
+	if err != nil {
+		return nil, err
+	}
+	res := &DownsampleResult{Workload: full.Spec.Name, FullCost: fullRep.Advice.Point.CostFactor}
+	grid := costGrid()
+	fullCurve := normalizedEstAt(fullRep.Curve, grid)
+	for _, f := range factors {
+		if f <= 0 {
+			return nil, fmt.Errorf("experiments: bad downsampling factor %d", f)
+		}
+		sampled := full.Downsample(f, seed+int64(f))
+		rep, err := core.Profile(cfg, sampled, core.StandAlone, SLO)
+		if err != nil {
+			return nil, err
+		}
+		points, err := core.Validate(cfg, sampled, rep.Curve, rep.Ordering, scale.CurveSamples)
+		if err != nil {
+			return nil, err
+		}
+		row := DownsampleRow{
+			Factor:      f,
+			Requests:    len(sampled.Ops),
+			AdvisedCost: rep.Advice.Point.CostFactor,
+		}
+		if errs := core.AbsErrors(points); len(errs) > 0 {
+			row.MedianErrPct = stats.Median(errs)
+		}
+		sampledCurve := normalizedEstAt(rep.Curve, grid)
+		for i := range grid {
+			dev := (sampledCurve[i] - fullCurve[i]) / fullCurve[i] * 100
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > row.CurveDeviationPct {
+				row.CurveDeviationPct = dev
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func costGrid() []float64 {
+	var grid []float64
+	for c := 0.25; c <= 0.95; c += 0.05 {
+		grid = append(grid, c)
+	}
+	return grid
+}
+
+// normalizedEstAt samples the curve's estimated throughput (normalized to
+// its FastMem-only endpoint) at the cost grid.
+func normalizedEstAt(c *core.Curve, grid []float64) []float64 {
+	fast := c.FastOnly().EstThroughputOps
+	out := make([]float64, len(grid))
+	for i, g := range grid {
+		out[i] = c.PointAtCost(g).EstThroughputOps / fast
+	}
+	return out
+}
+
+// Render implements the experiment output.
+func (r *DownsampleResult) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("§V downsampling — %s (full-trace advised cost %.3f)", r.Workload, r.FullCost),
+		"factor", "requests", "advised cost", "median est err %", "curve deviation %")
+	for _, row := range r.Rows {
+		t.AddRow(row.Factor, row.Requests, fmt.Sprintf("%.3f", row.AdvisedCost),
+			fmt.Sprintf("%.4f", row.MedianErrPct), fmt.Sprintf("%.2f", row.CurveDeviationPct))
+	}
+	return t.Render(w)
+}
+
+// AblationLLCResult compares estimate accuracy with and without the LLC
+// model (DESIGN.md §6).
+type AblationLLCResult struct {
+	WithLLC, WithoutLLC struct {
+		MedianErrPct float64
+		Slowdown     float64
+	}
+}
+
+// AblationLLC runs Trending on Redis-like twice, toggling the cache
+// model.
+func AblationLLC(scale Scale, seed int64) (*AblationLLCResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := scale.workload(ycsb.Trending(seed))
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationLLCResult{}
+	for _, withLLC := range []bool{true, false} {
+		cfg := scale.coreConfig(server.RedisLike, seed)
+		if !withLLC {
+			cfg.Server.Machine.LLCBytes = 0
+		}
+		rep, err := core.Profile(cfg, w, core.StandAlone, 0)
+		if err != nil {
+			return nil, err
+		}
+		points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+		if err != nil {
+			return nil, err
+		}
+		med := stats.Median(core.AbsErrors(points))
+		if withLLC {
+			res.WithLLC.MedianErrPct = med
+			res.WithLLC.Slowdown = rep.Baselines.SlowdownAllSlow()
+		} else {
+			res.WithoutLLC.MedianErrPct = med
+			res.WithoutLLC.Slowdown = rep.Baselines.SlowdownAllSlow()
+		}
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *AblationLLCResult) Render(w io.Writer) error {
+	t := report.NewTable("Ablation — LLC model on/off (Trending, Redis-like)",
+		"config", "median est err %", "all-SlowMem slowdown")
+	t.AddRow("12MB LLC", fmt.Sprintf("%.4f", r.WithLLC.MedianErrPct), fmt.Sprintf("%.2fx", r.WithLLC.Slowdown))
+	t.AddRow("no LLC", fmt.Sprintf("%.4f", r.WithoutLLC.MedianErrPct), fmt.Sprintf("%.2fx", r.WithoutLLC.Slowdown))
+	return t.Render(w)
+}
+
+// AblationNoiseRow is one noise level's estimate-error outcome.
+type AblationNoiseRow struct {
+	Sigma        float64
+	MedianErrPct float64
+	MaxErrPct    float64
+}
+
+// AblationNoiseResult sweeps the measurement-noise amplitude.
+type AblationNoiseResult struct {
+	Rows []AblationNoiseRow
+}
+
+// AblationNoise quantifies how run-to-run variability feeds the Fig 8a
+// error distribution.
+func AblationNoise(scale Scale, seed int64, sigmas []float64) (*AblationNoiseResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := scale.workload(ycsb.Trending(seed))
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationNoiseResult{}
+	for _, sigma := range sigmas {
+		cfg := scale.coreConfig(server.RedisLike, seed)
+		cfg.Server.NoiseSigma = sigma
+		rep, err := core.Profile(cfg, w, core.StandAlone, 0)
+		if err != nil {
+			return nil, err
+		}
+		points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+		if err != nil {
+			return nil, err
+		}
+		errs := core.AbsErrors(points)
+		row := AblationNoiseRow{Sigma: sigma}
+		if len(errs) > 0 {
+			row.MedianErrPct = stats.Median(errs)
+			row.MaxErrPct = stats.Percentile(errs, 100)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *AblationNoiseResult) Render(w io.Writer) error {
+	t := report.NewTable("Ablation — measurement noise σ vs estimate error",
+		"sigma", "median err %", "max err %")
+	for _, row := range r.Rows {
+		t.AddRow(row.Sigma, fmt.Sprintf("%.4f", row.MedianErrPct), fmt.Sprintf("%.4f", row.MaxErrPct))
+	}
+	return t.Render(w)
+}
+
+// AblationKnapsackResult compares MnemoT's greedy density tiering with
+// the exact 0/1 knapsack at page granularity.
+type AblationKnapsackResult struct {
+	CapacityPages  int64
+	GreedyCoverage float64 // fraction of accesses served by FastMem
+	ExactCoverage  float64
+	GreedyWall     time.Duration
+	ExactWall      time.Duration
+}
+
+// AblationKnapsack builds the tiering problem from the Trending Preview
+// workload (weights in pages, FastMem = 20% of the dataset) and solves it
+// both ways. The page unit starts at 4 KB and doubles until the exact
+// DP's n×capacity table fits a sane memory budget — at the paper's full
+// scale the DP needs 16 KB units, which is itself part of the point:
+// exact tiering does not scale, the greedy density heuristic does.
+func AblationKnapsack(scale Scale, seed int64) (*AblationKnapsackResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := scale.workload(ycsb.TrendingPreview(seed))
+	if err != nil {
+		return nil, err
+	}
+	reads, writes := w.AccessCounts()
+	page := 4096
+	var items []knapsack.Item
+	var totalPages int64
+	var totalAccesses float64
+	for {
+		items = items[:0]
+		totalPages, totalAccesses = 0, 0
+		for i, rec := range w.Dataset.Records {
+			pages := int64((rec.Size + page - 1) / page)
+			acc := float64(reads[i] + writes[i])
+			items = append(items, knapsack.Item{Weight: pages, Profit: acc})
+			totalPages += pages
+			totalAccesses += acc
+		}
+		if int64(len(items)+1)*(totalPages/5+1) <= 100_000_000 {
+			break
+		}
+		page *= 2
+	}
+	capacity := totalPages / 5
+	res := &AblationKnapsackResult{CapacityPages: capacity}
+
+	t0 := time.Now()
+	_, gp := knapsack.Greedy(items, capacity)
+	res.GreedyWall = time.Since(t0)
+	res.GreedyCoverage = gp / totalAccesses
+
+	t0 = time.Now()
+	_, ep := knapsack.Exact(items, capacity)
+	res.ExactWall = time.Since(t0)
+	res.ExactCoverage = ep / totalAccesses
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *AblationKnapsackResult) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("Ablation — greedy density vs exact 0/1 knapsack (capacity %d pages)", r.CapacityPages),
+		"solver", "FastMem access coverage", "wall time")
+	t.AddRow("greedy (MnemoT)", fmt.Sprintf("%.4f", r.GreedyCoverage), r.GreedyWall.String())
+	t.AddRow("exact DP", fmt.Sprintf("%.4f", r.ExactCoverage), r.ExactWall.String())
+	return t.Render(w)
+}
+
+// AblationAnchorResult compares anchoring the estimate at the FastMem
+// baseline (the paper's formulation) vs at the SlowMem baseline.
+type AblationAnchorResult struct {
+	FastAnchorMedianErrPct float64
+	SlowAnchorMedianErrPct float64
+}
+
+// AblationAnchor evaluates both anchors against the same measured
+// tierings of the Trending workload on Redis-like.
+func AblationAnchor(scale Scale, seed int64) (*AblationAnchorResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := scale.workload(ycsb.Trending(seed))
+	if err != nil {
+		return nil, err
+	}
+	cfg := scale.coreConfig(server.RedisLike, seed)
+	rep, err := core.Profile(cfg, w, core.StandAlone, 0)
+	if err != nil {
+		return nil, err
+	}
+	points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationAnchorResult{FastAnchorMedianErrPct: stats.Median(core.AbsErrors(points))}
+
+	// Slow-anchored estimate: Runtime(k) = SlowRuntime − fastOps(k)·Δ.
+	b := rep.Baselines
+	dRead := b.Slow.AvgReadNs - b.Fast.AvgReadNs
+	dWrite := b.Slow.AvgWriteNs - b.Fast.AvgWriteNs
+	prefixReads := make([]int, len(rep.Ordering.Keys)+1)
+	prefixWrites := make([]int, len(rep.Ordering.Keys)+1)
+	for i, k := range rep.Ordering.Keys {
+		prefixReads[i+1] = prefixReads[i] + k.Reads
+		prefixWrites[i+1] = prefixWrites[i] + k.Writes
+	}
+	var errs []float64
+	for _, vp := range points {
+		k := vp.Point.KeysInFast
+		estNs := float64(b.Slow.Runtime.Nanoseconds()) -
+			float64(prefixReads[k])*dRead - float64(prefixWrites[k])*dWrite
+		estTput := float64(rep.Curve.Requests) / simclock.FromNanos(estNs).Seconds()
+		e := (vp.Measured.ThroughputOpsSec - estTput) / vp.Measured.ThroughputOpsSec * 100
+		if e < 0 {
+			e = -e
+		}
+		errs = append(errs, e)
+	}
+	if len(errs) > 0 {
+		res.SlowAnchorMedianErrPct = stats.Median(errs)
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *AblationAnchorResult) Render(w io.Writer) error {
+	t := report.NewTable("Ablation — estimate anchor (Trending, Redis-like)",
+		"anchor", "median est err %")
+	t.AddRow("FastMem baseline (paper)", fmt.Sprintf("%.4f", r.FastAnchorMedianErrPct))
+	t.AddRow("SlowMem baseline", fmt.Sprintf("%.4f", r.SlowAnchorMedianErrPct))
+	return t.Render(w)
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mnemo/internal/core"
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/tiering"
+	"mnemo/internal/ycsb"
+)
+
+// ModeBRow is one sampling rate's outcome in the deployment-mode-2b
+// study.
+type ModeBRow struct {
+	// Rate is the page-sampling rate (1 = every touch, Pin-like).
+	Rate int
+	// Samples is the number of page observations the profiler collected
+	// (its data-collection cost).
+	Samples int64
+	// EstTputAtHalfCost is the estimated throughput the external
+	// ordering reaches at cost factor 0.5.
+	EstTputAtHalfCost float64
+	// AdvisedCost is the 10%-SLO sizing under the external ordering.
+	AdvisedCost float64
+}
+
+// ModeBResult is the Fig 2b deployment study: Mnemo consuming a generic
+// page-sampling tiering solution's key ordering, across sampling rates,
+// against the MnemoT reference.
+type ModeBResult struct {
+	Workload string
+	// MnemoT reference values.
+	MnemoTTputAtHalfCost float64
+	MnemoTAdvisedCost    float64
+	Rows                 []ModeBRow
+}
+
+// ModeB profiles Trending on Redis-like through external orderings
+// produced by the page-sampling profiler at several sampling rates.
+func ModeB(scale Scale, seed int64, rates []int) (*ModeBResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := scale.workload(ycsb.Trending(seed))
+	if err != nil {
+		return nil, err
+	}
+	cfg := scale.coreConfig(server.RedisLike, seed)
+
+	ref, err := core.Profile(cfg, w, core.MnemoT, SLO)
+	if err != nil {
+		return nil, err
+	}
+	res := &ModeBResult{
+		Workload:             w.Spec.Name,
+		MnemoTTputAtHalfCost: ref.Curve.PointAtCost(0.5).EstThroughputOps,
+		MnemoTAdvisedCost:    ref.Advice.Point.CostFactor,
+	}
+
+	space := tiering.NewAddressSpace(w.Dataset)
+	for _, rate := range rates {
+		if rate <= 0 {
+			return nil, fmt.Errorf("experiments: sampling rate %d must be positive", rate)
+		}
+		prof := tiering.NewProfiler(space, rate, seed)
+		prof.Observe(w)
+		ord, err := core.ExternalOrdering(w, prof.KeyOrdering(w.Dataset))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.ProfileWithOrdering(cfg, w, ord, SLO)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ModeBRow{
+			Rate:              rate,
+			Samples:           prof.Samples(),
+			EstTputAtHalfCost: rep.Curve.PointAtCost(0.5).EstThroughputOps,
+			AdvisedCost:       rep.Advice.Point.CostFactor,
+		})
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *ModeBResult) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("Mode 2b — external page-sampling tiering feeding Mnemo (%s, Redis-like)", r.Workload),
+		"ordering", "page samples", "est ops/s @ cost 0.5", "advised cost (10% SLO)")
+	t.AddRow("MnemoT (reference)", "-", fmt.Sprintf("%.0f", r.MnemoTTputAtHalfCost),
+		fmt.Sprintf("%.3f", r.MnemoTAdvisedCost))
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("page profiler 1/%d", row.Rate), row.Samples,
+			fmt.Sprintf("%.0f", row.EstTputAtHalfCost), fmt.Sprintf("%.3f", row.AdvisedCost))
+	}
+	return t.Render(w)
+}

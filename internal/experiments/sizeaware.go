@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mnemo/internal/core"
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/stats"
+	"mnemo/internal/ycsb"
+)
+
+// AblationSizeAwareResult compares the paper's global-average estimate
+// with the reproduction's per-size-class extension on the two cases that
+// separate them: a MnemoT ordering over mixed record sizes (worst case
+// for the global model) and over single-class thumbnails (where both
+// models coincide).
+type AblationSizeAwareResult struct {
+	MixedGlobalErrPct    float64
+	MixedSizeAwareErrPct float64
+	ThumbGlobalErrPct    float64
+	ThumbSizeAwareErrPct float64
+}
+
+// AblationSizeAware runs MnemoT profiles of Trending Preview (mixed
+// sizes) and Timeline (thumbnails) on Redis-like with both estimate
+// models, validating each against real executions.
+func AblationSizeAware(scale Scale, seed int64) (*AblationSizeAwareResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	res := &AblationSizeAwareResult{}
+	run := func(spec ycsb.Spec, sizeAware bool) (float64, error) {
+		w, err := scale.workload(spec)
+		if err != nil {
+			return 0, err
+		}
+		cfg := scale.coreConfig(server.RedisLike, seed)
+		cfg.SizeAwareEstimate = sizeAware
+		rep, err := core.Profile(cfg, w, core.MnemoT, 0)
+		if err != nil {
+			return 0, err
+		}
+		points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Median(core.AbsErrors(points)), nil
+	}
+	var err error
+	if res.MixedGlobalErrPct, err = run(ycsb.TrendingPreview(seed), false); err != nil {
+		return nil, err
+	}
+	if res.MixedSizeAwareErrPct, err = run(ycsb.TrendingPreview(seed), true); err != nil {
+		return nil, err
+	}
+	if res.ThumbGlobalErrPct, err = run(ycsb.Timeline(seed), false); err != nil {
+		return nil, err
+	}
+	if res.ThumbSizeAwareErrPct, err = run(ycsb.Timeline(seed), true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *AblationSizeAwareResult) Render(w io.Writer) error {
+	t := report.NewTable("Ablation — global-average vs size-aware estimate (MnemoT ordering, Redis-like)",
+		"workload", "global model err %", "size-aware err %")
+	t.AddRow("trending_preview (mixed sizes)",
+		fmt.Sprintf("%.4f", r.MixedGlobalErrPct), fmt.Sprintf("%.4f", r.MixedSizeAwareErrPct))
+	t.AddRow("timeline (thumbnails)",
+		fmt.Sprintf("%.4f", r.ThumbGlobalErrPct), fmt.Sprintf("%.4f", r.ThumbSizeAwareErrPct))
+	return t.Render(w)
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mnemo/internal/baselines"
+	"mnemo/internal/costmodel"
+	"mnemo/internal/memsim"
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// Fig1Result is the cloud memory-cost-share analysis of the introduction.
+type Fig1Result struct {
+	Coefficients []costmodel.Coefficients
+	Shares       []costmodel.ShareRow
+}
+
+// Fig1 fits each provider's VM catalog and computes the memory cost
+// share of the memory-optimized instances.
+func Fig1() (*Fig1Result, error) {
+	res := &Fig1Result{}
+	for _, p := range costmodel.Providers() {
+		c, err := costmodel.Fit(costmodel.Instances(p))
+		if err != nil {
+			return nil, err
+		}
+		res.Coefficients = append(res.Coefficients, c)
+	}
+	shares, err := costmodel.Fig1()
+	if err != nil {
+		return nil, err
+	}
+	res.Shares = shares
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *Fig1Result) Render(w io.Writer) error {
+	coeff := report.NewTable("Fig 1 — least-squares VM cost decomposition",
+		"provider", "$/vCPU/h", "$/GB/h", "instances", "rss")
+	for _, c := range r.Coefficients {
+		coeff.AddRow(c.Provider, c.CPerVCPU, c.MPerGB, c.Instances, c.RSS)
+	}
+	if err := coeff.Render(w); err != nil {
+		return err
+	}
+	shares := report.NewTable("Fig 1 — memory share of Memory Optimized VM cost (paper: ~60-85%)",
+		"provider", "instance", "memory share")
+	for _, s := range r.Shares {
+		shares.AddRow(s.Provider, s.Instance, fmt.Sprintf("%.0f%%", s.MemoryShare*100))
+	}
+	return shares.Render(w)
+}
+
+// Table1Result is the testbed calibration.
+type Table1Result struct {
+	Calibrations []memsim.Calibration
+}
+
+// Table1 measures the emulated nodes through the access path.
+func Table1() *Table1Result {
+	m := memsim.NewMachine(memsim.DefaultConfig())
+	return &Table1Result{Calibrations: []memsim.Calibration{
+		m.Calibrate(memsim.Fast),
+		m.Calibrate(memsim.Slow),
+	}}
+}
+
+// LatencyFactor returns SlowMem latency / FastMem latency (paper: 3.62).
+func (r *Table1Result) LatencyFactor() float64 {
+	return r.Calibrations[1].LatencyNs / r.Calibrations[0].LatencyNs
+}
+
+// BandwidthFactor returns SlowMem BW / FastMem BW (paper: 0.12).
+func (r *Table1Result) BandwidthFactor() float64 {
+	return r.Calibrations[1].BandwidthGBps / r.Calibrations[0].BandwidthGBps
+}
+
+// Render implements the experiment output.
+func (r *Table1Result) Render(w io.Writer) error {
+	t := report.NewTable("Table I — testbed bandwidth and latency (measured via microbenchmarks)",
+		"node", "latency (ns)", "bandwidth (GB/s)")
+	for _, c := range r.Calibrations {
+		t.AddRow(c.Tier.String(), c.LatencyNs, c.BandwidthGBps)
+	}
+	t.AddRow("factors", fmt.Sprintf("L:%.2f", r.LatencyFactor()), fmt.Sprintf("B:%.2f", r.BandwidthFactor()))
+	return t.Render(w)
+}
+
+// Table2Result is the cost-baseline summary.
+type Table2Result struct {
+	DatasetBytes int64
+	PriceFactor  float64
+	Rows         []costmodel.Baseline
+}
+
+// Table2 computes the baseline sizings for a Table III-scale dataset.
+func Table2(scale Scale, seed int64) (*Table2Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := scale.workload(ycsb.Trending(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Result{
+		DatasetBytes: w.Dataset.TotalBytes,
+		PriceFactor:  costmodel.DefaultPriceFactor,
+		Rows:         costmodel.TableII(w.Dataset.TotalBytes, costmodel.DefaultPriceFactor),
+	}, nil
+}
+
+// Render implements the experiment output.
+func (r *Table2Result) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("Table II — baselines for a %s dataset, p=%.1f",
+			report.FormatBytes(r.DatasetBytes), r.PriceFactor),
+		"runtime", "FastMem", "SlowMem", "cost factor R(p)")
+	for _, b := range r.Rows {
+		t.AddRow(b.Name, report.FormatBytes(b.FastBytes), report.FormatBytes(b.SlowBytes), b.CostReduction)
+	}
+	return t.Render(w)
+}
+
+// Table4Result is the profiling-overhead comparison.
+type Table4Result struct {
+	Reports []baselines.OverheadReport
+	Tahoe   baselines.TahoeResult
+}
+
+// Table4 compares MnemoT's profiling overhead with the instrumented
+// (X-Mem/Unimem-class) and ML-inferred (Tahoe-class) approaches on the
+// Trending workload.
+func Table4(scale Scale, seed int64) (*Table4Result, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := scale.workload(ycsb.Trending(seed))
+	if err != nil {
+		return nil, err
+	}
+	cfg := scale.coreConfig(server.RedisLike, seed)
+
+	mnemoRep, _, _, err := baselines.MnemoTOverhead(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	instrRep, _, err := baselines.InstrumentedProfilerOverhead(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	// Train the Tahoe model on small instrumented workloads.
+	model, err := baselines.TrainTahoe(cfg.Server, seed+1, scale.Keys/10, scale.Requests/10)
+	if err != nil {
+		return nil, err
+	}
+	tahoeRep, tahoeRes, err := baselines.TahoeOverhead(cfg, w, model)
+	if err != nil {
+		return nil, err
+	}
+	return &Table4Result{
+		Reports: []baselines.OverheadReport{mnemoRep, instrRep, tahoeRep},
+		Tahoe:   tahoeRes,
+	}, nil
+}
+
+// Render implements the experiment output.
+func (r *Table4Result) Render(w io.Writer) error {
+	t := report.NewTable("Table IV — profiling overhead comparison (simulated time)",
+		"method", "input prep", "baselines", "tiering", "total")
+	for _, rep := range r.Reports {
+		t.AddRow(rep.Method, rep.InputPrep.String(), rep.BaselineTime.String(),
+			rep.TieringTime.String(), rep.Total().String())
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"Tahoe inference: fast baseline inferred with %.2f%% error after %d monitored training executions\n",
+		r.Tahoe.InferenceErrorPct, r.Tahoe.TrainingExecutions)
+	return err
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mnemo/internal/core"
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/stats"
+	"mnemo/internal/ycsb"
+)
+
+// TailRow pairs predicted and measured percentiles at one tiering.
+type TailRow struct {
+	KeysInFast        int
+	CostFactor        float64
+	PredP95Ns         float64
+	MeasP95Ns         float64
+	PredP99Ns         float64
+	MeasP99Ns         float64
+	P95ErrPct, P99Pct float64
+}
+
+// ExtTailsResult is the tail-latency estimation extension study: the
+// published model declines to estimate tails; the mixture-of-baselines
+// extension does, and this experiment validates it against real
+// executions.
+type ExtTailsResult struct {
+	Engine          string
+	Rows            []TailRow
+	MedianP95ErrPct float64
+	MedianP99ErrPct float64
+}
+
+// ExtTails profiles Trending on the given engine and compares the
+// TailEstimator's p95/p99 predictions with measured executions at the
+// validated tierings.
+func ExtTails(scale Scale, e server.Engine, seed int64) (*ExtTailsResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := scale.workload(ycsb.Trending(seed))
+	if err != nil {
+		return nil, err
+	}
+	cfg := scale.coreConfig(e, seed)
+	rep, err := core.Profile(cfg, w, core.StandAlone, 0)
+	if err != nil {
+		return nil, err
+	}
+	points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+	if err != nil {
+		return nil, err
+	}
+	var te core.TailEstimator
+	res := &ExtTailsResult{Engine: e.String()}
+	var p95errs, p99errs []float64
+	for _, vp := range points {
+		pred, err := te.Estimate(rep.Baselines, rep.Ordering, vp.Point.KeysInFast)
+		if err != nil {
+			return nil, err
+		}
+		row := TailRow{
+			KeysInFast: vp.Point.KeysInFast,
+			CostFactor: vp.Point.CostFactor,
+			PredP95Ns:  pred.P95Ns,
+			MeasP95Ns:  vp.Measured.P95Ns,
+			PredP99Ns:  pred.P99Ns,
+			MeasP99Ns:  vp.Measured.P99Ns,
+		}
+		if row.MeasP95Ns > 0 {
+			row.P95ErrPct = (row.MeasP95Ns - row.PredP95Ns) / row.MeasP95Ns * 100
+			p95errs = append(p95errs, math.Abs(row.P95ErrPct))
+		}
+		if row.MeasP99Ns > 0 {
+			row.P99Pct = (row.MeasP99Ns - row.PredP99Ns) / row.MeasP99Ns * 100
+			p99errs = append(p99errs, math.Abs(row.P99Pct))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if len(p95errs) > 0 {
+		res.MedianP95ErrPct = stats.Median(p95errs)
+	}
+	if len(p99errs) > 0 {
+		res.MedianP99ErrPct = stats.Median(p99errs)
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *ExtTailsResult) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("Extension — tail latency estimation via baseline mixtures (%s, Trending)", r.Engine),
+		"keys in fast", "cost", "p95 pred µs", "p95 meas µs", "p99 pred µs", "p99 meas µs")
+	for _, row := range r.Rows {
+		t.AddRow(row.KeysInFast, fmt.Sprintf("%.3f", row.CostFactor),
+			fmt.Sprintf("%.1f", row.PredP95Ns/1000), fmt.Sprintf("%.1f", row.MeasP95Ns/1000),
+			fmt.Sprintf("%.1f", row.PredP99Ns/1000), fmt.Sprintf("%.1f", row.MeasP99Ns/1000))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"median |error|: p95 %.2f%%, p99 %.2f%% — the paper's model produces no tail estimate at all\n",
+		r.MedianP95ErrPct, r.MedianP99ErrPct)
+	return err
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mnemo/internal/core"
+	"mnemo/internal/memsim"
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// TechRow is one slow-memory technology's sizing outcome.
+type TechRow struct {
+	Tech          string
+	LatencyNs     float64
+	BandwidthGBps float64
+	PriceFactor   float64
+	Slowdown      float64 // all-slow runtime inflation
+	AdvisedCost   float64 // 10%-SLO cost factor
+	SavingsPct    float64
+}
+
+// ExtTechResult is the technology-sensitivity extension: the paper fixes
+// one emulated NVDIMM and p = 0.2; this experiment re-runs the consultant
+// against the slow-tier technologies that shipped after publication
+// (Optane DC, CXL-attached DRAM, disaggregated far memory).
+type ExtTechResult struct {
+	Workload string
+	Engine   string
+	Rows     []TechRow
+}
+
+// ExtTech profiles Trending on Redis-like against each bundled slow-tier
+// preset, using each technology's own price factor.
+func ExtTech(scale Scale, seed int64) (*ExtTechResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := scale.workload(ycsb.Trending(seed))
+	if err != nil {
+		return nil, err
+	}
+	res := &ExtTechResult{Workload: w.Spec.Name, Engine: server.RedisLike.String()}
+	for _, tier := range memsim.SlowTiers() {
+		cfg := scale.coreConfig(server.RedisLike, seed)
+		cfg.Server.Machine.SlowParams = tier.Params
+		cfg.PriceFactor = tier.PriceFactor
+		rep, err := core.Profile(cfg, w, core.StandAlone, SLO)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tech %s: %w", tier.Params.Name, err)
+		}
+		res.Rows = append(res.Rows, TechRow{
+			Tech:          tier.Params.Name,
+			LatencyNs:     tier.Params.LatencyNs,
+			BandwidthGBps: tier.Params.BandwidthGBps,
+			PriceFactor:   tier.PriceFactor,
+			Slowdown:      rep.Baselines.SlowdownAllSlow(),
+			AdvisedCost:   rep.Advice.Point.CostFactor,
+			SavingsPct:    rep.Advice.CostSavings * 100,
+		})
+	}
+	return res, nil
+}
+
+// Row returns the named technology's outcome (false when absent).
+func (r *ExtTechResult) Row(tech string) (TechRow, bool) {
+	for _, row := range r.Rows {
+		if row.Tech == tech {
+			return row, true
+		}
+	}
+	return TechRow{}, false
+}
+
+// Render implements the experiment output.
+func (r *ExtTechResult) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("Extension — slow-tier technology sweep (%s, %s, 10%% SLO)", r.Workload, r.Engine),
+		"technology", "latency ns", "BW GB/s", "price p", "all-slow slowdown", "advised cost", "savings")
+	for _, row := range r.Rows {
+		t.AddRow(row.Tech, row.LatencyNs, row.BandwidthGBps, row.PriceFactor,
+			fmt.Sprintf("%.2fx", row.Slowdown),
+			fmt.Sprintf("%.3f", row.AdvisedCost),
+			fmt.Sprintf("%.0f%%", row.SavingsPct))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w,
+		"Fast slow tiers (CXL) tolerate aggressive placement but save little per byte;"+
+			"\ncheap far memory saves the most per byte but tolerates the least placement.")
+	return err
+}

@@ -1,0 +1,127 @@
+// Package knapsack implements the tiering formulation used by MnemoT's
+// Pattern Engine and by the existing tiering solutions the paper adopts
+// its methodology from (X-Mem, Unimem, Tahoe): key-value pairs are items
+// whose weight is their size and whose profit is their access count, and
+// FastMem is a knapsack of fixed capacity.
+//
+// The predominant practical method — and what MnemoT uses — is the greedy
+// profit-density ordering (accesses / size). The exact 0/1 dynamic
+// program is also provided for the ablation benchmark that quantifies how
+// little the greedy heuristic gives up at key-value granularity.
+package knapsack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is one key-value pair.
+type Item struct {
+	// Weight is the item's size in capacity units (bytes, or a coarser
+	// unit for the exact DP).
+	Weight int64
+	// Profit is the benefit of placing the item in FastMem (access count,
+	// or weighted access count).
+	Profit float64
+}
+
+// DensityOrder returns item indices sorted by descending profit density
+// (profit/weight) — hot keys first, with small keys advantaged so "more
+// key-value pairs can be satisfied by FastMem until capacity is full"
+// (§IV). Zero-weight items sort first (they cost nothing to place); ties
+// break by index for determinism.
+func DensityOrder(items []Item) []int {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	density := func(it Item) float64 {
+		if it.Weight <= 0 {
+			return float64(1<<62) + it.Profit // effectively infinite
+		}
+		return it.Profit / float64(it.Weight)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := density(items[order[a]]), density(items[order[b]])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Greedy packs items in density order until capacity is exhausted,
+// returning the picked set and total profit. Items that do not fit are
+// skipped (classic greedy 0/1 behaviour), so a small later item may still
+// be packed.
+func Greedy(items []Item, capacity int64) (picked []bool, profit float64) {
+	if capacity < 0 {
+		panic(fmt.Sprintf("knapsack: negative capacity %d", capacity))
+	}
+	picked = make([]bool, len(items))
+	remaining := capacity
+	for _, idx := range DensityOrder(items) {
+		it := items[idx]
+		if it.Weight > remaining {
+			continue
+		}
+		picked[idx] = true
+		remaining -= it.Weight
+		profit += it.Profit
+	}
+	return picked, profit
+}
+
+// Exact solves the 0/1 knapsack exactly by dynamic programming over
+// capacity. Memory and time are O(n·capacity), so callers must keep
+// capacity in coarse units (the ablation uses 4 KB pages). It panics on
+// negative weights or capacity; use Greedy for byte-granularity problems.
+func Exact(items []Item, capacity int64) (picked []bool, profit float64) {
+	if capacity < 0 {
+		panic(fmt.Sprintf("knapsack: negative capacity %d", capacity))
+	}
+	const maxCells = 200_000_000
+	if int64(len(items)+1)*(capacity+1) > maxCells {
+		panic(fmt.Sprintf("knapsack: DP of %d items × %d capacity too large; coarsen units",
+			len(items), capacity))
+	}
+	cap := int(capacity)
+	// dp[w] = best profit using items seen so far within weight w;
+	// keep[i][w] records the decision for reconstruction.
+	dp := make([]float64, cap+1)
+	keep := make([][]bool, len(items))
+	for i, it := range items {
+		if it.Weight < 0 {
+			panic(fmt.Sprintf("knapsack: negative weight %d", it.Weight))
+		}
+		keep[i] = make([]bool, cap+1)
+		w := int(it.Weight)
+		for c := cap; c >= w; c-- {
+			if cand := dp[c-w] + it.Profit; cand > dp[c] {
+				dp[c] = cand
+				keep[i][c] = true
+			}
+		}
+	}
+	picked = make([]bool, len(items))
+	c := cap
+	for i := len(items) - 1; i >= 0; i-- {
+		if keep[i][c] {
+			picked[i] = true
+			c -= int(items[i].Weight)
+		}
+	}
+	return picked, dp[cap]
+}
+
+// TotalWeight sums the weights of picked items.
+func TotalWeight(items []Item, picked []bool) int64 {
+	var w int64
+	for i, p := range picked {
+		if p {
+			w += items[i].Weight
+		}
+	}
+	return w
+}

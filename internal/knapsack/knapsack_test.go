@@ -1,0 +1,129 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDensityOrder(t *testing.T) {
+	items := []Item{
+		{Weight: 10, Profit: 10}, // density 1
+		{Weight: 1, Profit: 5},   // density 5
+		{Weight: 100, Profit: 1}, // density 0.01
+		{Weight: 2, Profit: 4},   // density 2
+	}
+	order := DensityOrder(items)
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDensityOrderZeroWeightFirst(t *testing.T) {
+	items := []Item{{Weight: 1, Profit: 100}, {Weight: 0, Profit: 1}}
+	order := DensityOrder(items)
+	if order[0] != 1 {
+		t.Fatalf("zero-weight item not first: %v", order)
+	}
+}
+
+func TestDensityOrderTiesStable(t *testing.T) {
+	items := []Item{{Weight: 2, Profit: 2}, {Weight: 4, Profit: 4}, {Weight: 1, Profit: 1}}
+	order := DensityOrder(items)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tie order = %v, want index order", order)
+		}
+	}
+}
+
+func TestGreedyRespectsCapacity(t *testing.T) {
+	items := []Item{
+		{Weight: 6, Profit: 12}, // density 2
+		{Weight: 5, Profit: 5},  // density 1
+		{Weight: 4, Profit: 3},  // density 0.75
+	}
+	picked, profit := Greedy(items, 10)
+	if !picked[0] || picked[1] || !picked[2] {
+		t.Fatalf("picked = %v; greedy should skip the 5-weight and take the 4-weight", picked)
+	}
+	if profit != 15 {
+		t.Fatalf("profit = %v, want 15", profit)
+	}
+	if TotalWeight(items, picked) > 10 {
+		t.Fatal("capacity violated")
+	}
+}
+
+func TestGreedyZeroCapacity(t *testing.T) {
+	picked, profit := Greedy([]Item{{Weight: 1, Profit: 1}}, 0)
+	if picked[0] || profit != 0 {
+		t.Fatal("zero capacity packed something")
+	}
+}
+
+func TestExactKnownInstance(t *testing.T) {
+	// Classic: greedy is suboptimal here, exact is not.
+	items := []Item{
+		{Weight: 10, Profit: 60}, // density 6
+		{Weight: 20, Profit: 100},
+		{Weight: 30, Profit: 120},
+	}
+	_, exactProfit := Exact(items, 50)
+	if exactProfit != 220 {
+		t.Fatalf("exact profit = %v, want 220", exactProfit)
+	}
+}
+
+func TestExactBeatsOrMatchesGreedyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func() bool {
+		n := 1 + rng.Intn(12)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Weight: int64(1 + rng.Intn(30)), Profit: float64(rng.Intn(100))}
+		}
+		capacity := int64(rng.Intn(100))
+		gp, gprofit := Greedy(items, capacity)
+		ep, eprofit := Exact(items, capacity)
+		if TotalWeight(items, gp) > capacity || TotalWeight(items, ep) > capacity {
+			return false
+		}
+		return eprofit >= gprofit-1e-9
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Exact([]Item{{Weight: -1, Profit: 1}}, 10) },
+		func() { Exact(nil, -1) },
+		func() { Greedy(nil, -1) },
+		func() {
+			big := make([]Item, 100000)
+			Exact(big, 1<<40)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	items := []Item{{Weight: 3}, {Weight: 5}, {Weight: 7}}
+	if got := TotalWeight(items, []bool{true, false, true}); got != 10 {
+		t.Fatalf("TotalWeight = %d", got)
+	}
+}

@@ -1,0 +1,151 @@
+package hashkv
+
+import (
+	"fmt"
+	"testing"
+
+	"mnemo/internal/kvstore"
+)
+
+func TestExpireLazyReap(t *testing.T) {
+	s := New()
+	s.Put("k", kvstore.Sized(100))
+	if !s.Expire("k", 2) {
+		t.Fatal("Expire on live key failed")
+	}
+	if _, tr := s.Get("k"); !tr.Found {
+		t.Fatal("key gone before TTL")
+	}
+	s.Put("noise", kvstore.Sized(1)) // burns the last op of the TTL
+	if _, tr := s.Get("k"); tr.Found {
+		t.Fatal("key outlived TTL")
+	}
+	if s.Expirations() == 0 {
+		t.Fatal("expiration not counted")
+	}
+	if s.DataBytes() != 1 { // only the noise key remains
+		t.Fatalf("DataBytes = %d", s.DataBytes())
+	}
+}
+
+func TestExpireActiveCycleReapsUntouchedKeys(t *testing.T) {
+	s := New()
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("v%02d", i)
+		s.Put(key, kvstore.Sized(10))
+		s.Expire(key, 5)
+	}
+	// Never touch the volatile keys again; unrelated traffic must still
+	// reclaim them through the active cycle.
+	for i := 0; i < 500; i++ {
+		s.Get("unrelated")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("%d volatile keys survived the active cycle", s.Len())
+	}
+	if s.Expirations() != 20 {
+		t.Fatalf("expirations = %d, want 20", s.Expirations())
+	}
+}
+
+func TestExpireOnMissingKey(t *testing.T) {
+	s := New()
+	if s.Expire("ghost", 5) {
+		t.Fatal("Expire on missing key succeeded")
+	}
+}
+
+func TestExpirePanicsOnNonPositiveTTL(t *testing.T) {
+	s := New()
+	s.Put("k", kvstore.Sized(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Expire("k", 0)
+}
+
+func TestPersist(t *testing.T) {
+	s := New()
+	s.Put("k", kvstore.Sized(1))
+	s.Expire("k", 3)
+	if !s.Persist("k") {
+		t.Fatal("Persist failed on volatile key")
+	}
+	for i := 0; i < 100; i++ {
+		s.Get("noise")
+	}
+	if _, tr := s.Get("k"); !tr.Found {
+		t.Fatal("persisted key expired")
+	}
+	if s.Persist("k") {
+		t.Fatal("Persist on immortal key reported a TTL")
+	}
+	if s.Persist("ghost") {
+		t.Fatal("Persist on missing key succeeded")
+	}
+}
+
+func TestTTLRemaining(t *testing.T) {
+	s := New()
+	s.Put("k", kvstore.Sized(1))
+	s.Expire("k", 10)
+	rem, ok := s.TTLRemaining("k")
+	if !ok || rem != 10 {
+		t.Fatalf("remaining = %d, %v", rem, ok)
+	}
+	s.Get("x")
+	s.Get("x")
+	if rem, _ := s.TTLRemaining("k"); rem != 8 {
+		t.Fatalf("remaining after 2 ops = %d", rem)
+	}
+	s.Put("immortal", kvstore.Sized(1))
+	if rem, ok := s.TTLRemaining("immortal"); !ok || rem != 0 {
+		t.Fatal("immortal live key should report (0, true)")
+	}
+	if _, ok := s.TTLRemaining("ghost"); ok {
+		t.Fatal("missing key reported live")
+	}
+}
+
+func TestPlainSetClearsTTL(t *testing.T) {
+	s := New()
+	s.Put("k", kvstore.Sized(1))
+	s.Expire("k", 2)
+	s.Put("k", kvstore.Sized(1)) // SET clears TTL
+	for i := 0; i < 50; i++ {
+		s.Get("noise")
+	}
+	if _, tr := s.Get("k"); !tr.Found {
+		t.Fatal("TTL survived a plain SET")
+	}
+}
+
+func TestDelOnLapsedKeyReportsMissing(t *testing.T) {
+	s := New()
+	s.Put("k", kvstore.Sized(1))
+	s.Expire("k", 1)
+	s.Get("noise")
+	s.Get("noise")
+	if tr := s.Del("k"); tr.Found {
+		t.Fatal("DEL found a lapsed key")
+	}
+}
+
+func TestExpireSurvivesRehash(t *testing.T) {
+	s := New()
+	s.Put("target", kvstore.Sized(1))
+	s.Expire("target", 5000)
+	// Force table growth (rehash) with bulk inserts.
+	for i := 0; i < 2000; i++ {
+		s.Put(fmt.Sprintf("bulk%05d", i), kvstore.Sized(1))
+	}
+	rem, ok := s.TTLRemaining("target")
+	if !ok || rem <= 0 {
+		t.Fatalf("TTL lost across rehash: %d, %v", rem, ok)
+	}
+	if _, tr := s.Get("target"); !tr.Found {
+		t.Fatal("volatile key lost across rehash")
+	}
+}

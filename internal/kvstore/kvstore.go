@@ -1,0 +1,148 @@
+// Package kvstore defines the in-memory key-value store abstraction the
+// Mnemo reproduction profiles, plus shared types for reporting the memory
+// behaviour of each operation.
+//
+// The paper treats Redis, Memcached and DynamoDB-local as black boxes and
+// observes them only through request service times. This repository
+// builds one engine per store (internal/kvstore/hashkv, slabkv, treekv)
+// with genuinely different data structures and request paths; every
+// operation returns an OpTrace describing the pointer chases and byte
+// traffic it generated, which internal/server prices against the emulated
+// hybrid memory machine. Value payloads may be carried in full (unit
+// tests) or by size only (capacity-scale experiments, where 10 000 × 100 KB
+// payloads would dominate host memory without changing any simulated
+// quantity).
+package kvstore
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Value is a stored payload. When Data is non-nil, Size must equal
+// len(Data); size-only values (Data == nil) represent payloads of the
+// given size without materializing the bytes.
+type Value struct {
+	Size int
+	Data []byte
+}
+
+// Bytes returns a Value carrying real data.
+func Bytes(data []byte) Value { return Value{Size: len(data), Data: data} }
+
+// Sized returns a size-only Value.
+func Sized(n int) Value {
+	if n < 0 {
+		panic(fmt.Sprintf("kvstore: negative value size %d", n))
+	}
+	return Value{Size: n}
+}
+
+// Validate checks the Size/Data consistency invariant.
+func (v Value) Validate() error {
+	if v.Data != nil && v.Size != len(v.Data) {
+		return fmt.Errorf("kvstore: value size %d != len(data) %d", v.Size, len(v.Data))
+	}
+	if v.Size < 0 {
+		return fmt.Errorf("kvstore: negative value size %d", v.Size)
+	}
+	return nil
+}
+
+// OpKind classifies an operation for profile accounting.
+type OpKind int
+
+// Operation kinds.
+const (
+	Read OpKind = iota
+	Write
+	Delete
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// OpTrace reports what one operation did to memory, in engine-neutral
+// units the server layer prices against a memory tier.
+type OpTrace struct {
+	Kind     OpKind
+	RecordID uint64 // stable identity of the record for the LLC model
+	Chases   int    // dependent pointer dereferences on the record's tier
+	Touched  int    // bytes of record data streamed (incl. amplification)
+	Found    bool   // for Get/Delete: whether the key existed
+}
+
+// Store is an in-memory key-value store engine.
+//
+// Engines are deterministic and not safe for concurrent use (the paper's
+// client issues requests sequentially; concurrency effects such as
+// Memcached's worker threads are modeled as memory-level parallelism in
+// the engine's Profile, not with goroutines).
+type Store interface {
+	// Name identifies the engine ("redislike", "memcachedlike",
+	// "dynamolike").
+	Name() string
+	// Put inserts or replaces a value and reports the memory traffic.
+	Put(key string, v Value) OpTrace
+	// Get looks a key up. The returned Value is size-only if the store
+	// holds a size-only payload.
+	Get(key string) (Value, OpTrace)
+	// Del removes a key if present.
+	Del(key string) OpTrace
+	// Len reports the number of resident keys.
+	Len() int
+	// DataBytes reports the total resident payload bytes (the quantity
+	// capacity sizing is about).
+	DataBytes() int64
+	// TakePauseNs drains any accumulated background stall (rehash, GC,
+	// eviction) that the next request must absorb, in nanoseconds.
+	TakePauseNs() float64
+	// Profile exposes the engine's performance characteristics.
+	Profile() EngineProfile
+}
+
+// EngineProfile captures how an engine converts memory traffic into
+// service time. These constants are the calibration described in
+// DESIGN.md §5; they are chosen so that the three engines reproduce the
+// paper's sensitivity ordering (DynamoDB ≫ Redis ≫ Memcached).
+type EngineProfile struct {
+	Name string
+	// CPUBaseNs is the tier-independent request handling cost: parsing,
+	// protocol, syscalls, client library.
+	CPUBaseNs float64
+	// CPUPerByteNs is the tier-independent per-byte handling cost
+	// (serialization, checksums, copies within the CPU caches).
+	CPUPerByteNs float64
+	// MLP is the memory-level parallelism: how many outstanding memory
+	// operations the request path overlaps. Byte-traffic time is divided
+	// by this (Memcached's worker threads hide most stalls).
+	MLP float64
+	// WritePenalty scales the byte-traffic cost of writes relative to
+	// reads; store write buffering means writes rarely stall on the slow
+	// tier (Fig 5b).
+	WritePenalty float64
+	// ReadAmplification multiplies value bytes touched per Get
+	// (DynamoDB-local parses/validates/copies the record repeatedly).
+	ReadAmplification float64
+	// WriteAmplification multiplies value bytes touched per Put.
+	WriteAmplification float64
+}
+
+// KeyID derives the stable 64-bit record identity used by the LLC model
+// and the placement engines. It must be a pure function of the key.
+func KeyID(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key)) // fnv never errors
+	return h.Sum64()
+}

@@ -1,0 +1,71 @@
+package kvstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructors(t *testing.T) {
+	b := Bytes([]byte("hello"))
+	if b.Size != 5 || string(b.Data) != "hello" {
+		t.Fatalf("Bytes = %+v", b)
+	}
+	s := Sized(100)
+	if s.Size != 100 || s.Data != nil {
+		t.Fatalf("Sized = %+v", s)
+	}
+}
+
+func TestSizedPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Sized(-1)
+}
+
+func TestValueValidate(t *testing.T) {
+	if err := Bytes([]byte("ab")).Validate(); err != nil {
+		t.Errorf("valid data value rejected: %v", err)
+	}
+	if err := Sized(10).Validate(); err != nil {
+		t.Errorf("valid sized value rejected: %v", err)
+	}
+	bad := Value{Size: 3, Data: []byte("ab")}
+	if err := bad.Validate(); err == nil {
+		t.Error("inconsistent value accepted")
+	}
+	neg := Value{Size: -1}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	cases := map[OpKind]string{Read: "read", Write: "write", Delete: "delete"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d → %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if OpKind(42).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+func TestKeyIDDeterministicAndSpread(t *testing.T) {
+	if KeyID("user42") != KeyID("user42") {
+		t.Fatal("KeyID not deterministic")
+	}
+	if KeyID("a") == KeyID("b") {
+		t.Fatal("trivial collision")
+	}
+}
+
+func TestKeyIDPureFunctionProperty(t *testing.T) {
+	f := func(s string) bool { return KeyID(s) == KeyID(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package slabkv implements the Memcached-like engine: a slab allocator
+// with geometric size classes, a per-class LRU for eviction, and an item
+// index. Memcached's defining performance property for this study is that
+// its worker threads keep many memory operations in flight, so most of a
+// request's memory stall time is overlapped with other requests — the
+// engine's profile models that as a high memory-level parallelism,
+// producing the "barely influenced by SlowMem" behaviour of Fig 8b/9.
+package slabkv
+
+import (
+	"fmt"
+
+	"mnemo/internal/kvstore"
+)
+
+// Profile is the calibrated engine profile (DESIGN.md §5): low CPU cost
+// per byte (memcached's zero-parse binary item path) and MLP ≈ 10 from
+// the worker-thread pool, so even a SlowMem-only deployment stays within
+// ~8% of FastMem-only throughput.
+var Profile = kvstore.EngineProfile{
+	Name:               "memcachedlike",
+	CPUBaseNs:          5_000,
+	CPUPerByteNs:       0.55,
+	MLP:                10,
+	WritePenalty:       0.3,
+	ReadAmplification:  1,
+	WriteAmplification: 1,
+}
+
+// Slab class layout: classes grow geometrically from MinChunk by Factor
+// until MaxChunk, matching memcached's default -f 1.25 growth.
+const (
+	MinChunk      = 96
+	Factor        = 1.25
+	MaxChunk      = 1 << 20 // memcached -I 1m
+	itemOverheadB = 56      // item header + key pointer + CAS
+)
+
+type item struct {
+	key        string
+	id         uint64
+	val        kvstore.Value
+	class      int
+	expireAt   int64 // logical op count at which the item lapses; 0 = never
+	prev, next *item // LRU list links within the class
+}
+
+type slabClass struct {
+	chunkSize int
+	head      *item // most recently used
+	tail      *item // least recently used
+	items     int
+}
+
+func (c *slabClass) pushFront(it *item) {
+	it.prev = nil
+	it.next = c.head
+	if c.head != nil {
+		c.head.prev = it
+	}
+	c.head = it
+	if c.tail == nil {
+		c.tail = it
+	}
+	c.items++
+}
+
+func (c *slabClass) remove(it *item) {
+	if it.prev != nil {
+		it.prev.next = it.next
+	} else {
+		c.head = it.next
+	}
+	if it.next != nil {
+		it.next.prev = it.prev
+	} else {
+		c.tail = it.prev
+	}
+	it.prev, it.next = nil, nil
+	c.items--
+}
+
+func (c *slabClass) bump(it *item) {
+	if c.head == it {
+		return
+	}
+	c.remove(it)
+	c.pushFront(it)
+}
+
+// Store is the Memcached-like engine. Not safe for concurrent use.
+type Store struct {
+	classes     []slabClass
+	index       map[string]*item
+	memLimit    int64 // total chunk bytes allowed; 0 = unlimited
+	chunkUsed   int64
+	dataBytes   int64
+	pauseNs     float64
+	evictions   int64
+	ops         int64 // logical operation clock for TTLs
+	expirations int64
+}
+
+// New creates a store with the given memory limit in bytes (0 =
+// unlimited). The limit counts chunk bytes, as memcached's -m does.
+func New(memLimit int64) *Store {
+	if memLimit < 0 {
+		panic("slabkv: negative memory limit")
+	}
+	s := &Store{index: make(map[string]*item), memLimit: memLimit}
+	for size := MinChunk; ; size = int(float64(size) * Factor) {
+		if size > MaxChunk {
+			break
+		}
+		s.classes = append(s.classes, slabClass{chunkSize: size})
+	}
+	// Final class at exactly MaxChunk so max-size items fit.
+	if s.classes[len(s.classes)-1].chunkSize != MaxChunk {
+		s.classes = append(s.classes, slabClass{chunkSize: MaxChunk})
+	}
+	return s
+}
+
+// classFor returns the smallest class whose chunk fits need bytes.
+func (s *Store) classFor(need int) (int, error) {
+	for i := range s.classes {
+		if s.classes[i].chunkSize >= need {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("slabkv: item of %d bytes exceeds max chunk %d", need, MaxChunk)
+}
+
+// Name implements kvstore.Store.
+func (s *Store) Name() string { return Profile.Name }
+
+// Profile implements kvstore.Store.
+func (s *Store) Profile() kvstore.EngineProfile { return Profile }
+
+// Len implements kvstore.Store.
+func (s *Store) Len() int { return len(s.index) }
+
+// DataBytes implements kvstore.Store.
+func (s *Store) DataBytes() int64 { return s.dataBytes }
+
+// ChunkBytes reports allocator bytes in use (≥ DataBytes: slab padding).
+func (s *Store) ChunkBytes() int64 { return s.chunkUsed }
+
+// Evictions reports how many items were evicted to make room.
+func (s *Store) Evictions() int64 { return s.evictions }
+
+// TakePauseNs implements kvstore.Store.
+func (s *Store) TakePauseNs() float64 {
+	p := s.pauseNs
+	s.pauseNs = 0
+	return p
+}
+
+// Get implements kvstore.Store.
+func (s *Store) Get(key string) (kvstore.Value, kvstore.OpTrace) {
+	s.opTick()
+	id := kvstore.KeyID(key)
+	// Index probe + item header: memcached's hash walk is O(1) with its
+	// power-of-two table; two dependent loads model it.
+	tr := kvstore.OpTrace{Kind: kvstore.Read, RecordID: id, Chases: 2}
+	it, ok := s.index[key]
+	if !ok {
+		return kvstore.Value{}, tr
+	}
+	if s.expired(it) {
+		s.reap(it)
+		return kvstore.Value{}, tr
+	}
+	s.classes[it.class].bump(it)
+	tr.Found = true
+	tr.Touched = int(float64(it.val.Size) * Profile.ReadAmplification)
+	return it.val, tr
+}
+
+// Put implements kvstore.Store.
+func (s *Store) Put(key string, v kvstore.Value) kvstore.OpTrace {
+	if err := v.Validate(); err != nil {
+		panic(err)
+	}
+	s.opTick()
+	id := kvstore.KeyID(key)
+	tr := kvstore.OpTrace{Kind: kvstore.Write, RecordID: id, Chases: 3,
+		Touched: int(float64(v.Size) * Profile.WriteAmplification)}
+	need := len(key) + v.Size + itemOverheadB
+	cls, err := s.classFor(need)
+	if err != nil {
+		// Oversized item: memcached rejects it (SERVER_ERROR object too
+		// large); we mirror that by reporting not-stored.
+		tr.Found = false
+		return tr
+	}
+	if it, ok := s.index[key]; ok {
+		tr.Found = true
+		oldChunk := int64(s.classes[it.class].chunkSize)
+		if it.class == cls {
+			s.dataBytes += int64(v.Size) - int64(it.val.Size)
+			it.val = v
+			it.expireAt = 0 // a plain set resets any TTL, as memcached does
+			s.classes[cls].bump(it)
+			return tr
+		}
+		// Class change: free old chunk, allocate anew below.
+		s.classes[it.class].remove(it)
+		delete(s.index, key)
+		s.chunkUsed -= oldChunk
+		s.dataBytes -= int64(it.val.Size)
+	}
+	chunk := int64(s.classes[cls].chunkSize)
+	for s.memLimit > 0 && s.chunkUsed+chunk > s.memLimit {
+		if !s.evictFrom(cls) {
+			break // nothing evictable in class; store anyway (grow)
+		}
+	}
+	it := &item{key: key, id: id, val: v, class: cls}
+	s.classes[cls].pushFront(it)
+	s.index[key] = it
+	s.chunkUsed += chunk
+	s.dataBytes += int64(v.Size)
+	return tr
+}
+
+// evictFrom drops the LRU item of the class (memcached evicts within the
+// class it needs a chunk from). Returns false when the class is empty.
+func (s *Store) evictFrom(cls int) bool {
+	victim := s.classes[cls].tail
+	if victim == nil {
+		return false
+	}
+	s.classes[cls].remove(victim)
+	delete(s.index, victim.key)
+	s.chunkUsed -= int64(s.classes[cls].chunkSize)
+	s.dataBytes -= int64(victim.val.Size)
+	s.evictions++
+	s.pauseNs += 2_000 // lock hold while unlinking + freeing
+	return true
+}
+
+// Del implements kvstore.Store.
+func (s *Store) Del(key string) kvstore.OpTrace {
+	s.opTick()
+	id := kvstore.KeyID(key)
+	tr := kvstore.OpTrace{Kind: kvstore.Delete, RecordID: id, Chases: 2}
+	it, ok := s.index[key]
+	if !ok {
+		return tr
+	}
+	if s.expired(it) {
+		s.reap(it)
+		return tr
+	}
+	s.classes[it.class].remove(it)
+	delete(s.index, key)
+	s.chunkUsed -= int64(s.classes[it.class].chunkSize)
+	s.dataBytes -= int64(it.val.Size)
+	tr.Found = true
+	return tr
+}
+
+var _ kvstore.Store = (*Store)(nil)

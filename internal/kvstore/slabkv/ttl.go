@@ -1,0 +1,75 @@
+package slabkv
+
+import "mnemo/internal/kvstore"
+
+// Memcached-style expiration. The reproduction's stores live on a
+// virtual clock owned by the deployment layer, so TTLs are expressed in
+// *operations* rather than wall time: an item with TTL n expires once n
+// further operations have been served. Expiration is lazy — memcached
+// likewise reclaims expired items on access (plus a background crawler
+// this model does not need).
+
+// opTick advances the store's logical time; called by every operation.
+func (s *Store) opTick() { s.ops++ }
+
+// expired reports whether the item's TTL has lapsed.
+func (s *Store) expired(it *item) bool {
+	return it.expireAt > 0 && s.ops >= it.expireAt
+}
+
+// reap removes an expired item, charging it as an eviction-style stall.
+func (s *Store) reap(it *item) {
+	s.classes[it.class].remove(it)
+	delete(s.index, it.key)
+	s.chunkUsed -= int64(s.classes[it.class].chunkSize)
+	s.dataBytes -= int64(it.val.Size)
+	s.expirations++
+	s.pauseNs += 1_000
+}
+
+// PutTTL stores a value that expires after ttlOps further operations
+// (0 = never). It reports the same trace a plain Put does.
+func (s *Store) PutTTL(key string, v kvstore.Value, ttlOps int64) kvstore.OpTrace {
+	if ttlOps < 0 {
+		panic("slabkv: negative TTL")
+	}
+	tr := s.Put(key, v)
+	if it, ok := s.index[key]; ok {
+		if ttlOps == 0 {
+			it.expireAt = 0
+		} else {
+			it.expireAt = s.ops + ttlOps
+		}
+	}
+	return tr
+}
+
+// TTLRemaining reports the operations left before the key expires:
+// (remaining, true) for a live TTL-bearing key, (0, true) for a live
+// immortal key, (0, false) for a missing or already-expired key. It does
+// not count as an operation and does not reap.
+func (s *Store) TTLRemaining(key string) (int64, bool) {
+	it, ok := s.index[key]
+	if !ok || s.expired(it) {
+		return 0, false
+	}
+	if it.expireAt == 0 {
+		return 0, true
+	}
+	return it.expireAt - s.ops, true
+}
+
+// Expirations reports how many items lapsed and were reaped.
+func (s *Store) Expirations() int64 { return s.expirations }
+
+// FlushAll invalidates every item, as memcached's flush_all does. The
+// store remains usable; chunk accounting is reset.
+func (s *Store) FlushAll() {
+	for i := range s.classes {
+		s.classes[i].head, s.classes[i].tail, s.classes[i].items = nil, nil, 0
+	}
+	s.index = make(map[string]*item)
+	s.chunkUsed = 0
+	s.dataBytes = 0
+	s.pauseNs += 5_000 // flush_all holds the cache lock briefly
+}

@@ -1,0 +1,128 @@
+package slabkv
+
+import (
+	"fmt"
+	"testing"
+
+	"mnemo/internal/kvstore"
+)
+
+func TestTTLExpiresAfterOps(t *testing.T) {
+	s := New(0)
+	s.PutTTL("k", kvstore.Sized(100), 3)
+	if _, tr := s.Get("k"); !tr.Found {
+		t.Fatal("fresh TTL key missing")
+	}
+	// Burn the remaining TTL with unrelated operations.
+	s.Get("other")
+	s.Get("other")
+	if _, tr := s.Get("k"); tr.Found {
+		t.Fatal("key outlived its TTL")
+	}
+	if s.Expirations() != 1 {
+		t.Fatalf("expirations = %d", s.Expirations())
+	}
+	if s.Len() != 0 || s.DataBytes() != 0 {
+		t.Fatalf("expired residue: len=%d bytes=%d", s.Len(), s.DataBytes())
+	}
+}
+
+func TestTTLZeroNeverExpires(t *testing.T) {
+	s := New(0)
+	s.PutTTL("k", kvstore.Sized(10), 0)
+	for i := 0; i < 1000; i++ {
+		s.Get("noise")
+	}
+	if _, tr := s.Get("k"); !tr.Found {
+		t.Fatal("immortal key expired")
+	}
+}
+
+func TestTTLRemaining(t *testing.T) {
+	s := New(0)
+	s.PutTTL("k", kvstore.Sized(10), 10)
+	rem, ok := s.TTLRemaining("k")
+	if !ok || rem != 10 {
+		t.Fatalf("remaining = %d, %v", rem, ok)
+	}
+	s.Get("x")
+	s.Get("x")
+	if rem, _ := s.TTLRemaining("k"); rem != 8 {
+		t.Fatalf("remaining after 2 ops = %d", rem)
+	}
+	s.Put("plain", kvstore.Sized(1))
+	if rem, ok := s.TTLRemaining("plain"); !ok || rem != 0 {
+		t.Fatal("immortal key should report (0, true)")
+	}
+	if _, ok := s.TTLRemaining("missing"); ok {
+		t.Fatal("missing key reported live")
+	}
+}
+
+func TestPlainSetResetsTTL(t *testing.T) {
+	s := New(0)
+	s.PutTTL("k", kvstore.Sized(10), 2)
+	s.Put("k", kvstore.Sized(10)) // memcached: set overwrites TTL
+	for i := 0; i < 10; i++ {
+		s.Get("noise")
+	}
+	if _, tr := s.Get("k"); !tr.Found {
+		t.Fatal("TTL survived a plain set")
+	}
+}
+
+func TestExpiredKeyDeleteReportsMissing(t *testing.T) {
+	s := New(0)
+	s.PutTTL("k", kvstore.Sized(10), 1)
+	s.Get("noise")
+	if tr := s.Del("k"); tr.Found {
+		t.Fatal("delete found an expired key")
+	}
+	if s.Len() != 0 {
+		t.Fatal("expired key still resident after delete")
+	}
+}
+
+func TestNegativeTTLPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0).PutTTL("k", kvstore.Sized(1), -1)
+}
+
+func TestFlushAll(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 50; i++ {
+		s.Put(fmt.Sprintf("k%d", i), kvstore.Sized(100))
+	}
+	s.TakePauseNs()
+	s.FlushAll()
+	if s.Len() != 0 || s.DataBytes() != 0 || s.ChunkBytes() != 0 {
+		t.Fatalf("flush residue: len=%d data=%d chunk=%d", s.Len(), s.DataBytes(), s.ChunkBytes())
+	}
+	if s.TakePauseNs() == 0 {
+		t.Error("flush produced no pause")
+	}
+	// Store remains usable.
+	s.Put("again", kvstore.Sized(10))
+	if _, tr := s.Get("again"); !tr.Found {
+		t.Fatal("store broken after flush")
+	}
+}
+
+func TestTTLWithEvictionPressure(t *testing.T) {
+	s := New(6 * 1200)
+	for i := 0; i < 30; i++ {
+		s.PutTTL(fmt.Sprintf("k%02d", i), kvstore.Sized(1000), 10)
+	}
+	// Both evictions and (possibly) expirations occurred; counters are
+	// consistent and memory bounded.
+	if s.Evictions() == 0 {
+		t.Error("no evictions under pressure")
+	}
+	if s.ChunkBytes() > 6*1200 {
+		t.Fatalf("chunk bytes %d exceed limit", s.ChunkBytes())
+	}
+}

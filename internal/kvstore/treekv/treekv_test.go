@@ -1,0 +1,205 @@
+package treekv
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mnemo/internal/kvstore"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New()
+	s.Put("k", kvstore.Bytes([]byte("abc")))
+	v, tr := s.Get("k")
+	if !tr.Found || string(v.Data) != "abc" {
+		t.Fatalf("Get = %+v / %+v", v, tr)
+	}
+	if tr.Touched != int(3*Profile.ReadAmplification) {
+		t.Errorf("Touched = %d, want amplified", tr.Touched)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New()
+	if _, tr := s.Get("nope"); tr.Found {
+		t.Fatal("missing found")
+	}
+	s.Put("a", kvstore.Sized(1))
+	if _, tr := s.Get("b"); tr.Found {
+		t.Fatal("sibling key found")
+	}
+}
+
+func TestReplaceKeepsCount(t *testing.T) {
+	s := New()
+	s.Put("k", kvstore.Sized(10))
+	tr := s.Put("k", kvstore.Sized(30))
+	if !tr.Found {
+		t.Error("replace not flagged")
+	}
+	if s.Len() != 1 || s.DataBytes() != 30 {
+		t.Fatalf("len=%d bytes=%d", s.Len(), s.DataBytes())
+	}
+}
+
+func TestSortedIterationAfterManyInserts(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	want := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key%08d", rng.Intn(100000))
+		s.Put(k, kvstore.Sized(8))
+		want[k] = true
+	}
+	keys := s.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("Keys len = %d, want %d", len(keys), len(want))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("Keys not sorted")
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+	if s.Height() < 2 {
+		t.Errorf("tree suspiciously shallow: height %d for %d keys", s.Height(), len(keys))
+	}
+}
+
+func TestDeleteRebalances(t *testing.T) {
+	s := New()
+	const n = 3000
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("key%06d", i), kvstore.Sized(4))
+	}
+	rng := rand.New(rand.NewSource(2))
+	perm := rng.Perm(n)
+	for step, idx := range perm {
+		key := fmt.Sprintf("key%06d", idx)
+		tr := s.Del(key)
+		if !tr.Found {
+			t.Fatalf("delete %s missed", key)
+		}
+		if step%500 == 0 {
+			if msg := s.CheckInvariants(); msg != "" {
+				t.Fatalf("after %d deletes: %s", step+1, msg)
+			}
+		}
+	}
+	if s.Len() != 0 || s.DataBytes() != 0 {
+		t.Fatalf("residue: len=%d bytes=%d", s.Len(), s.DataBytes())
+	}
+	if tr := s.Del("key000000"); tr.Found {
+		t.Fatal("delete from empty tree found")
+	}
+}
+
+func TestGCPausesAccrue(t *testing.T) {
+	s := New()
+	s.Put("big", kvstore.Sized(1<<20))
+	var paused bool
+	for i := 0; i < 100 && !paused; i++ {
+		s.Get("big") // 1 MB per read: GC budget exhausted quickly
+		if s.TakePauseNs() > 0 {
+			paused = true
+		}
+	}
+	if !paused {
+		t.Fatal("no GC pause after ~100 MB of request garbage")
+	}
+	if s.GCCount() == 0 {
+		t.Fatal("GC count not incremented")
+	}
+}
+
+func TestRootSplitPause(t *testing.T) {
+	s := New()
+	var sawPause bool
+	for i := 0; i < 2000; i++ {
+		s.Put(fmt.Sprintf("k%06d", i), kvstore.Sized(1))
+		if s.TakePauseNs() > 0 {
+			sawPause = true
+		}
+	}
+	if !sawPause {
+		t.Error("growing tree produced no split pause")
+	}
+}
+
+func TestProfileSensitivityOrdering(t *testing.T) {
+	if Profile.ReadAmplification < 4 {
+		t.Error("dynamo-like engine must amplify reads heavily")
+	}
+	if Profile.MLP != 1 {
+		t.Error("dynamo-like engine should not overlap stalls")
+	}
+	if New().Name() != "dynamolike" {
+		t.Error("name wrong")
+	}
+}
+
+func TestPutInvalidValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Put("k", kvstore.Value{Size: 9, Data: []byte("x")})
+}
+
+// Property: the tree agrees with a reference map and keeps its invariants
+// under arbitrary interleavings of put/get/delete.
+func TestMatchesReferenceMapProperty(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint8
+		Size uint16
+	}
+	f := func(ops []op) bool {
+		s := New()
+		ref := map[string]int{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%03d", o.Key)
+			switch o.Kind % 3 {
+			case 0:
+				s.Put(key, kvstore.Sized(int(o.Size)))
+				ref[key] = int(o.Size)
+			case 1:
+				v, tr := s.Get(key)
+				want, ok := ref[key]
+				if tr.Found != ok || (ok && v.Size != want) {
+					return false
+				}
+			case 2:
+				tr := s.Del(key)
+				if _, ok := ref[key]; tr.Found != ok {
+					return false
+				}
+				delete(ref, key)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		return s.CheckInvariants() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	s := New()
+	for i := 0; i < 100000; i++ {
+		s.Put(fmt.Sprintf("key%08d", i), kvstore.Sized(1))
+	}
+	if h := s.Height(); h > 6 {
+		t.Errorf("height %d too tall for 100k keys at degree %d", h, degree)
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,182 @@
+// Package linalg implements the small dense linear-algebra kernel needed
+// by the cloud cost regression of the paper's introduction: solving an
+// overdetermined system VMcost = vCPU·C + GB·M by ordinary least squares,
+// following the methodology of Amur et al. (SOCC'13) that the paper cites.
+//
+// The implementation forms the normal equations AᵀA x = Aᵀb and solves them
+// with Gaussian elimination with partial pivoting; for the 2–3 unknown
+// systems that arise here this is numerically comfortable and keeps the
+// package dependency-free.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the system matrix is (numerically) singular.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: FromRows needs a non-empty rectangle")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·o, panicking on a dimension mismatch.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := NewMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * o.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for j := 0; j < m.Cols; j++ {
+			s += m.At(i, j) * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SolveSquare solves the square system A·x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func SolveSquare(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: SolveSquare on %dx%d matrix", a.Rows, a.Cols)
+	}
+	if a.Rows != len(b) {
+		return nil, errors.New("linalg: SolveSquare rhs length mismatch")
+	}
+	n := a.Rows
+	// Working copies.
+	aug := make([]float64, n*(n+1))
+	for i := 0; i < n; i++ {
+		copy(aug[i*(n+1):i*(n+1)+n], a.Data[i*n:(i+1)*n])
+		aug[i*(n+1)+n] = b[i]
+	}
+	stride := n + 1
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in column.
+		pivot := col
+		best := math.Abs(aug[col*stride+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug[r*stride+col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := col; j <= n; j++ {
+				aug[col*stride+j], aug[pivot*stride+j] = aug[pivot*stride+j], aug[col*stride+j]
+			}
+		}
+		pv := aug[col*stride+col]
+		for r := col + 1; r < n; r++ {
+			f := aug[r*stride+col] / pv
+			if f == 0 {
+				continue
+			}
+			for j := col; j <= n; j++ {
+				aug[r*stride+j] -= f * aug[col*stride+j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := aug[i*stride+n]
+		for j := i + 1; j < n; j++ {
+			s -= aug[i*stride+j] * x[j]
+		}
+		x[i] = s / aug[i*stride+i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves the overdetermined system A·x ≈ b in the
+// least-squares sense via the normal equations. It returns the coefficient
+// vector and the residual sum of squares.
+func LeastSquares(a *Matrix, b []float64) (x []float64, rss float64, err error) {
+	if a.Rows != len(b) {
+		return nil, 0, errors.New("linalg: LeastSquares rhs length mismatch")
+	}
+	if a.Rows < a.Cols {
+		return nil, 0, fmt.Errorf("linalg: underdetermined system %dx%d", a.Rows, a.Cols)
+	}
+	at := a.Transpose()
+	ata := at.Mul(a)
+	atb := at.MulVec(b)
+	x, err = SolveSquare(ata, atb)
+	if err != nil {
+		return nil, 0, err
+	}
+	pred := a.MulVec(x)
+	for i := range b {
+		r := b[i] - pred[i]
+		rss += r * r
+	}
+	return x, rss, nil
+}

@@ -1,0 +1,218 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At mismatch")
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("fresh matrix not zeroed")
+	}
+}
+
+func TestFromRowsAndTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 0) != 1 {
+		t.Fatal("transpose values wrong")
+	}
+}
+
+func TestFromRowsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FromRows(nil) },
+		func() { FromRows([][]float64{{}}) },
+		func() { FromRows([][]float64{{1, 2}, {3}}) },
+		func() { NewMatrix(0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 1, 1})
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMulDimensionPanics(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Mul(b)
+}
+
+func TestSolveSquareKnown(t *testing.T) {
+	// 2x + y = 5 ; x - y = 1  →  x=2, y=1
+	a := FromRows([][]float64{{2, 1}, {1, -1}})
+	x, err := SolveSquare(a, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 2, 1e-12) || !almostEqual(x[1], 1, 1e-12) {
+		t.Fatalf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveSquareNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveSquare(a, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 4, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v, want [4 3]", x)
+	}
+}
+
+func TestSolveSquareSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveSquare(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveSquareShapeErrors(t *testing.T) {
+	if _, err := SolveSquare(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := SolveSquare(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Error("bad rhs length accepted")
+	}
+}
+
+func TestSolveSquareDoesNotMutate(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, -1}})
+	b := []float64{5, 1}
+	orig := append([]float64(nil), a.Data...)
+	if _, err := SolveSquare(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if a.Data[i] != orig[i] {
+			t.Fatal("SolveSquare mutated A")
+		}
+	}
+	if b[0] != 5 || b[1] != 1 {
+		t.Fatal("SolveSquare mutated b")
+	}
+}
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// y = 3·vcpu + 2·gb, exactly — the regression of the paper's intro.
+	a := FromRows([][]float64{{1, 10}, {2, 20}, {4, 30}, {8, 100}})
+	b := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		b[i] = 3*a.At(i, 0) + 2*a.At(i, 1)
+	}
+	x, rss, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 3, 1e-9) || !almostEqual(x[1], 2, 1e-9) {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+	if rss > 1e-15 {
+		t.Errorf("rss = %v, want ~0", rss)
+	}
+}
+
+func TestLeastSquaresNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 200)
+	b := make([]float64, 200)
+	for i := range rows {
+		v := float64(1 + rng.Intn(64))
+		g := float64(2 + rng.Intn(1024))
+		rows[i] = []float64{v, g}
+		b[i] = 0.04*v + 0.009*g + rng.NormFloat64()*0.01
+	}
+	x, _, err := LeastSquares(FromRows(rows), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 0.04, 0.005) || !almostEqual(x[1], 0.009, 0.0005) {
+		t.Fatalf("x = %v, want ≈[0.04 0.009]", x)
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	if _, _, err := LeastSquares(NewMatrix(1, 2), []float64{1}); err == nil {
+		t.Fatal("underdetermined system accepted")
+	}
+}
+
+// Property: solving A·x = b for a random well-conditioned A reproduces b.
+func TestSolveRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func() bool {
+		n := 1 + rng.Intn(5)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonally dominant
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := SolveSquare(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if !almostEqual(got[i], want[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package memsim
+
+import "container/list"
+
+// LRUCache models the testbed's shared last-level cache at record
+// granularity: a record is either fully resident or absent. Record-level
+// rather than line-level granularity keeps the model O(1) per access
+// while preserving the first-order effect the paper's measurements embed
+// — repeatedly touched small hot records are served at cache speed, large
+// or cold records pay full memory cost.
+type LRUCache struct {
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used; values are cacheEntry
+	index    map[uint64]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	id    uint64
+	bytes int64
+}
+
+// NewLRUCache creates a cache with the given byte capacity.
+func NewLRUCache(capacity int64) *LRUCache {
+	if capacity <= 0 {
+		panic("memsim: cache capacity must be positive")
+	}
+	return &LRUCache{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[uint64]*list.Element),
+	}
+}
+
+// Access records a touch of rec and reports whether it was a hit. On a
+// miss the record is inserted (if it fits at all) and cold entries are
+// evicted LRU-first. Records larger than the whole cache never hit.
+func (c *LRUCache) Access(rec RecordRef) bool {
+	size := int64(rec.Bytes)
+	if el, ok := c.index[rec.ID]; ok {
+		ent := el.Value.(cacheEntry)
+		if ent.bytes == size {
+			c.order.MoveToFront(el)
+			c.hits++
+			return true
+		}
+		// Size changed (record overwritten with a different value):
+		// treat as a miss and reinsert below.
+		c.removeElement(el)
+	}
+	c.misses++
+	if size > c.capacity {
+		return false // streaming record, uncacheable
+	}
+	for c.used+size > c.capacity {
+		c.evictOldest()
+	}
+	el := c.order.PushFront(cacheEntry{id: rec.ID, bytes: size})
+	c.index[rec.ID] = el
+	c.used += size
+	return false
+}
+
+// Remove invalidates a record, if present.
+func (c *LRUCache) Remove(id uint64) {
+	if el, ok := c.index[id]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *LRUCache) removeElement(el *list.Element) {
+	ent := el.Value.(cacheEntry)
+	c.order.Remove(el)
+	delete(c.index, ent.id)
+	c.used -= ent.bytes
+}
+
+func (c *LRUCache) evictOldest() {
+	back := c.order.Back()
+	if back == nil {
+		return
+	}
+	c.removeElement(back)
+}
+
+// Flush empties the cache (used between baseline runs so each starts
+// cold, as the paper's repeated fresh executions do).
+func (c *LRUCache) Flush() {
+	c.order.Init()
+	c.index = make(map[uint64]*list.Element)
+	c.used = 0
+}
+
+// ResetStats zeroes the hit/miss counters without touching contents.
+func (c *LRUCache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Used reports resident bytes.
+func (c *LRUCache) Used() int64 { return c.used }
+
+// Capacity reports the configured capacity.
+func (c *LRUCache) Capacity() int64 { return c.capacity }
+
+// Len reports the number of resident records.
+func (c *LRUCache) Len() int { return c.order.Len() }
+
+// Hits reports the number of accesses served from cache.
+func (c *LRUCache) Hits() int64 { return c.hits }
+
+// Misses reports the number of accesses that went to memory.
+func (c *LRUCache) Misses() int64 { return c.misses }
+
+// HitRate reports hits / (hits + misses), or 0 when no accesses occurred.
+func (c *LRUCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

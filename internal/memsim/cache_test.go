@@ -1,0 +1,134 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewLRUCache(1 << 20)
+	a := RecordRef{ID: 1, Bytes: 1024}
+	if c.Access(a) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(a) {
+		t.Fatal("warm access missed")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewLRUCache(3000)
+	a := RecordRef{ID: 1, Bytes: 1000}
+	b := RecordRef{ID: 2, Bytes: 1000}
+	d := RecordRef{ID: 3, Bytes: 1000}
+	c.Access(a)
+	c.Access(b)
+	c.Access(d)
+	c.Access(a) // refresh a; b is now LRU
+	e := RecordRef{ID: 4, Bytes: 1000}
+	c.Access(e) // evicts b
+	if !c.Access(a) {
+		t.Error("a should still be resident")
+	}
+	if c.Access(b) {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheOversizedRecordNeverCached(t *testing.T) {
+	c := NewLRUCache(1000)
+	big := RecordRef{ID: 1, Bytes: 5000}
+	if c.Access(big) || c.Access(big) {
+		t.Fatal("oversized record must never hit")
+	}
+	if c.Used() != 0 {
+		t.Fatalf("oversized record consumed cache: used=%d", c.Used())
+	}
+}
+
+func TestCacheSizeChangeIsMiss(t *testing.T) {
+	c := NewLRUCache(1 << 20)
+	c.Access(RecordRef{ID: 1, Bytes: 1000})
+	// Record overwritten with a larger value: same ID, new size.
+	if c.Access(RecordRef{ID: 1, Bytes: 2000}) {
+		t.Fatal("resized record should miss")
+	}
+	if !c.Access(RecordRef{ID: 1, Bytes: 2000}) {
+		t.Fatal("record with new size should now hit")
+	}
+	if c.Used() != 2000 {
+		t.Fatalf("used = %d, want 2000 (no double-count)", c.Used())
+	}
+}
+
+func TestCacheRemoveAndFlush(t *testing.T) {
+	c := NewLRUCache(1 << 20)
+	a := RecordRef{ID: 1, Bytes: 100}
+	c.Access(a)
+	c.Remove(1)
+	if c.Access(a) {
+		t.Fatal("removed record hit")
+	}
+	c.Remove(999) // absent: no-op
+	c.Flush()
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Fatal("flush did not empty cache")
+	}
+	if c.Access(a) {
+		t.Fatal("post-flush access hit")
+	}
+}
+
+func TestCacheResetStats(t *testing.T) {
+	c := NewLRUCache(1 << 20)
+	c.Access(RecordRef{ID: 1, Bytes: 10})
+	c.ResetStats()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+	if c.HitRate() != 0 {
+		t.Fatal("empty hit rate should be 0")
+	}
+}
+
+func TestCachePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLRUCache(0)
+}
+
+// Property: used bytes never exceed capacity and Len matches index size.
+func TestCacheInvariantProperty(t *testing.T) {
+	c := NewLRUCache(10_000)
+	f := func(ops []struct {
+		ID    uint8
+		Bytes uint16
+	}) bool {
+		for _, op := range ops {
+			b := int(op.Bytes)
+			if b == 0 {
+				b = 1
+			}
+			c.Access(RecordRef{ID: uint64(op.ID), Bytes: b})
+			if c.Used() > c.Capacity() {
+				return false
+			}
+			if c.Used() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

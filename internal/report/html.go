@@ -1,0 +1,182 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"strings"
+)
+
+// HTMLReport is a standalone self-contained HTML document: headings,
+// prose, tables and SVG line charts, with no external assets — the
+// shareable artifact of a consulting session (cmd/mnemo -html).
+type HTMLReport struct {
+	Title    string
+	Sections []HTMLSection
+}
+
+// HTMLSection is one block of the document.
+type HTMLSection struct {
+	Heading    string
+	Paragraphs []string
+	Table      *Table
+	Chart      *Chart
+}
+
+// Chart is an SVG line chart over one or more series.
+type Chart struct {
+	XLabel, YLabel string
+	Series         []Series
+	Width, Height  int // pixels; zero values use 640×360
+}
+
+// seriesPalette are the stroke colors cycled across chart series.
+var seriesPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+var htmlTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font: 15px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #222; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #bbb; padding: .3rem .7rem; text-align: left; }
+th { background: #f0f0f0; }
+figure { margin: 1rem 0; }
+figcaption { font-size: .85em; color: #555; }
+.legend span { margin-right: 1.2rem; font-size: .85em; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+{{range .Sections}}<section>
+{{if .Heading}}<h2>{{.Heading}}</h2>{{end}}
+{{range .Paragraphs}}<p>{{.}}</p>
+{{end}}{{if .Table}}{{.Table}}{{end}}
+{{if .Chart}}{{.Chart}}{{end}}
+</section>
+{{end}}</body></html>
+`))
+
+// Render writes the document.
+func (r *HTMLReport) Render(w io.Writer) error {
+	type section struct {
+		Heading    string
+		Paragraphs []string
+		Table      template.HTML
+		Chart      template.HTML
+	}
+	data := struct {
+		Title    string
+		Sections []section
+	}{Title: r.Title}
+	for _, s := range r.Sections {
+		sec := section{Heading: s.Heading, Paragraphs: s.Paragraphs}
+		if s.Table != nil {
+			sec.Table = s.Table.HTML()
+		}
+		if s.Chart != nil {
+			svg, err := s.Chart.SVG()
+			if err != nil {
+				return err
+			}
+			sec.Chart = svg
+		}
+		data.Sections = append(data.Sections, sec)
+	}
+	return htmlTmpl.Execute(w, data)
+}
+
+// HTML renders the table as an HTML fragment with cells escaped.
+func (t *Table) HTML() template.HTML {
+	var b strings.Builder
+	b.WriteString("<table>")
+	if t.title != "" {
+		fmt.Fprintf(&b, "<caption>%s</caption>", template.HTMLEscapeString(t.title))
+	}
+	b.WriteString("<thead><tr>")
+	for _, h := range t.headers {
+		fmt.Fprintf(&b, "<th>%s</th>", template.HTMLEscapeString(h))
+	}
+	b.WriteString("</tr></thead><tbody>")
+	for _, row := range t.rows {
+		b.WriteString("<tr>")
+		for _, cell := range row {
+			fmt.Fprintf(&b, "<td>%s</td>", template.HTMLEscapeString(cell))
+		}
+		b.WriteString("</tr>")
+	}
+	b.WriteString("</tbody></table>")
+	return template.HTML(b.String())
+}
+
+// SVG renders the chart as an inline SVG figure with axes and a legend.
+func (c *Chart) SVG() (template.HTML, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("report: chart has no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 360
+	}
+	const margin = 50
+	plotW, plotH := float64(width-2*margin), float64(height-2*margin)
+	if plotW <= 0 || plotH <= 0 {
+		return "", fmt.Errorf("report: chart %dx%d too small", width, height)
+	}
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("report: series %q has mismatched lengths", s.Label)
+		}
+	}
+	minX, maxX, minY, maxY := rangeOf(c.Series)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	toX := func(x float64) float64 { return margin + (x-minX)/(maxX-minX)*plotW }
+	toY := func(y float64) float64 { return float64(height-margin) - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<figure><svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" width="%d" height="%d" role="img">`,
+		width, height, width, height)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444"/>`,
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444"/>`,
+		margin, margin, margin, height-margin)
+	// Axis labels and extrema ticks.
+	esc := template.HTMLEscapeString
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`,
+		width/2, height-8, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`,
+		height/2, height/2, esc(c.YLabel))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10">%.3g</text>`, margin, height-margin+14, minX)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%.3g</text>`, width-margin, height-margin+14, maxX)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%.3g</text>`, margin-4, height-margin, minY)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%.3g</text>`, margin-4, margin+4, maxY)
+	// Series polylines.
+	for si, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("report: series %q has mismatched lengths", s.Label)
+		}
+		color := seriesPalette[si%len(seriesPalette)]
+		var pts strings.Builder
+		for i := range s.X {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", toX(s.X[i]), toY(s.Y[i]))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+			strings.TrimSpace(pts.String()), color)
+	}
+	b.WriteString(`</svg><figcaption class="legend">`)
+	for si, s := range c.Series {
+		color := seriesPalette[si%len(seriesPalette)]
+		fmt.Fprintf(&b, `<span style="color:%s">▬ %s</span>`, color, esc(s.Label))
+	}
+	b.WriteString(`</figcaption></figure>`)
+	return template.HTML(b.String()), nil
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHTMLReportRender(t *testing.T) {
+	tb := NewTable("Baselines", "metric", "value")
+	tb.AddRow("fast ops/s", 8064.0)
+	tb.AddRow("slow <ops>", "5826 & more") // must be escaped
+	rep := &HTMLReport{
+		Title: "Mnemo report <test>",
+		Sections: []HTMLSection{
+			{
+				Heading:    "Overview",
+				Paragraphs: []string{"The advised sizing saves 64%."},
+				Table:      tb,
+			},
+			{
+				Heading: "Curve",
+				Chart: &Chart{
+					XLabel: "cost", YLabel: "ops/s",
+					Series: []Series{
+						{Label: "estimate", X: []float64{0.2, 0.5, 1}, Y: []float64{5800, 7300, 8100}},
+						{Label: "measured", X: []float64{0.2, 1}, Y: []float64{5826, 8064}},
+					},
+				},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Mnemo report &lt;test&gt;", // title escaped
+		"slow &lt;ops&gt;",          // cell escaped
+		"5826 &amp; more",
+		"<svg", "polyline", "estimate", "measured",
+		"The advised sizing saves 64%.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+}
+
+func TestTableHTMLEscapes(t *testing.T) {
+	tb := NewTable("<cap>", "h<1>")
+	tb.AddRow("<script>alert(1)</script>")
+	out := string(tb.HTML())
+	if strings.Contains(out, "<script>") {
+		t.Fatal("unescaped script tag")
+	}
+	if !strings.Contains(out, "&lt;cap&gt;") || !strings.Contains(out, "h&lt;1&gt;") {
+		t.Error("caption/header not escaped")
+	}
+}
+
+func TestChartSVGErrors(t *testing.T) {
+	if _, err := (&Chart{}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c := &Chart{Width: 10, Height: 10, Series: []Series{{Label: "x", X: []float64{1}, Y: []float64{1}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("tiny chart accepted")
+	}
+	ragged := &Chart{Series: []Series{{Label: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := ragged.SVG(); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestChartSVGConstantSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Label: "flat", X: []float64{1, 1}, Y: []float64{5, 5}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(svg), "polyline") {
+		t.Fatal("no polyline")
+	}
+}
+
+func TestHTMLReportEmptySections(t *testing.T) {
+	rep := &HTMLReport{Title: "empty"}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

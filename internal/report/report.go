@@ -1,0 +1,193 @@
+// Package report renders the experiment harness's output: fixed-width
+// text tables for the paper's tables and ASCII line plots for its
+// figures, so `mnemo-bench` can regenerate every table and figure on a
+// terminal without plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// trimFloat renders floats compactly with four significant decimals.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one labeled line of an ASCII plot.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Plot renders one or more series into a width×height character grid
+// with shared axes. Each series gets a distinct marker.
+func Plot(w io.Writer, title, xlabel, ylabel string, width, height int, series ...Series) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("report: plot area %dx%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series to plot")
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	minX, maxX, minY, maxY := rangeOf(series)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has mismatched lengths", s.Label)
+		}
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = m
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	fmt.Fprintf(&b, "%s (top=%.4g bottom=%.4g)\n", ylabel, maxY, minY)
+	for _, line := range grid {
+		b.WriteByte('|')
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, " %s (left=%.4g right=%.4g)\n", xlabel, minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func rangeOf(series []Series) (minX, maxX, minY, maxY float64) {
+	first := true
+	for _, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			if first {
+				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] < minY {
+				minY = s.Y[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	return minX, maxX, minY, maxY
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}

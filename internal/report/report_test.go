@@ -1,0 +1,109 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", "text")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== Demo ==", "name", "value", "alpha", "1.5", "text"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: header and first row start at same offset.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatal("too few lines")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(1)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "==") {
+		t.Error("empty title rendered")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		2:      "2",
+		0.3600: "0.36",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, "Curve", "cost", "tput", 40, 10,
+		Series{Label: "measured", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		Series{Label: "estimate", X: []float64{0, 1, 2}, Y: []float64{0, 1.1, 3.9}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== Curve ==", "measured", "estimate", "*", "o", "cost", "tput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q", want)
+		}
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, "t", "x", "y", 5, 2); err == nil {
+		t.Error("tiny plot accepted")
+	}
+	if err := Plot(&buf, "t", "x", "y", 40, 10); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := Plot(&buf, "t", "x", "y", 40, 10,
+		Series{Label: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, "flat", "x", "y", 20, 5,
+		Series{Label: "c", X: []float64{1, 1}, Y: []float64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2048:    "2.0 KiB",
+		5 << 20: "5.0 MiB",
+		3 << 30: "3.0 GiB",
+		1 << 40: "1.0 TiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

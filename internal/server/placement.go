@@ -1,0 +1,54 @@
+package server
+
+import (
+	"mnemo/internal/memsim"
+)
+
+// Placement maps keys to memory tiers. The paper's deployment runs two
+// server instances of the same key-value store, one bound to each memory
+// node; a placement decides which instance serves each key. Placements
+// are static — Mnemo produces "a static key allocation, with no support
+// for dynamic data migration".
+type Placement struct {
+	defaultTier memsim.Tier
+	overrides   map[string]memsim.Tier
+}
+
+// AllFast places every key on FastMem — the paper's best-case baseline.
+func AllFast() Placement { return Placement{defaultTier: memsim.Fast} }
+
+// AllSlow places every key on SlowMem — the worst-case baseline.
+func AllSlow() Placement { return Placement{defaultTier: memsim.Slow} }
+
+// FastSet places the listed keys on FastMem and everything else on
+// SlowMem — the incremental tierings of the estimate curve.
+func FastSet(fastKeys []string) Placement {
+	p := Placement{defaultTier: memsim.Slow, overrides: make(map[string]memsim.Tier, len(fastKeys))}
+	for _, k := range fastKeys {
+		p.overrides[k] = memsim.Fast
+	}
+	return p
+}
+
+// TierOf returns the tier serving the key.
+func (p Placement) TierOf(key string) memsim.Tier {
+	if t, ok := p.overrides[key]; ok {
+		return t
+	}
+	return p.defaultTier
+}
+
+// FastKeyCount reports how many keys are explicitly pinned to FastMem
+// (0 for AllFast/AllSlow placements, which pin via the default).
+func (p Placement) FastKeyCount() int {
+	n := 0
+	for _, t := range p.overrides {
+		if t == memsim.Fast {
+			n++
+		}
+	}
+	return n
+}
+
+// Default reports the tier used for keys without an explicit override.
+func (p Placement) Default() memsim.Tier { return p.defaultTier }

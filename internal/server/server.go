@@ -1,0 +1,242 @@
+// Package server assembles the paper's experimental deployment: two
+// instances of one key-value store engine, each bound to a memory node of
+// the emulated hybrid machine (the paper uses numactl to bind one server
+// process to FastMem and one to SlowMem), plus the service-time model
+// that turns each operation's memory traffic into simulated time.
+//
+// Service time of one request (DESIGN.md §5):
+//
+//	t = (cpuBase + cpuPerByte·valueBytes + memNs/MLP) · noise + pause
+//
+// where memNs prices the operation's pointer chases and (amplified)
+// touched bytes against the tier that holds the record — or against the
+// LLC when the record is cache-resident — and writes pay the engine's
+// WritePenalty on the byte traffic.
+package server
+
+import (
+	"fmt"
+
+	"mnemo/internal/kvstore"
+	"mnemo/internal/kvstore/hashkv"
+	"mnemo/internal/kvstore/slabkv"
+	"mnemo/internal/kvstore/treekv"
+	"mnemo/internal/memsim"
+	"mnemo/internal/simclock"
+	"mnemo/internal/ycsb"
+)
+
+// Engine selects a key-value store implementation.
+type Engine int
+
+// The three engines of the paper's evaluation.
+const (
+	RedisLike Engine = iota
+	MemcachedLike
+	DynamoLike
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case RedisLike:
+		return "redislike"
+	case MemcachedLike:
+		return "memcachedlike"
+	case DynamoLike:
+		return "dynamolike"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Engines lists all engines in evaluation order.
+func Engines() []Engine { return []Engine{RedisLike, MemcachedLike, DynamoLike} }
+
+// EngineByName resolves an engine from its name.
+func EngineByName(name string) (Engine, bool) {
+	for _, e := range Engines() {
+		if e.String() == name {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// newStore instantiates one server process of the engine.
+func (e Engine) newStore() kvstore.Store {
+	switch e {
+	case RedisLike:
+		return hashkv.New()
+	case MemcachedLike:
+		return slabkv.New(0)
+	case DynamoLike:
+		return treekv.New()
+	default:
+		panic(fmt.Sprintf("server: unknown engine %d", int(e)))
+	}
+}
+
+// Profile returns the engine's performance profile.
+func (e Engine) Profile() kvstore.EngineProfile {
+	switch e {
+	case RedisLike:
+		return hashkv.Profile
+	case MemcachedLike:
+		return slabkv.Profile
+	case DynamoLike:
+		return treekv.Profile
+	default:
+		panic(fmt.Sprintf("server: unknown engine %d", int(e)))
+	}
+}
+
+// Config parameterizes a deployment.
+type Config struct {
+	Engine     Engine
+	Machine    memsim.Config
+	NoiseSigma float64
+	Seed       int64
+}
+
+// DefaultConfig returns the Table I machine with default noise.
+func DefaultConfig(e Engine, seed int64) Config {
+	return Config{Engine: e, Machine: memsim.DefaultConfig(), NoiseSigma: DefaultNoiseSigma, Seed: seed}
+}
+
+// Deployment is two engine instances on the hybrid machine with a
+// placement routing keys between them.
+type Deployment struct {
+	cfg       Config
+	machine   *memsim.Machine
+	clock     simclock.Clock
+	instances [2]kvstore.Store // indexed by memsim.Tier
+	placement Placement
+	noise     *Noise
+	profile   kvstore.EngineProfile
+}
+
+// NewDeployment builds an empty deployment with an AllFast placement.
+func NewDeployment(cfg Config) *Deployment {
+	d := &Deployment{
+		cfg:       cfg,
+		machine:   memsim.NewMachine(cfg.Machine),
+		placement: AllFast(),
+		noise:     NewNoise(cfg.NoiseSigma, cfg.Seed),
+		profile:   cfg.Engine.Profile(),
+	}
+	d.instances[memsim.Fast] = cfg.Engine.newStore()
+	d.instances[memsim.Slow] = cfg.Engine.newStore()
+	return d
+}
+
+// Machine exposes the underlying memory machine (for calibration and
+// inspection).
+func (d *Deployment) Machine() *memsim.Machine { return d.machine }
+
+// Clock returns the current simulated time.
+func (d *Deployment) Clock() simclock.Duration { return d.clock.Now() }
+
+// Engine reports the deployed engine.
+func (d *Deployment) Engine() Engine { return d.cfg.Engine }
+
+// Placement returns the active placement.
+func (d *Deployment) Placement() Placement { return d.placement }
+
+// Instance returns the store bound to a tier.
+func (d *Deployment) Instance(t memsim.Tier) kvstore.Store { return d.instances[t] }
+
+// Load populates the deployment from a dataset under the given placement.
+// Loading is the untimed setup phase (the paper's YCSB load stage): it
+// neither advances the clock nor perturbs the LLC model. Node capacity is
+// accounted; an error is returned if a tier overflows a configured
+// capacity.
+func (d *Deployment) Load(ds ycsb.Dataset, p Placement) error {
+	d.placement = p
+	for _, rec := range ds.Records {
+		tier := p.TierOf(rec.Key)
+		if err := d.machine.Node(tier).Alloc(int64(rec.Size)); err != nil {
+			return fmt.Errorf("server: loading %q: %w", rec.Key, err)
+		}
+		d.instances[tier].Put(rec.Key, kvstore.Sized(rec.Size))
+		d.instances[tier].TakePauseNs() // setup-phase stalls are not timed
+	}
+	if llc := d.machine.LLC(); llc != nil {
+		llc.Flush()
+		llc.ResetStats()
+	}
+	return nil
+}
+
+// Result reports how one request was served.
+type Result struct {
+	Tier    memsim.Tier
+	Kind    kvstore.OpKind
+	Latency simclock.Duration
+	Found   bool
+	Hit     bool // LLC hit
+}
+
+// Do executes one request against the deployment, advancing the clock by
+// its service time.
+func (d *Deployment) Do(key string, kind kvstore.OpKind, size int) Result {
+	tier := d.placement.TierOf(key)
+	st := d.instances[tier]
+	var tr kvstore.OpTrace
+	switch kind {
+	case kvstore.Read:
+		_, tr = st.Get(key)
+	case kvstore.Write:
+		tr = st.Put(key, kvstore.Sized(size))
+	case kvstore.Delete:
+		tr = st.Del(key)
+	default:
+		panic(fmt.Sprintf("server: unknown op kind %v", kind))
+	}
+
+	// Cache residency is tracked at the record's value size; pricing uses
+	// the engine's (possibly amplified) touched bytes.
+	ref := memsim.RecordRef{ID: tr.RecordID, Bytes: d.valueBytes(tr, size)}
+	traffic := d.machine.Touch(tier, ref, tr.Chases)
+	if kind == kvstore.Delete {
+		d.machine.Invalidate(ref)
+	}
+
+	var medium memsim.NodeParams
+	if traffic.CacheHit {
+		medium = memsim.LLCParams
+	} else {
+		medium = d.machine.Node(tier).Params
+	}
+	transferNs := medium.TransferNs(tr.Touched)
+	if kind == kvstore.Write {
+		transferNs *= d.profile.WritePenalty
+	}
+	memNs := (medium.ChaseNs(tr.Chases) + transferNs) / d.profile.MLP
+
+	cpuNs := d.profile.CPUBaseNs + d.profile.CPUPerByteNs*float64(d.valueBytes(tr, size))
+	serviceNs := (cpuNs+memNs)*d.noise.Factor() + st.TakePauseNs()
+
+	lat := simclock.FromNanos(serviceNs)
+	d.clock.Advance(lat)
+	return Result{Tier: tier, Kind: kind, Latency: lat, Found: tr.Found, Hit: traffic.CacheHit}
+}
+
+// valueBytes recovers the record's actual payload size from an operation
+// trace: the size the CPU handles once (serialization and copy) and the
+// footprint the record occupies in the LLC. Engine traces report Touched
+// = payload × amplification, so the engine's amplification factor is
+// divided back out.
+func (d *Deployment) valueBytes(tr kvstore.OpTrace, writeSize int) int {
+	if tr.Kind == kvstore.Write {
+		return writeSize
+	}
+	if !tr.Found {
+		return 0
+	}
+	amp := d.profile.ReadAmplification
+	if amp < 1 {
+		amp = 1
+	}
+	return int(float64(tr.Touched) / amp)
+}

@@ -1,0 +1,90 @@
+// Package simclock provides a deterministic virtual clock for the hybrid
+// memory simulator.
+//
+// All performance numbers in this repository are expressed in simulated
+// time: the key-value store engines compute a service time for every
+// request (see internal/server) and advance a Clock by that amount. Using
+// virtual rather than wall-clock time makes every experiment deterministic
+// for a given seed and independent of the hardware the reproduction runs
+// on, while preserving the additive service-time structure Mnemo's
+// analytical model relies on.
+package simclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Duration is a span of simulated time with nanosecond resolution.
+//
+// It is kept distinct from time.Duration so that simulated and wall-clock
+// quantities cannot be mixed accidentally; convert explicitly with
+// FromReal/Real.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// FromReal converts a wall-clock duration to a simulated duration.
+func FromReal(d time.Duration) Duration { return Duration(d.Nanoseconds()) }
+
+// Real converts a simulated duration to a wall-clock duration for display.
+func (d Duration) Real() time.Duration { return time.Duration(d) }
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Nanoseconds reports the duration as an integer nanosecond count.
+func (d Duration) Nanoseconds() int64 { return int64(d) }
+
+// Microseconds reports the duration as a floating-point microsecond count.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// String formats the duration using time.Duration notation.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// FromSeconds builds a Duration from a floating-point number of seconds.
+func FromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// FromNanos builds a Duration from a floating-point nanosecond count,
+// rounding to the nearest nanosecond.
+func FromNanos(ns float64) Duration {
+	if ns < 0 {
+		return Duration(ns - 0.5)
+	}
+	return Duration(ns + 0.5)
+}
+
+// Clock is a monotonically advancing virtual clock.
+//
+// The zero value is a clock at time zero, ready to use. Clock is not safe
+// for concurrent use; the simulator is single-threaded by design (the
+// paper's client issues requests sequentially as well).
+type Clock struct {
+	now Duration
+}
+
+// Now returns the current simulated time since the clock's epoch.
+func (c *Clock) Now() Duration { return c.now }
+
+// Advance moves the clock forward by d and returns the new time.
+// Advancing by a negative duration panics: simulated time is monotonic.
+func (c *Clock) Advance(d Duration) Duration {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative advance %v", d))
+	}
+	c.now += d
+	return c.now
+}
+
+// Reset rewinds the clock to time zero. Useful between experiment runs
+// that reuse a deployment.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Since reports the time elapsed between a past instant t and now.
+func (c *Clock) Since(t Duration) Duration { return c.now - t }

@@ -1,0 +1,131 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroClock(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	var c Clock
+	if got := c.Advance(5 * Microsecond); got != 5*Microsecond {
+		t.Fatalf("Advance returned %v, want 5µs", got)
+	}
+	c.Advance(2 * Second)
+	want := 2*Second + 5*Microsecond
+	if got := c.Now(); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestReset(t *testing.T) {
+	var c Clock
+	c.Advance(Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("after Reset, Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestSince(t *testing.T) {
+	var c Clock
+	c.Advance(10 * Millisecond)
+	mark := c.Now()
+	c.Advance(3 * Millisecond)
+	if got := c.Since(mark); got != 3*Millisecond {
+		t.Fatalf("Since = %v, want 3ms", got)
+	}
+}
+
+func TestUnitRatios(t *testing.T) {
+	if Second != 1e9*Nanosecond {
+		t.Errorf("Second = %d ns, want 1e9", int64(Second))
+	}
+	if Millisecond != 1e6*Nanosecond {
+		t.Errorf("Millisecond = %d ns, want 1e6", int64(Millisecond))
+	}
+	if Microsecond != 1e3*Nanosecond {
+		t.Errorf("Microsecond = %d ns, want 1e3", int64(Microsecond))
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	cases := []float64{0, 1, 0.5, 1.25e-3, 3600}
+	for _, s := range cases {
+		d := FromSeconds(s)
+		if got := d.Seconds(); got != s {
+			t.Errorf("FromSeconds(%v).Seconds() = %v", s, got)
+		}
+	}
+}
+
+func TestFromNanosRounds(t *testing.T) {
+	if got := FromNanos(1.6); got != 2 {
+		t.Errorf("FromNanos(1.6) = %d, want 2", got)
+	}
+	if got := FromNanos(1.4); got != 1 {
+		t.Errorf("FromNanos(1.4) = %d, want 1", got)
+	}
+	if got := FromNanos(-1.6); got != -2 {
+		t.Errorf("FromNanos(-1.6) = %d, want -2", got)
+	}
+}
+
+func TestRealConversion(t *testing.T) {
+	d := FromReal(250 * time.Millisecond)
+	if d != 250*Millisecond {
+		t.Fatalf("FromReal = %v, want 250ms", d)
+	}
+	if d.Real() != 250*time.Millisecond {
+		t.Fatalf("Real = %v, want 250ms", d.Real())
+	}
+}
+
+func TestMicroseconds(t *testing.T) {
+	d := 1500 * Nanosecond
+	if got := d.Microseconds(); got != 1.5 {
+		t.Fatalf("Microseconds = %v, want 1.5", got)
+	}
+}
+
+// Property: advancing by a then b equals advancing by a+b.
+func TestAdvanceAdditiveProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		var c1, c2 Clock
+		c1.Advance(Duration(a))
+		c1.Advance(Duration(b))
+		c2.Advance(Duration(a) + Duration(b))
+		return c1.Now() == c2.Now()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FromReal then Real is the identity on time.Duration.
+func TestRealRoundTripProperty(t *testing.T) {
+	f := func(ns int64) bool {
+		d := time.Duration(ns)
+		return FromReal(d).Real() == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

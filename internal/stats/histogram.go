@@ -1,0 +1,287 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a log-bucketed latency histogram in the spirit of HDR
+// histograms: values are recorded into buckets whose width grows
+// geometrically, giving bounded relative error for percentile queries at
+// O(1) memory per recording. It is used by the client to track request
+// latencies for the tail-latency figures (Fig 8d, 8e) without retaining
+// every sample.
+//
+// The zero value is not usable; construct with NewHistogram.
+type Histogram struct {
+	growth  float64 // geometric bucket growth factor, > 1
+	minVal  float64 // lower bound of bucket 0
+	counts  []int64
+	total   int64
+	sum     float64
+	maxSeen float64
+	minSeen float64
+}
+
+// NewHistogram creates a histogram whose buckets start at minVal and grow
+// by the given factor per bucket. A growth of 1.05 bounds the relative
+// quantile error at about 5%. It panics on invalid parameters.
+func NewHistogram(minVal, growth float64) *Histogram {
+	if minVal <= 0 {
+		panic("stats: histogram minVal must be positive")
+	}
+	if growth <= 1 {
+		panic("stats: histogram growth must exceed 1")
+	}
+	return &Histogram{growth: growth, minVal: minVal, minSeen: math.Inf(1)}
+}
+
+// bucketFor maps a value to its bucket index (values below minVal share
+// bucket 0).
+func (h *Histogram) bucketFor(v float64) int {
+	if v <= h.minVal {
+		return 0
+	}
+	return int(math.Log(v/h.minVal)/math.Log(h.growth)) + 1
+}
+
+// bucketUpper returns the representative (upper bound) value for bucket i.
+func (h *Histogram) bucketUpper(i int) float64 {
+	if i == 0 {
+		return h.minVal
+	}
+	return h.minVal * math.Pow(h.growth, float64(i))
+}
+
+// Record adds one observation. Non-positive values are clamped into the
+// lowest bucket (latencies are always positive in practice).
+func (h *Histogram) Record(v float64) {
+	idx := 0
+	if v > 0 {
+		idx = h.bucketFor(v)
+	}
+	if idx >= len(h.counts) {
+		grown := make([]int64, idx+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx]++
+	h.total++
+	h.sum += v
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	if v < h.minSeen {
+		h.minSeen = v
+	}
+}
+
+// N returns the number of recorded observations.
+func (h *Histogram) N() int64 { return h.total }
+
+// Mean returns the exact mean of recorded observations (tracked outside
+// the buckets, so it carries no bucketing error).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest recorded observation (exact).
+func (h *Histogram) Max() float64 { return h.maxSeen }
+
+// Min returns the smallest recorded observation (exact), or +Inf if empty.
+func (h *Histogram) Min() float64 { return h.minSeen }
+
+// Quantile returns an estimate of the q-th quantile (0 < q ≤ 1) with
+// relative error bounded by the bucket growth factor. It returns 0 for an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.minSeen
+	}
+	if q >= 1 {
+		return h.maxSeen
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := h.bucketUpper(i)
+			// Clamp to the observed extrema so tails stay exact.
+			if v > h.maxSeen {
+				v = h.maxSeen
+			}
+			if v < h.minSeen {
+				v = h.minSeen
+			}
+			return v
+		}
+	}
+	return h.maxSeen
+}
+
+// Percentiles is a convenience wrapper returning estimates for several
+// percentile points at once (expressed 0–100).
+func (h *Histogram) Percentiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = h.Quantile(p / 100)
+	}
+	return out
+}
+
+// String renders a short textual summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+		h.total, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.maxSeen)
+}
+
+// Compatible reports whether two histograms share bucket geometry and
+// can therefore be merged or mixed.
+func (h *Histogram) Compatible(o *Histogram) bool {
+	return h.minVal == o.minVal && h.growth == o.growth
+}
+
+// Merge folds another histogram's recordings into h. The histograms must
+// share bucket geometry (same NewHistogram parameters); Merge panics
+// otherwise.
+func (h *Histogram) Merge(o *Histogram) {
+	if !h.Compatible(o) {
+		panic("stats: merging incompatible histograms")
+	}
+	if len(o.counts) > len(h.counts) {
+		grown := make([]int64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.maxSeen > h.maxSeen {
+		h.maxSeen = o.maxSeen
+	}
+	if o.minSeen < h.minSeen {
+		h.minSeen = o.minSeen
+	}
+}
+
+// MixtureQuantile returns the q-th quantile (0 < q < 1) of the weighted
+// mixture of histograms: component i contributes weight[i] total
+// probability mass, distributed according to its empirical shape. All
+// histograms must share bucket geometry; components with zero weight or
+// no recordings are skipped. It panics on mismatched slice lengths or
+// incompatible geometry, and returns 0 when no mass remains.
+//
+// This powers the tail-latency estimation extension: the latency
+// distribution of a hybrid tiering is a mixture of the per-tier baseline
+// distributions, weighted by how many requests the tiering sends to each
+// tier.
+func MixtureQuantile(hs []*Histogram, weights []float64, q float64) float64 {
+	if len(hs) != len(weights) {
+		panic("stats: mixture length mismatch")
+	}
+	var ref *Histogram
+	totalW := 0.0
+	maxBuckets := 0
+	for i, h := range hs {
+		if weights[i] < 0 {
+			panic("stats: negative mixture weight")
+		}
+		if weights[i] == 0 || h == nil || h.total == 0 {
+			continue
+		}
+		if ref == nil {
+			ref = h
+		} else if !ref.Compatible(h) {
+			panic("stats: mixing incompatible histograms")
+		}
+		totalW += weights[i]
+		if len(h.counts) > maxBuckets {
+			maxBuckets = len(h.counts)
+		}
+	}
+	if ref == nil || totalW == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q >= 1 {
+		q = 1 - 1e-9
+	}
+	target := q * totalW
+	cum := 0.0
+	for b := 0; b < maxBuckets; b++ {
+		for i, h := range hs {
+			if weights[i] == 0 || h == nil || h.total == 0 || b >= len(h.counts) {
+				continue
+			}
+			cum += weights[i] * float64(h.counts[b]) / float64(h.total)
+		}
+		if cum >= target {
+			return ref.bucketUpper(b)
+		}
+	}
+	// Mass exhausted by rounding: report the largest observation.
+	out := 0.0
+	for i, h := range hs {
+		if weights[i] > 0 && h != nil && h.total > 0 && h.maxSeen > out {
+			out = h.maxSeen
+		}
+	}
+	return out
+}
+
+// Reservoir keeps a bounded uniform random sample of a stream using
+// Vitter's Algorithm R with a caller-supplied random source, so exact
+// percentiles can be computed over streams too large to retain.
+type Reservoir struct {
+	cap     int
+	seen    int64
+	samples []float64
+	randInt func(n int64) int64
+}
+
+// NewReservoir creates a reservoir holding at most capacity samples.
+// randInt must return a uniform integer in [0, n); pass the Int63n method
+// of a seeded *rand.Rand for determinism.
+func NewReservoir(capacity int, randInt func(n int64) int64) *Reservoir {
+	if capacity <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	if randInt == nil {
+		panic("stats: reservoir needs a random source")
+	}
+	return &Reservoir{cap: capacity, randInt: randInt}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, x)
+		return
+	}
+	if j := r.randInt(r.seen); j < int64(r.cap) {
+		r.samples[j] = x
+	}
+}
+
+// Samples returns the current sample set (sorted copy).
+func (r *Reservoir) Samples() []float64 {
+	out := append([]float64(nil), r.samples...)
+	sort.Float64s(out)
+	return out
+}
+
+// Seen reports how many observations were offered in total.
+func (r *Reservoir) Seen() int64 { return r.seen }

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1, 1.05)
+	b := NewHistogram(1, 1.05)
+	for i := 1; i <= 100; i++ {
+		a.Record(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(float64(i))
+	}
+	a.Merge(b)
+	if a.N() != 200 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if !almostEqual(a.Mean(), 100.5, 1e-9) {
+		t.Errorf("merged mean = %v", a.Mean())
+	}
+	if a.Max() != 200 || a.Min() != 1 {
+		t.Errorf("merged extrema %v/%v", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med < 95 || med > 106 {
+		t.Errorf("merged median = %v, want ≈100", med)
+	}
+}
+
+func TestHistogramMergeIncompatiblePanics(t *testing.T) {
+	a := NewHistogram(1, 1.05)
+	b := NewHistogram(1, 1.10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestHistogramCompatible(t *testing.T) {
+	a := NewHistogram(1, 1.05)
+	if !a.Compatible(NewHistogram(1, 1.05)) {
+		t.Error("identical params reported incompatible")
+	}
+	if a.Compatible(NewHistogram(2, 1.05)) || a.Compatible(NewHistogram(1, 1.04)) {
+		t.Error("different params reported compatible")
+	}
+}
+
+func TestMixtureQuantileTwoComponents(t *testing.T) {
+	// Component A around 10, component B around 1000, equal weights:
+	// the median sits between them; p95 lands in B's range.
+	a := NewHistogram(1, 1.02)
+	b := NewHistogram(1, 1.02)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		a.Record(10 * (1 + 0.05*rng.Float64()))
+		b.Record(1000 * (1 + 0.05*rng.Float64()))
+	}
+	med := MixtureQuantile([]*Histogram{a, b}, []float64{1, 1}, 0.5)
+	if med > 12 {
+		t.Errorf("median %v should fall at the top of component A", med)
+	}
+	p95 := MixtureQuantile([]*Histogram{a, b}, []float64{1, 1}, 0.95)
+	if p95 < 900 {
+		t.Errorf("p95 %v should fall inside component B", p95)
+	}
+	// Weighting A 19:1 pushes p95 into A.
+	p95w := MixtureQuantile([]*Histogram{a, b}, []float64{19, 1}, 0.95)
+	if p95w > 12 {
+		t.Errorf("weighted p95 %v should stay in component A", p95w)
+	}
+}
+
+func TestMixtureQuantileMatchesExactOnPooledData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewHistogram(1e-3, 1.01)
+	b := NewHistogram(1e-3, 1.01)
+	var pooled []float64
+	for i := 0; i < 30000; i++ {
+		x := math.Exp(rng.NormFloat64())
+		a.Record(x)
+		pooled = append(pooled, x)
+	}
+	for i := 0; i < 10000; i++ {
+		x := 5 * math.Exp(rng.NormFloat64())
+		b.Record(x)
+		pooled = append(pooled, x)
+	}
+	sort.Float64s(pooled)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := pooled[int(q*float64(len(pooled)))-1]
+		got := MixtureQuantile([]*Histogram{a, b}, []float64{30000, 10000}, q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.03 {
+			t.Errorf("q=%v: mixture %v vs exact %v (rel %.3f)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestMixtureQuantileEdgeCases(t *testing.T) {
+	a := NewHistogram(1, 1.05)
+	a.Record(5)
+	// Zero-weight and nil components are skipped.
+	if got := MixtureQuantile([]*Histogram{a, nil}, []float64{1, 5}, 0.5); got == 0 {
+		t.Error("nil component broke the mixture")
+	}
+	empty := NewHistogram(1, 1.05)
+	if got := MixtureQuantile([]*Histogram{a, empty}, []float64{1, 1}, 0.5); got == 0 {
+		t.Error("empty component broke the mixture")
+	}
+	// All-zero weights → 0.
+	if got := MixtureQuantile([]*Histogram{a}, []float64{0}, 0.5); got != 0 {
+		t.Errorf("zero-weight mixture = %v", got)
+	}
+	// Clamped q values do not panic.
+	_ = MixtureQuantile([]*Histogram{a}, []float64{1}, 0)
+	_ = MixtureQuantile([]*Histogram{a}, []float64{1}, 1)
+}
+
+func TestMixtureQuantilePanics(t *testing.T) {
+	a := NewHistogram(1, 1.05)
+	a.Record(1)
+	b := NewHistogram(2, 1.05)
+	b.Record(1)
+	for _, fn := range []func(){
+		func() { MixtureQuantile([]*Histogram{a}, []float64{1, 2}, 0.5) },
+		func() { MixtureQuantile([]*Histogram{a, b}, []float64{1, 1}, 0.5) },
+		func() { MixtureQuantile([]*Histogram{a}, []float64{-1}, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

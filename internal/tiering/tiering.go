@@ -1,0 +1,170 @@
+// Package tiering implements a *generic* data-tiering profiler of the
+// kind Mnemo's deployment mode 2b consumes (Fig 2b): an
+// application-agnostic tool in the mold of OS-level and PEBS-based
+// tiering systems that observes memory accesses at page granularity via
+// hardware sampling, ranks pages by access density, and emits a
+// DRAM-priority ordering.
+//
+// Unlike MnemoT's Pattern Engine — which computes exact per-key weights
+// from the workload description alone — a generic profiler sees only
+// sampled physical accesses. The reproduction models that faithfully:
+// records are laid out in a virtual address space, each request touches
+// the record's pages, and each page touch is observed with probability
+// 1/rate. Low sampling rates are cheap but blur the hot/cold boundary;
+// the ModeB experiment quantifies the resulting ordering-quality loss
+// against MnemoT.
+package tiering
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mnemo/internal/ycsb"
+)
+
+// PageSize is the profiling granularity (4 KiB pages, the x86 default
+// that OS-level tiering systems track).
+const PageSize = 4096
+
+// AddressSpace lays a dataset's records out contiguously in a virtual
+// address space so page-level observations can be attributed back to
+// records.
+type AddressSpace struct {
+	starts []int64 // byte offset of each record, index-aligned with the dataset
+	ends   []int64
+	total  int64
+}
+
+// NewAddressSpace builds the layout for a dataset, padding each record
+// to page alignment the way slab-backed stores place large values.
+func NewAddressSpace(ds ycsb.Dataset) *AddressSpace {
+	s := &AddressSpace{
+		starts: make([]int64, len(ds.Records)),
+		ends:   make([]int64, len(ds.Records)),
+	}
+	var cursor int64
+	for i, rec := range ds.Records {
+		s.starts[i] = cursor
+		size := int64(rec.Size)
+		// Page-align each record: generic profilers cannot see two
+		// records sharing a page apart, so stores avoid it for large
+		// values.
+		pages := (size + PageSize - 1) / PageSize
+		if pages == 0 {
+			pages = 1
+		}
+		cursor += pages * PageSize
+		s.ends[i] = cursor
+	}
+	s.total = cursor
+	return s
+}
+
+// Pages reports the record's page span.
+func (s *AddressSpace) Pages(record int) (first, count int64) {
+	first = s.starts[record] / PageSize
+	count = (s.ends[record] - s.starts[record]) / PageSize
+	return first, count
+}
+
+// TotalPages reports the mapped page count.
+func (s *AddressSpace) TotalPages() int64 { return s.total / PageSize }
+
+// RecordOf returns the record owning a page (-1 if unmapped). Lookup is
+// a binary search over the layout.
+func (s *AddressSpace) RecordOf(page int64) int {
+	addr := page * PageSize
+	idx := sort.Search(len(s.starts), func(i int) bool { return s.ends[i] > addr })
+	if idx == len(s.starts) || s.starts[idx] > addr {
+		return -1
+	}
+	return idx
+}
+
+// Profiler observes sampled page accesses for a workload replay.
+type Profiler struct {
+	space  *AddressSpace
+	rate   int
+	rng    *rand.Rand
+	counts map[int64]int64 // page → sampled access count
+	// samples is the total number of observations taken (the profiler's
+	// data-collection cost is proportional to this).
+	samples int64
+}
+
+// NewProfiler creates a sampling profiler. rate = 1 observes every page
+// touch (Pin-like instrumentation); rate = 4000 approximates PEBS-style
+// hardware sampling. It panics on a non-positive rate.
+func NewProfiler(space *AddressSpace, rate int, seed int64) *Profiler {
+	if rate <= 0 {
+		panic(fmt.Sprintf("tiering: sampling rate %d must be positive", rate))
+	}
+	return &Profiler{
+		space:  space,
+		rate:   rate,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: map[int64]int64{},
+	}
+}
+
+// Observe replays the workload's access pattern through the sampler:
+// each request touches all pages of its record, and each touch is
+// recorded with probability 1/rate.
+func (p *Profiler) Observe(w *ycsb.Workload) {
+	for _, op := range w.Ops {
+		first, count := p.space.Pages(op.Key)
+		for pg := first; pg < first+count; pg++ {
+			if p.rate == 1 || p.rng.Intn(p.rate) == 0 {
+				p.counts[pg]++
+				p.samples++
+			}
+		}
+	}
+}
+
+// Samples reports how many page observations were collected.
+func (p *Profiler) Samples() int64 { return p.samples }
+
+// SampledPages reports how many distinct pages were observed hot.
+func (p *Profiler) SampledPages() int { return len(p.counts) }
+
+// KeyOrdering aggregates page heat back to records and returns keys in
+// descending access-density order (sampled touches per page), the DRAM
+// allocation priority a generic tiering solution would hand to Mnemo.
+// Unobserved keys follow in dataset order.
+func (p *Profiler) KeyOrdering(ds ycsb.Dataset) []string {
+	type heat struct {
+		record  int
+		density float64
+	}
+	heats := make([]heat, 0, len(p.counts))
+	byRecord := map[int]int64{}
+	for pg, c := range p.counts {
+		if rec := p.space.RecordOf(pg); rec >= 0 {
+			byRecord[rec] += c
+		}
+	}
+	for rec, c := range byRecord {
+		_, pages := p.space.Pages(rec)
+		heats = append(heats, heat{record: rec, density: float64(c) / float64(pages)})
+	}
+	sort.Slice(heats, func(i, j int) bool {
+		if heats[i].density != heats[j].density {
+			return heats[i].density > heats[j].density
+		}
+		return heats[i].record < heats[j].record
+	})
+	out := make([]string, 0, len(ds.Records))
+	seen := make([]bool, len(ds.Records))
+	for _, h := range heats {
+		out = append(out, ds.Records[h.record].Key)
+		seen[h.record] = true
+	}
+	for i, rec := range ds.Records {
+		if !seen[i] {
+			out = append(out, rec.Key)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package tiering
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mnemo/internal/ycsb"
+)
+
+func dataset(t *testing.T) *ycsb.Workload {
+	t.Helper()
+	return ycsb.MustGenerate(ycsb.Spec{
+		Name: "tiering_test", Keys: 300, Requests: 6000,
+		Dist:      ycsb.DistSpec{Kind: ycsb.Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+		ReadRatio: 1.0, Sizes: ycsb.SizeThumbnail, Seed: 3,
+	})
+}
+
+func TestAddressSpaceLayout(t *testing.T) {
+	w := dataset(t)
+	s := NewAddressSpace(w.Dataset)
+	if s.TotalPages() <= 0 {
+		t.Fatal("empty address space")
+	}
+	// Records are disjoint and page-aligned; every page maps back to its
+	// record.
+	var prevEnd int64
+	for i := range w.Dataset.Records {
+		first, count := s.Pages(i)
+		if count <= 0 {
+			t.Fatalf("record %d spans %d pages", i, count)
+		}
+		if first*PageSize < prevEnd {
+			t.Fatalf("record %d overlaps previous", i)
+		}
+		prevEnd = (first + count) * PageSize
+		if got := s.RecordOf(first); got != i {
+			t.Fatalf("RecordOf(first page of %d) = %d", i, got)
+		}
+		if got := s.RecordOf(first + count - 1); got != i {
+			t.Fatalf("RecordOf(last page of %d) = %d", i, got)
+		}
+	}
+	if s.RecordOf(s.TotalPages()) != -1 {
+		t.Fatal("page past the end mapped to a record")
+	}
+}
+
+func TestAddressSpaceRoundTripProperty(t *testing.T) {
+	w := dataset(t)
+	s := NewAddressSpace(w.Dataset)
+	total := s.TotalPages()
+	f := func(raw uint32) bool {
+		pg := int64(raw) % total
+		rec := s.RecordOf(pg)
+		if rec < 0 {
+			return false
+		}
+		first, count := s.Pages(rec)
+		return pg >= first && pg < first+count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullRateProfilerFindsHotSet(t *testing.T) {
+	w := dataset(t)
+	s := NewAddressSpace(w.Dataset)
+	p := NewProfiler(s, 1, 1)
+	p.Observe(w)
+	if p.Samples() == 0 || p.SampledPages() == 0 {
+		t.Fatal("no observations at rate 1")
+	}
+	order := p.KeyOrdering(w.Dataset)
+	if len(order) != len(w.Dataset.Records) {
+		t.Fatalf("ordering covers %d keys", len(order))
+	}
+	// The top 20% of the ordering must be dominated by the true hot set
+	// (keys 0..59 in a 300-key hotspot workload).
+	hot := 0
+	for _, key := range order[:60] {
+		var idx int
+		if _, err := fmtSscanf(key, &idx); err != nil {
+			t.Fatal(err)
+		}
+		if idx < 60 {
+			hot++
+		}
+	}
+	if hot < 55 {
+		t.Errorf("only %d/60 of the top ordering are true hot keys", hot)
+	}
+}
+
+// fmtSscanf extracts the numeric suffix of a ycsb key.
+func fmtSscanf(key string, idx *int) (int, error) {
+	n := 0
+	for _, c := range key {
+		if c >= '0' && c <= '9' {
+			n = n*10 + int(c-'0')
+		}
+	}
+	*idx = n
+	return 1, nil
+}
+
+func TestSamplingRateDegradesGracefully(t *testing.T) {
+	w := dataset(t)
+	s := NewAddressSpace(w.Dataset)
+	exact := NewProfiler(s, 1, 1)
+	exact.Observe(w)
+	sparse := NewProfiler(s, 500, 1)
+	sparse.Observe(w)
+	if sparse.Samples() >= exact.Samples()/100 {
+		t.Fatalf("rate-500 sampler took %d of %d samples", sparse.Samples(), exact.Samples())
+	}
+	// Sparse ordering still surfaces mostly-hot keys at the top.
+	order := sparse.KeyOrdering(w.Dataset)
+	hot := 0
+	for _, key := range order[:60] {
+		var idx int
+		fmtSscanf(key, &idx)
+		if idx < 60 {
+			hot++
+		}
+	}
+	if hot < 30 {
+		t.Errorf("sparse sampler found only %d/60 hot keys at the top", hot)
+	}
+}
+
+func TestUnobservedKeysAppended(t *testing.T) {
+	w := dataset(t)
+	s := NewAddressSpace(w.Dataset)
+	// Extreme rate: almost nothing observed.
+	p := NewProfiler(s, 1_000_000, 1)
+	p.Observe(w)
+	order := p.KeyOrdering(w.Dataset)
+	if len(order) != len(w.Dataset.Records) {
+		t.Fatalf("ordering dropped keys: %d", len(order))
+	}
+	seen := map[string]bool{}
+	for _, k := range order {
+		if seen[k] {
+			t.Fatalf("key %s duplicated", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestProfilerPanicsOnBadRate(t *testing.T) {
+	w := dataset(t)
+	s := NewAddressSpace(w.Dataset)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProfiler(s, 0, 1)
+}

@@ -1,0 +1,108 @@
+package ycsb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mnemo/internal/kvstore"
+)
+
+// Workload CSV format ("mnemo-workload v1"):
+//
+//	row 0:  header  ["mnemo-workload", "v1", <name>]
+//	rec rows:       ["rec", <key>, <size-bytes>]
+//	op rows:        ["op", <key>, "read"|"write"|"delete"]
+//
+// Record rows must precede the op rows that reference their keys. This is
+// the interchange format of cmd/workloadgen and of Mnemo's "user-provided
+// sequence of keys and request types" input (§IV, Interfacing with
+// Mnemo).
+
+// WriteCSV serializes the workload.
+func (w *Workload) WriteCSV(out io.Writer) error {
+	cw := csv.NewWriter(out)
+	if err := cw.Write([]string{"mnemo-workload", "v1", w.Spec.Name}); err != nil {
+		return err
+	}
+	for _, rec := range w.Dataset.Records {
+		if err := cw.Write([]string{"rec", rec.Key, strconv.Itoa(rec.Size)}); err != nil {
+			return err
+		}
+	}
+	for _, op := range w.Ops {
+		if err := cw.Write([]string{"op", w.Dataset.Records[op.Key].Key, op.Kind.String()}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a workload in the format written by WriteCSV. The
+// resulting Spec carries only the name and derived counts; distribution
+// metadata is not recoverable from a trace (nor needed — Mnemo consumes
+// the trace itself).
+func ReadCSV(in io.Reader) (*Workload, error) {
+	cr := csv.NewReader(in)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("ycsb: reading header: %w", err)
+	}
+	if header[0] != "mnemo-workload" || header[1] != "v1" {
+		return nil, fmt.Errorf("ycsb: not a mnemo-workload v1 file (header %q)", header)
+	}
+	w := &Workload{Spec: Spec{Name: header[2]}}
+	index := map[string]int{}
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("ycsb: line %d: %w", line, err)
+		}
+		switch row[0] {
+		case "rec":
+			size, err := strconv.Atoi(row[2])
+			if err != nil || size < 0 {
+				return nil, fmt.Errorf("ycsb: line %d: bad record size %q", line, row[2])
+			}
+			if _, dup := index[row[1]]; dup {
+				return nil, fmt.Errorf("ycsb: line %d: duplicate record %q", line, row[1])
+			}
+			index[row[1]] = len(w.Dataset.Records)
+			w.Dataset.Records = append(w.Dataset.Records, Record{
+				Key: row[1], ID: kvstore.KeyID(row[1]), Size: size,
+			})
+			w.Dataset.TotalBytes += int64(size)
+		case "op":
+			idx, ok := index[row[1]]
+			if !ok {
+				return nil, fmt.Errorf("ycsb: line %d: op references unknown key %q", line, row[1])
+			}
+			var kind kvstore.OpKind
+			switch row[2] {
+			case "read":
+				kind = kvstore.Read
+			case "write":
+				kind = kvstore.Write
+			case "delete":
+				kind = kvstore.Delete
+			default:
+				return nil, fmt.Errorf("ycsb: line %d: unknown op kind %q", line, row[2])
+			}
+			w.Ops = append(w.Ops, Op{Key: idx, Kind: kind})
+		default:
+			return nil, fmt.Errorf("ycsb: line %d: unknown row type %q", line, row[0])
+		}
+	}
+	w.Spec.Keys = len(w.Dataset.Records)
+	w.Spec.Requests = len(w.Ops)
+	w.Spec.ReadRatio = w.ReadFraction()
+	return w, nil
+}

@@ -1,0 +1,81 @@
+package ycsb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mnemo/internal/kvstore"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	spec := EditThumbnail(21)
+	spec.Keys = 50
+	spec.Requests = 500
+	w := MustGenerate(spec)
+	var buf bytes.Buffer
+	if err := w.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Name != w.Spec.Name {
+		t.Errorf("name %q != %q", got.Spec.Name, w.Spec.Name)
+	}
+	if len(got.Dataset.Records) != len(w.Dataset.Records) {
+		t.Fatalf("records %d != %d", len(got.Dataset.Records), len(w.Dataset.Records))
+	}
+	for i := range got.Dataset.Records {
+		if got.Dataset.Records[i] != w.Dataset.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got.Dataset.Records[i], w.Dataset.Records[i])
+		}
+	}
+	if len(got.Ops) != len(w.Ops) {
+		t.Fatalf("ops %d != %d", len(got.Ops), len(w.Ops))
+	}
+	for i := range got.Ops {
+		if got.Ops[i] != w.Ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+	if got.Dataset.TotalBytes != w.Dataset.TotalBytes {
+		t.Error("total bytes differ")
+	}
+	if got.Spec.Keys != 50 || got.Spec.Requests != 500 {
+		t.Error("derived counts wrong")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "foo,v1,x\n",
+		"bad version":   "mnemo-workload,v2,x\n",
+		"bad size":      "mnemo-workload,v1,x\nrec,k1,notanumber\n",
+		"negative size": "mnemo-workload,v1,x\nrec,k1,-5\n",
+		"dup record":    "mnemo-workload,v1,x\nrec,k1,5\nrec,k1,6\n",
+		"unknown key":   "mnemo-workload,v1,x\nop,k9,read\n",
+		"unknown kind":  "mnemo-workload,v1,x\nrec,k1,5\nop,k1,scan\n",
+		"unknown row":   "mnemo-workload,v1,x\nblah,k1,5\n",
+		"ragged row":    "mnemo-workload,v1,x\nrec,k1\n",
+		"short header":  "mnemo-workload,v1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadCSVDeleteOps(t *testing.T) {
+	in := "mnemo-workload,v1,t\nrec,k1,10\nop,k1,delete\n"
+	w, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Ops) != 1 || w.Ops[0].Kind != kvstore.Delete {
+		t.Fatalf("ops = %+v", w.Ops)
+	}
+}

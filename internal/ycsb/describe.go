@@ -1,0 +1,137 @@
+package ycsb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Profile is a descriptive summary of a workload trace — the "knowledge
+// of the access distribution across the key space" the paper identifies
+// as the enabler of good sizing decisions (§III takeaways). It answers,
+// before any profiling run, how much hot-set structure a trace has.
+type Profile struct {
+	Name     string
+	Keys     int
+	Requests int
+
+	ReadFraction float64
+	TotalBytes   int64
+	MeanRecord   float64
+	MaxRecord    int
+	MinRecord    int
+
+	// TouchedKeys counts keys receiving at least one request.
+	TouchedKeys int
+	// HotKeys50/90/99: how many of the most-accessed keys cover 50%,
+	// 90%, 99% of all requests. Small values mean strong tiering
+	// opportunity.
+	HotKeys50, HotKeys90, HotKeys99 int
+	// HotBytes90 is the byte footprint of the 90% hot set — the FastMem
+	// capacity a frequency-perfect tiering would need.
+	HotBytes90 int64
+	// Gini is the Gini coefficient of the per-key access counts: 0 =
+	// perfectly uniform, →1 = extremely skewed.
+	Gini float64
+}
+
+// Describe computes the trace summary.
+func Describe(w *Workload) Profile {
+	p := Profile{
+		Name:         w.Spec.Name,
+		Keys:         len(w.Dataset.Records),
+		Requests:     len(w.Ops),
+		ReadFraction: w.ReadFraction(),
+		TotalBytes:   w.Dataset.TotalBytes,
+	}
+	if p.Keys == 0 {
+		return p
+	}
+	p.MinRecord = w.Dataset.Records[0].Size
+	for _, rec := range w.Dataset.Records {
+		if rec.Size > p.MaxRecord {
+			p.MaxRecord = rec.Size
+		}
+		if rec.Size < p.MinRecord {
+			p.MinRecord = rec.Size
+		}
+	}
+	p.MeanRecord = float64(p.TotalBytes) / float64(p.Keys)
+
+	reads, writes := w.AccessCounts()
+	counts := make([]keyCount, p.Keys)
+	total := 0
+	for i := range reads {
+		c := reads[i] + writes[i]
+		counts[i] = keyCount{i, c}
+		total += c
+		if c > 0 {
+			p.TouchedKeys++
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i].count > counts[j].count })
+
+	if total > 0 {
+		cum := 0
+		var bytes90 int64
+		for rank, e := range counts {
+			cum += e.count
+			frac := float64(cum) / float64(total)
+			if p.HotKeys50 == 0 && frac >= 0.5 {
+				p.HotKeys50 = rank + 1
+			}
+			if p.HotKeys90 == 0 && frac >= 0.9 {
+				p.HotKeys90 = rank + 1
+				p.HotBytes90 = bytes90 + int64(w.Dataset.Records[e.idx].Size)
+			}
+			if p.HotKeys99 == 0 && frac >= 0.99 {
+				p.HotKeys99 = rank + 1
+				break
+			}
+			bytes90 += int64(w.Dataset.Records[e.idx].Size)
+		}
+		p.Gini = gini(counts, total)
+	}
+	return p
+}
+
+// keyCount pairs a key index with its access count.
+type keyCount struct{ idx, count int }
+
+// gini computes the Gini coefficient from descending-sorted counts.
+func gini(sortedDesc []keyCount, total int) float64 {
+	n := len(sortedDesc)
+	if n == 0 || total == 0 {
+		return 0
+	}
+	// Standard formula over ascending order: G = (2·Σ i·x_i)/(n·Σx) − (n+1)/n.
+	var weighted float64
+	for i := n - 1; i >= 0; i-- {
+		ascRank := n - i // 1-based rank in ascending order
+		weighted += float64(ascRank) * float64(sortedDesc[i].count)
+	}
+	return 2*weighted/(float64(n)*float64(total)) - float64(n+1)/float64(n)
+}
+
+// Render writes the profile as a human-readable block.
+func (p Profile) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"workload %s: %d keys, %d requests, %.0f%% reads\n"+
+			"  dataset: %d bytes total, records %d..%d (mean %.0f)\n"+
+			"  touched keys: %d (%.1f%%)\n"+
+			"  hot set: 50%% of requests hit %d keys; 90%% hit %d keys (%d bytes); 99%% hit %d keys\n"+
+			"  access skew (Gini): %.3f\n",
+		p.Name, p.Keys, p.Requests, p.ReadFraction*100,
+		p.TotalBytes, p.MinRecord, p.MaxRecord, p.MeanRecord,
+		p.TouchedKeys, percent(p.TouchedKeys, p.Keys),
+		p.HotKeys50, p.HotKeys90, p.HotBytes90, p.HotKeys99,
+		p.Gini)
+	return err
+}
+
+func percent(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

@@ -1,0 +1,89 @@
+package ycsb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestDescribeTrending(t *testing.T) {
+	spec := Trending(7)
+	spec.Keys = 1000
+	spec.Requests = 50000
+	w := MustGenerate(spec)
+	p := Describe(w)
+	if p.Keys != 1000 || p.Requests != 50000 {
+		t.Fatalf("scale: %+v", p)
+	}
+	if p.ReadFraction != 1.0 {
+		t.Errorf("read fraction %v", p.ReadFraction)
+	}
+	// Hotspot(20%, 90%): half the requests come from a small slice of
+	// the 200 hot keys; 90% needs roughly the hot set.
+	if p.HotKeys50 > 150 {
+		t.Errorf("HotKeys50 = %d, want ≲150 for hotspot", p.HotKeys50)
+	}
+	if p.HotKeys90 < 150 || p.HotKeys90 > 450 {
+		t.Errorf("HotKeys90 = %d, want ≈200-400", p.HotKeys90)
+	}
+	if p.HotBytes90 <= 0 || p.HotBytes90 >= p.TotalBytes {
+		t.Errorf("HotBytes90 = %d of %d", p.HotBytes90, p.TotalBytes)
+	}
+	if p.Gini < 0.4 {
+		t.Errorf("Gini %.3f too low for a hotspot trace", p.Gini)
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil || buf.Len() == 0 {
+		t.Fatal("render failed")
+	}
+}
+
+func TestDescribeUniformLowSkew(t *testing.T) {
+	w := MustGenerate(Spec{
+		Name: "uni", Keys: 500, Requests: 50000,
+		Dist: DistSpec{Kind: Uniform}, ReadRatio: 0.5, Sizes: SizeFixed1KB, Seed: 3,
+	})
+	p := Describe(w)
+	if p.Gini > 0.15 {
+		t.Errorf("uniform Gini %.3f too high", p.Gini)
+	}
+	// 50% of uniform requests need ≈50% of keys.
+	if math.Abs(float64(p.HotKeys50)-250) > 40 {
+		t.Errorf("uniform HotKeys50 = %d, want ≈250", p.HotKeys50)
+	}
+	if math.Abs(p.ReadFraction-0.5) > 0.02 {
+		t.Errorf("read fraction %v", p.ReadFraction)
+	}
+	if p.MinRecord != 1024 || p.MaxRecord != 1024 {
+		t.Errorf("fixed sizes: %d..%d", p.MinRecord, p.MaxRecord)
+	}
+}
+
+func TestDescribeSkewOrdering(t *testing.T) {
+	gen := func(kind DistKind) Profile {
+		w := MustGenerate(Spec{
+			Name: "x", Keys: 500, Requests: 50000,
+			Dist: DistSpec{Kind: kind}, ReadRatio: 1, Sizes: SizeFixed1KB, Seed: 5,
+		})
+		return Describe(w)
+	}
+	uni := gen(Uniform)
+	zipf := gen(Zipfian)
+	if zipf.Gini <= uni.Gini {
+		t.Errorf("zipfian Gini %.3f not above uniform %.3f", zipf.Gini, uni.Gini)
+	}
+	if zipf.HotKeys90 >= uni.HotKeys90 {
+		t.Errorf("zipfian HotKeys90 %d not below uniform %d", zipf.HotKeys90, uni.HotKeys90)
+	}
+}
+
+func TestDescribeEmptyWorkload(t *testing.T) {
+	p := Describe(&Workload{Spec: Spec{Name: "empty"}})
+	if p.Keys != 0 || p.Gini != 0 {
+		t.Fatalf("empty describe: %+v", p)
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package ycsb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hammers the workload parser with arbitrary input: it must
+// either return an error or a structurally consistent workload, never
+// panic. Run with `go test -fuzz=FuzzReadCSV ./internal/ycsb`; the seeds
+// below also execute as ordinary unit cases.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("mnemo-workload,v1,t\nrec,k1,10\nop,k1,read\n")
+	f.Add("mnemo-workload,v1,t\nrec,k1,10\nrec,k2,0\nop,k2,write\nop,k1,delete\n")
+	f.Add("mnemo-workload,v1,\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("mnemo-workload,v1,t\nrec,k1,-3\n")
+	f.Add("mnemo-workload,v1,t\nop,k1,read\n")
+	f.Add("mnemo-workload,v1,t\nrec,\"a,b\",7\nop,\"a,b\",read\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		w, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Structural invariants of any accepted workload.
+		if w.Spec.Keys != len(w.Dataset.Records) {
+			t.Fatalf("keys %d != records %d", w.Spec.Keys, len(w.Dataset.Records))
+		}
+		if w.Spec.Requests != len(w.Ops) {
+			t.Fatalf("requests %d != ops %d", w.Spec.Requests, len(w.Ops))
+		}
+		var total int64
+		seen := map[string]bool{}
+		for _, rec := range w.Dataset.Records {
+			if rec.Size < 0 {
+				t.Fatalf("negative record size %d", rec.Size)
+			}
+			if seen[rec.Key] {
+				t.Fatalf("duplicate record %q accepted", rec.Key)
+			}
+			seen[rec.Key] = true
+			total += int64(rec.Size)
+		}
+		if total != w.Dataset.TotalBytes {
+			t.Fatalf("total bytes %d != sum %d", w.Dataset.TotalBytes, total)
+		}
+		for i, op := range w.Ops {
+			if op.Key < 0 || op.Key >= len(w.Dataset.Records) {
+				t.Fatalf("op %d references record %d of %d", i, op.Key, len(w.Dataset.Records))
+			}
+		}
+		// An accepted workload must round-trip.
+		var buf bytes.Buffer
+		if err := w.WriteCSV(&buf); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		if _, err := ReadCSV(&buf); err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+	})
+}

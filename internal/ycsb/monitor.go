@@ -1,0 +1,207 @@
+package ycsb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mnemo/internal/kvstore"
+)
+
+// ParseRedisMonitor converts a Redis MONITOR capture into a workload
+// descriptor — the practical way to obtain the "representative key and
+// request type sequence" Mnemo consumes (§IV) from a production cache.
+//
+// MONITOR lines look like:
+//
+//	1530699284.926984 [0 127.0.0.1:51442] "GET" "user:1001"
+//	1530699285.130800 [0 127.0.0.1:51442] "SET" "user:1001" "....payload...."
+//
+// Command mapping: GET/MGET/GETRANGE/EXISTS → read; SET/SETEX/SETNX/
+// APPEND/INCR*/DECR* → write; DEL/UNLINK → delete. Other commands
+// (SELECT, PING, EXPIRE, …) are skipped. Record sizes are taken from the
+// largest SET payload observed per key; keys never written use
+// defaultSize (MONITOR does not show GET reply payloads).
+func ParseRedisMonitor(r io.Reader, defaultSize int) (*Workload, error) {
+	if defaultSize <= 0 {
+		return nil, fmt.Errorf("ycsb: default record size %d must be positive", defaultSize)
+	}
+	w := &Workload{Spec: Spec{Name: "redis_monitor"}}
+	index := map[string]int{}
+	sizes := map[int]int{}
+	type pendingOp struct {
+		key  int
+		kind kvstore.OpKind
+	}
+	var pending []pendingOp
+
+	intern := func(key string) int {
+		if idx, ok := index[key]; ok {
+			return idx
+		}
+		idx := len(w.Dataset.Records)
+		index[key] = idx
+		w.Dataset.Records = append(w.Dataset.Records, Record{Key: key, ID: kvstore.KeyID(key)})
+		return idx
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text == "OK" { // MONITOR's opening "OK"
+			continue
+		}
+		fields, err := splitMonitorLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("ycsb: monitor line %d: %w", line, err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := strings.ToUpper(fields[0])
+		kind, argKeys, payloadIdx := classifyRedisCommand(cmd, len(fields))
+		if kind < 0 {
+			continue // uninteresting command
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("ycsb: monitor line %d: %s without a key", line, cmd)
+		}
+		for k := 1; k <= argKeys && k < len(fields); k++ {
+			idx := intern(fields[k])
+			pending = append(pending, pendingOp{key: idx, kind: kvstore.OpKind(kind)})
+		}
+		if payloadIdx > 0 && payloadIdx < len(fields) {
+			idx := index[fields[1]]
+			if n := len(fields[payloadIdx]); n > sizes[idx] {
+				sizes[idx] = n
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ycsb: reading monitor log: %w", err)
+	}
+	if len(pending) == 0 {
+		return nil, fmt.Errorf("ycsb: monitor log contained no data commands")
+	}
+	// Finalize record sizes, then ops.
+	for i := range w.Dataset.Records {
+		size, ok := sizes[i]
+		if !ok || size == 0 {
+			size = defaultSize
+		}
+		w.Dataset.Records[i].Size = size
+		w.Dataset.TotalBytes += int64(size)
+	}
+	for _, p := range pending {
+		w.Ops = append(w.Ops, Op{Key: p.key, Kind: p.kind})
+	}
+	w.Spec.Keys = len(w.Dataset.Records)
+	w.Spec.Requests = len(w.Ops)
+	w.Spec.ReadRatio = w.ReadFraction()
+	w.Spec.UseCase = "imported from a Redis MONITOR capture"
+	return w, nil
+}
+
+// classifyRedisCommand maps a command to an op kind (−1 = skip), the
+// number of key arguments it touches, and the field index of a payload
+// argument that reveals the value size (0 = none).
+func classifyRedisCommand(cmd string, nfields int) (kind int, argKeys int, payloadIdx int) {
+	switch cmd {
+	case "GET", "GETRANGE", "STRLEN", "EXISTS", "TTL", "HGETALL", "LRANGE":
+		return int(kvstore.Read), 1, 0
+	case "MGET":
+		return int(kvstore.Read), nfields - 1, 0
+	case "SET", "SETNX", "GETSET":
+		return int(kvstore.Write), 1, 2
+	case "SETEX", "PSETEX":
+		return int(kvstore.Write), 1, 3 // SETEX key seconds value
+	case "APPEND", "HSET", "LPUSH", "RPUSH":
+		return int(kvstore.Write), 1, 2
+	case "INCR", "DECR", "INCRBY", "DECRBY", "INCRBYFLOAT":
+		return int(kvstore.Write), 1, 0
+	case "DEL", "UNLINK":
+		return int(kvstore.Delete), nfields - 1, 0
+	default:
+		return -1, 0, 0
+	}
+}
+
+// splitMonitorLine extracts the quoted fields of a MONITOR line,
+// unescaping Redis's \xNN, \n, \r, \t, \\ and \" sequences. The
+// timestamp/client prefix (everything before the first quote) is
+// discarded; a prefix-only line yields no fields.
+func splitMonitorLine(line string) ([]string, error) {
+	var fields []string
+	i := 0
+	for i < len(line) {
+		if line[i] != '"' {
+			i++
+			continue
+		}
+		i++ // consume opening quote
+		var b strings.Builder
+		closed := false
+		for i < len(line) {
+			c := line[i]
+			if c == '"' {
+				i++
+				closed = true
+				break
+			}
+			if c == '\\' && i+1 < len(line) {
+				i++
+				switch line[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case 'r':
+					b.WriteByte('\r')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"':
+					b.WriteByte(line[i])
+				case 'x':
+					if i+2 < len(line) {
+						hi, ok1 := hexVal(line[i+1])
+						lo, ok2 := hexVal(line[i+2])
+						if ok1 && ok2 {
+							b.WriteByte(hi<<4 | lo)
+							i += 2
+						} else {
+							b.WriteByte('x')
+						}
+					} else {
+						b.WriteByte('x')
+					}
+				default:
+					b.WriteByte(line[i])
+				}
+				i++
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated quote")
+		}
+		fields = append(fields, b.String())
+	}
+	return fields, nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,107 @@
+package ycsb
+
+// Table III presets: the paper's custom workloads, each matched to a
+// Facebook use case via Atikoglu et al.'s workload analysis. Hotspot
+// parameters follow the paper's motivating example ("a workload heavily
+// accesses 20% of the keys"): 20% of the key space receives 90% of the
+// operations.
+
+// hotspotDefaults matches the Trending narrative: a small set of trending
+// items absorbs nearly all reads.
+var hotspotDefaults = DistSpec{Kind: Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9}
+
+// Trending reads Facebook short Trending News: hotspot, read-only,
+// thumbnails.
+func Trending(seed int64) Spec {
+	return Spec{
+		Name:      "trending",
+		Keys:      DefaultKeys,
+		Requests:  DefaultRequests,
+		Dist:      hotspotDefaults,
+		ReadRatio: 1.0,
+		Sizes:     SizeThumbnail,
+		Seed:      seed,
+		UseCase:   "Read Facebook short Trending News.",
+	}
+}
+
+// NewsFeed reads the Facebook News Feed: latest, read-only, thumbnails.
+func NewsFeed(seed int64) Spec {
+	return Spec{
+		Name:      "news_feed",
+		Keys:      DefaultKeys,
+		Requests:  DefaultRequests,
+		Dist:      DistSpec{Kind: Latest},
+		ReadRatio: 1.0,
+		Sizes:     SizeThumbnail,
+		Seed:      seed,
+		UseCase:   "Read Facebook News Feed.",
+	}
+}
+
+// Timeline reads a user's Timeline: scrambled zipfian, read-only,
+// thumbnails.
+func Timeline(seed int64) Spec {
+	return Spec{
+		Name:      "timeline",
+		Keys:      DefaultKeys,
+		Requests:  DefaultRequests,
+		Dist:      DistSpec{Kind: ScrambledZipfian},
+		ReadRatio: 1.0,
+		Sizes:     SizeThumbnail,
+		Seed:      seed,
+		UseCase:   "Read Facebook user's Timeline.",
+	}
+}
+
+// EditThumbnail edits a profile photo: scrambled zipfian, 50:50
+// update-heavy, thumbnails.
+func EditThumbnail(seed int64) Spec {
+	return Spec{
+		Name:      "edit_thumbnail",
+		Keys:      DefaultKeys,
+		Requests:  DefaultRequests,
+		Dist:      DistSpec{Kind: ScrambledZipfian},
+		ReadRatio: 0.5,
+		Sizes:     SizeThumbnail,
+		Seed:      seed,
+		UseCase:   "Edit Profile Photo - Add filter/frame.",
+	}
+}
+
+// TrendingPreview scrolls trending news previews: hotspot, read-only,
+// mixed thumbnail/text/caption sizes.
+func TrendingPreview(seed int64) Spec {
+	return Spec{
+		Name:      "trending_preview",
+		Keys:      DefaultKeys,
+		Requests:  DefaultRequests,
+		Dist:      hotspotDefaults,
+		ReadRatio: 1.0,
+		Sizes:     SizeTrendingPreview,
+		Seed:      seed,
+		UseCase:   "Scroll through Facebook Trending News; preview the news photo thumbnail, caption and news summary.",
+	}
+}
+
+// TableIII returns all five paper workload specs with the given seed.
+func TableIII(seed int64) []Spec {
+	return []Spec{
+		Trending(seed),
+		NewsFeed(seed),
+		Timeline(seed),
+		EditThumbnail(seed),
+		TrendingPreview(seed),
+	}
+}
+
+// SpecByName resolves a Table III workload by its name, returning false
+// if unknown.
+func SpecByName(name string, seed int64) (Spec, bool) {
+	for _, s := range TableIII(seed) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,319 @@
+// Package ycsb generates the paper's custom YCSB workloads (Table III):
+// fixed key spaces with per-key record sizes drawn from the Fig 4
+// distributions, and request traces drawn from the Fig 3 key
+// distributions with configurable read:write mixes.
+//
+// A generated Workload doubles as Mnemo's "workload descriptor": the
+// paper's tool consumes exactly a key sequence with request types and a
+// description of key-value sizes, which is what Trace/Dataset carry.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mnemo/internal/dist"
+	"mnemo/internal/kvstore"
+)
+
+// Defaults from Table III: "Number of keys is 10,000 and number of
+// requests 100,000."
+const (
+	DefaultKeys     = 10_000
+	DefaultRequests = 100_000
+)
+
+// DistKind selects a request distribution.
+type DistKind int
+
+// Supported request distributions (Fig 3).
+const (
+	Uniform DistKind = iota
+	Zipfian
+	ScrambledZipfian
+	Hotspot
+	Latest
+)
+
+// String implements fmt.Stringer.
+func (k DistKind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	case ScrambledZipfian:
+		return "scrambled_zipfian"
+	case Hotspot:
+		return "hotspot"
+	case Latest:
+		return "latest"
+	default:
+		return fmt.Sprintf("DistKind(%d)", int(k))
+	}
+}
+
+// DistSpec parameterizes a request distribution.
+type DistSpec struct {
+	Kind DistKind
+	// Theta is the zipfian skew (Zipfian/ScrambledZipfian); 0 means the
+	// YCSB default of 0.99.
+	Theta float64
+	// HotSetFraction and HotOpnFraction parameterize Hotspot.
+	HotSetFraction, HotOpnFraction float64
+}
+
+// New builds the chooser for a key space of the given size and a trace of
+// the given length.
+func (d DistSpec) New(keys, requests int) dist.KeyChooser {
+	theta := d.Theta
+	if theta == 0 {
+		theta = dist.ZipfianTheta
+	}
+	switch d.Kind {
+	case Uniform:
+		return dist.NewUniform(keys)
+	case Zipfian:
+		return dist.NewZipfian(keys, theta)
+	case ScrambledZipfian:
+		return dist.NewScrambledZipfian(keys, theta)
+	case Hotspot:
+		return dist.NewHotspot(keys, d.HotSetFraction, d.HotOpnFraction)
+	case Latest:
+		return dist.NewLatest(keys, requests)
+	default:
+		panic(fmt.Sprintf("ycsb: unknown distribution kind %d", int(d.Kind)))
+	}
+}
+
+// SizeKind selects a record-size distribution (Fig 4).
+type SizeKind int
+
+// Supported record-size models.
+const (
+	SizeThumbnail SizeKind = iota
+	SizeTextPost
+	SizePhotoCaption
+	SizeTrendingPreview
+	SizeFixed1KB
+	SizeFixed10KB
+	SizeFixed100KB
+)
+
+// String implements fmt.Stringer.
+func (k SizeKind) String() string {
+	switch k {
+	case SizeThumbnail:
+		return "thumbnail"
+	case SizeTextPost:
+		return "text_post"
+	case SizePhotoCaption:
+		return "photo_caption"
+	case SizeTrendingPreview:
+		return "trending_preview_mix"
+	case SizeFixed1KB:
+		return "fixed_1kb"
+	case SizeFixed10KB:
+		return "fixed_10kb"
+	case SizeFixed100KB:
+		return "fixed_100kb"
+	default:
+		return fmt.Sprintf("SizeKind(%d)", int(k))
+	}
+}
+
+// New builds the size distribution.
+func (k SizeKind) New() dist.SizeDist {
+	switch k {
+	case SizeThumbnail:
+		return dist.Thumbnail()
+	case SizeTextPost:
+		return dist.TextPost()
+	case SizePhotoCaption:
+		return dist.PhotoCaption()
+	case SizeTrendingPreview:
+		return dist.TrendingPreviewMix()
+	case SizeFixed1KB:
+		return dist.NewFixed(1*dist.KB, "fixed_1kb")
+	case SizeFixed10KB:
+		return dist.NewFixed(10*dist.KB, "fixed_10kb")
+	case SizeFixed100KB:
+		return dist.NewFixed(100*dist.KB, "fixed_100kb")
+	default:
+		panic(fmt.Sprintf("ycsb: unknown size kind %d", int(k)))
+	}
+}
+
+// Spec describes a workload to generate.
+type Spec struct {
+	Name      string
+	Keys      int
+	Requests  int
+	Dist      DistSpec
+	ReadRatio float64 // fraction of requests that are reads, in [0,1]
+	Sizes     SizeKind
+	Seed      int64
+	// UseCase is the narrative scenario from Table III, for reports.
+	UseCase string
+}
+
+// Validate checks the spec for consistency.
+func (s Spec) Validate() error {
+	if s.Keys <= 0 {
+		return fmt.Errorf("ycsb: spec %q: keys %d must be positive", s.Name, s.Keys)
+	}
+	if s.Requests <= 0 {
+		return fmt.Errorf("ycsb: spec %q: requests %d must be positive", s.Name, s.Requests)
+	}
+	if s.ReadRatio < 0 || s.ReadRatio > 1 {
+		return fmt.Errorf("ycsb: spec %q: read ratio %v outside [0,1]", s.Name, s.ReadRatio)
+	}
+	return nil
+}
+
+// Record is one key-value pair of the dataset.
+type Record struct {
+	Key  string
+	ID   uint64 // kvstore.KeyID(Key), cached
+	Size int    // value size in bytes; fixed for the workload's lifetime
+}
+
+// Dataset is the fixed key population of a workload. The paper fixes the
+// total memory capacity to the dataset size, so TotalBytes is the C of
+// the cost model.
+type Dataset struct {
+	Records    []Record
+	TotalBytes int64
+}
+
+// Op is one request of the trace, referring to a record by index.
+type Op struct {
+	Key  int // index into Dataset.Records
+	Kind kvstore.OpKind
+}
+
+// Workload is a generated dataset plus request trace — the full workload
+// descriptor Mnemo consumes.
+type Workload struct {
+	Spec    Spec
+	Dataset Dataset
+	Ops     []Op
+}
+
+// KeyName formats the canonical key string for a key index.
+func KeyName(i int) string { return fmt.Sprintf("user%08d", i) }
+
+// Generate builds the workload deterministically from its spec and seed.
+func Generate(spec Spec) (*Workload, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sizes := spec.Sizes.New()
+	ds := Dataset{Records: make([]Record, spec.Keys)}
+	for i := range ds.Records {
+		key := KeyName(i)
+		size := sizes.Next(rng)
+		ds.Records[i] = Record{Key: key, ID: kvstore.KeyID(key), Size: size}
+		ds.TotalBytes += int64(size)
+	}
+	chooser := spec.Dist.New(spec.Keys, spec.Requests)
+	ops := make([]Op, spec.Requests)
+	for i := range ops {
+		k := chooser.Next(rng)
+		kind := kvstore.Read
+		if rng.Float64() >= spec.ReadRatio {
+			kind = kvstore.Write
+		}
+		ops[i] = Op{Key: k, Kind: kind}
+	}
+	return &Workload{Spec: spec, Dataset: ds, Ops: ops}, nil
+}
+
+// MustGenerate is Generate that panics on error, for presets known valid.
+func MustGenerate(spec Spec) *Workload {
+	w, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// AccessCounts tallies per-key read and write counts over the trace —
+// the Req(keys) relationship the Pattern Engine extracts.
+func (w *Workload) AccessCounts() (reads, writes []int) {
+	reads = make([]int, len(w.Dataset.Records))
+	writes = make([]int, len(w.Dataset.Records))
+	for _, op := range w.Ops {
+		if op.Kind == kvstore.Read {
+			reads[op.Key]++
+		} else {
+			writes[op.Key]++
+		}
+	}
+	return reads, writes
+}
+
+// TouchOrder returns key indices in order of first touch by the trace;
+// untouched keys follow in index order. This is the incremental sizing
+// order of stand-alone Mnemo ("with the keys as they get accessed
+// (touched) by the workload access pattern").
+func (w *Workload) TouchOrder() []int {
+	seen := make([]bool, len(w.Dataset.Records))
+	order := make([]int, 0, len(w.Dataset.Records))
+	for _, op := range w.Ops {
+		if !seen[op.Key] {
+			seen[op.Key] = true
+			order = append(order, op.Key)
+		}
+	}
+	for i := range seen {
+		if !seen[i] {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+// Downsample reduces the trace by the given factor using the paper's
+// scheme: "evict from the workload random key requests at fixed
+// intervals" — one surviving request is kept per block of factor
+// requests, chosen uniformly within the block, preserving both ordering
+// and the key distribution. The dataset is unchanged. factor 1 returns a
+// copy.
+func (w *Workload) Downsample(factor int, seed int64) *Workload {
+	if factor <= 0 {
+		panic(fmt.Sprintf("ycsb: downsample factor %d must be positive", factor))
+	}
+	out := &Workload{Spec: w.Spec, Dataset: w.Dataset}
+	out.Spec.Name = fmt.Sprintf("%s/ds%d", w.Spec.Name, factor)
+	if factor == 1 {
+		out.Ops = append([]Op(nil), w.Ops...)
+		out.Spec.Requests = len(out.Ops)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for start := 0; start < len(w.Ops); start += factor {
+		end := start + factor
+		if end > len(w.Ops) {
+			end = len(w.Ops)
+		}
+		out.Ops = append(out.Ops, w.Ops[start+rng.Intn(end-start)])
+	}
+	out.Spec.Requests = len(out.Ops)
+	return out
+}
+
+// ReadFraction reports the measured fraction of reads in the trace.
+func (w *Workload) ReadFraction() float64 {
+	if len(w.Ops) == 0 {
+		return 0
+	}
+	reads := 0
+	for _, op := range w.Ops {
+		if op.Kind == kvstore.Read {
+			reads++
+		}
+	}
+	return float64(reads) / float64(len(w.Ops))
+}

@@ -1,0 +1,284 @@
+// Package mnemo is the public API of the Mnemo reproduction — a memory
+// capacity sizing and data tiering consultant for key-value stores on
+// hybrid memory systems (Doudali & Gavrilovska, IPDPS 2019).
+//
+// Mnemo answers one question: given a key-value store workload and a
+// hybrid memory system with a fast tier (DRAM) and a cheaper, slower tier
+// (NVM), what is the minimum FastMem capacity that keeps performance
+// within a target SLO — and how much memory cost does that save?
+//
+// The pipeline (see internal/core for the engines):
+//
+//	w, _ := mnemo.WorkloadByName("trending", 42)
+//	rep, _ := mnemo.Profile(w, mnemo.Options{Store: mnemo.RedisLike, SLO: 0.10})
+//	fmt.Println(rep.Advice.Point.CostFactor) // e.g. 0.36 of DRAM-only cost
+//	rep.Curve.WriteCSV(os.Stdout)            // the paper's 3-column output
+//
+// Because commercial hybrid-memory hardware and the paper's store
+// binaries are not assumed available, the "physical system" behind
+// Profile is an emulated testbed with the paper's Table I memory
+// parameters and three from-scratch store engines calibrated to the
+// sensitivities the paper measures for Redis, Memcached and
+// DynamoDB-local. See DESIGN.md for the substitution map.
+package mnemo
+
+import (
+	"fmt"
+	"io"
+
+	"mnemo/internal/core"
+	"mnemo/internal/costmodel"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// Re-exported store engines.
+const (
+	// RedisLike is the single-threaded chained-dict engine (≈1.4×
+	// SlowMem sensitivity on thumbnail workloads).
+	RedisLike = server.RedisLike
+	// MemcachedLike is the slab/LRU engine with worker-thread memory
+	// parallelism (barely SlowMem-sensitive).
+	MemcachedLike = server.MemcachedLike
+	// DynamoLike is the B-tree engine with request-path amplification
+	// (severely SlowMem-sensitive).
+	DynamoLike = server.DynamoLike
+)
+
+// Engine selects a key-value store engine.
+type Engine = server.Engine
+
+// Workload is a dataset plus request trace — Mnemo's workload descriptor.
+type Workload = ycsb.Workload
+
+// WorkloadSpec parameterizes workload generation.
+type WorkloadSpec = ycsb.Spec
+
+// DistSpec parameterizes a request distribution within a WorkloadSpec.
+type DistSpec = ycsb.DistSpec
+
+// DistKind selects a request distribution (Fig 3).
+type DistKind = ycsb.DistKind
+
+// Request distributions.
+const (
+	Uniform          = ycsb.Uniform
+	Zipfian          = ycsb.Zipfian
+	ScrambledZipfian = ycsb.ScrambledZipfian
+	Hotspot          = ycsb.Hotspot
+	Latest           = ycsb.Latest
+)
+
+// SizeKind selects a record-size distribution (Fig 4).
+type SizeKind = ycsb.SizeKind
+
+// Record-size distributions.
+const (
+	SizeThumbnail       = ycsb.SizeThumbnail
+	SizeTextPost        = ycsb.SizeTextPost
+	SizePhotoCaption    = ycsb.SizePhotoCaption
+	SizeTrendingPreview = ycsb.SizeTrendingPreview
+	SizeFixed1KB        = ycsb.SizeFixed1KB
+	SizeFixed10KB       = ycsb.SizeFixed10KB
+	SizeFixed100KB      = ycsb.SizeFixed100KB
+)
+
+// Report is the output of a profiling session: measured baselines, the
+// key ordering, the cost/performance curve and (if an SLO was set) the
+// advised sizing.
+type Report = core.Report
+
+// Curve is the estimated cost/performance trade-off (Fig 5's blue line).
+type Curve = core.Curve
+
+// CurvePoint is one sizing of the curve.
+type CurvePoint = core.CurvePoint
+
+// Advice is the advisor's minimum-cost SLO-satisfying sizing.
+type Advice = core.Advice
+
+// Ordering is a FastMem-priority key ordering.
+type Ordering = core.Ordering
+
+// DefaultPriceFactor is the paper's SlowMem:FastMem price ratio p = 0.2.
+const DefaultPriceFactor = costmodel.DefaultPriceFactor
+
+// Options configures a profiling session. The zero value plus a Store is
+// valid: one run per baseline, p = 0.2, the Table I machine, and default
+// measurement noise.
+type Options struct {
+	// Store selects the engine to profile (RedisLike by default).
+	Store Engine
+	// Seed makes the session reproducible.
+	Seed int64
+	// Runs is how many times each baseline execution is repeated and
+	// averaged (default 1).
+	Runs int
+	// PriceFactor is the relative per-byte price of SlowMem (default
+	// 0.2, the paper's estimate).
+	PriceFactor float64
+	// SLO, when positive, asks the advisor for the cheapest sizing whose
+	// estimated slowdown from FastMem-only stays within it (the paper
+	// uses 0.10).
+	SLO float64
+	// UseMnemoT switches the Pattern Engine to MnemoT's weighted tiering
+	// ordering (Fig 2c) instead of stand-alone touch order (Fig 2a).
+	UseMnemoT bool
+	// NoiseSigma overrides the per-request measurement noise; negative
+	// disables noise entirely.
+	NoiseSigma float64
+	// SizeAwareEstimate enables the per-size-class estimate extension —
+	// a reproduction improvement over the paper's global-average model
+	// that matters for MnemoT orderings on mixed record sizes.
+	SizeAwareEstimate bool
+}
+
+func (o Options) coreConfig() core.Config {
+	cfg := core.DefaultConfig(o.Store, o.Seed)
+	if o.Runs > 0 {
+		cfg.Runs = o.Runs
+	}
+	if o.PriceFactor != 0 {
+		cfg.PriceFactor = o.PriceFactor
+	}
+	if o.NoiseSigma > 0 {
+		cfg.Server.NoiseSigma = o.NoiseSigma
+	} else if o.NoiseSigma < 0 {
+		cfg.Server.NoiseSigma = 0
+	}
+	cfg.SizeAwareEstimate = o.SizeAwareEstimate
+	return cfg
+}
+
+// Profile runs the full Mnemo pipeline on the workload: real baseline
+// executions, pattern analysis, the analytical estimate curve, and (when
+// Options.SLO > 0) the advised sweet spot.
+func Profile(w *Workload, opts Options) (*Report, error) {
+	mode := core.StandAlone
+	if opts.UseMnemoT {
+		mode = core.MnemoT
+	}
+	return core.Profile(opts.coreConfig(), w, mode, opts.SLO)
+}
+
+// ProfileWithTiering runs the pipeline following an external tiering
+// solution's key ordering (deployment mode of Fig 2b): tieredKeys lists
+// the keys an existing tiering tool would place in DRAM, in priority
+// order.
+func ProfileWithTiering(w *Workload, tieredKeys []string, opts Options) (*Report, error) {
+	ord, err := core.ExternalOrdering(w, tieredKeys)
+	if err != nil {
+		return nil, err
+	}
+	return core.ProfileWithOrdering(opts.coreConfig(), w, ord, opts.SLO)
+}
+
+// Advise re-runs the advisor on an existing curve with a different SLO,
+// without re-profiling.
+func Advise(c *Curve, maxSlowdown float64) (Advice, error) {
+	return core.Advise(c, maxSlowdown)
+}
+
+// AdviseLatency finds the cheapest sizing whose estimated average request
+// latency stays within an absolute budget (nanoseconds) — the way
+// client-facing SLAs are usually written. Advice.Satisfiable is false
+// when even all-FastMem misses the budget.
+func AdviseLatency(c *Curve, maxAvgLatencyNs float64) (Advice, error) {
+	return core.AdviseLatency(c, maxAvgLatencyNs)
+}
+
+// TailPoint is a predicted latency-percentile triple for one sizing.
+type TailPoint = core.TailPoint
+
+// EstimateTails predicts latency percentiles (p50/p95/p99) for the
+// sizings with the given numbers of keys in FastMem, using the report's
+// baseline latency histograms — the tail-estimation extension the
+// published model does not attempt.
+func EstimateTails(rep *Report, keysInFast []int) ([]TailPoint, error) {
+	var te core.TailEstimator
+	return te.EstimateCurve(rep.Baselines, rep.Ordering, keysInFast)
+}
+
+// CostReduction exposes the paper's cost model R(p): the relative memory
+// cost of holding fastBytes of a totalBytes dataset in FastMem when
+// SlowMem costs p per byte relative to FastMem.
+func CostReduction(fastBytes, totalBytes int64, p float64) float64 {
+	return costmodel.CostReduction(fastBytes, totalBytes, p)
+}
+
+// CloudShare reports the estimated memory fraction of one cloud VM's
+// hourly price (the bars of the paper's Fig 1).
+type CloudShare = costmodel.ShareRow
+
+// CloudMemoryShares fits the embedded 2018-era VM catalogs of AWS, GCP
+// and Azure by least squares and reports the memory cost share of every
+// memory-optimized instance — the analysis motivating the paper: memory
+// is 60–85% of the cost of Memory Optimized VMs.
+func CloudMemoryShares() ([]CloudShare, error) { return costmodel.Fig1() }
+
+// PriceFactorFromHardware derives the price factor p from actual per-GB
+// prices of the slow and fast memory technologies, as a Mnemo user with
+// real hardware quotes would.
+func PriceFactorFromHardware(slowPerGB, fastPerGB float64) (float64, error) {
+	return costmodel.PriceFactorFromHardware(slowPerGB, fastPerGB)
+}
+
+// WorkloadByName generates a built-in workload: one of the paper's
+// Table III traces ("trending", "news_feed", "timeline",
+// "edit_thumbnail", "trending_preview") or a stock YCSB core workload
+// ("ycsb_a", "ycsb_b", "ycsb_c", "ycsb_d", "ycsb_f").
+func WorkloadByName(name string, seed int64) (*Workload, error) {
+	if name == "ycsb_f" {
+		// F carries true read-modify-write pairs, which need their own
+		// trace builder.
+		return ycsb.GenerateF(seed, ycsb.DefaultKeys, ycsb.DefaultRequests)
+	}
+	spec, ok := ycsb.AnySpecByName(name, seed)
+	if !ok {
+		return nil, fmt.Errorf("mnemo: unknown workload %q (want one of %v)", name, AllWorkloadNames())
+	}
+	return ycsb.Generate(spec)
+}
+
+// WorkloadNames lists the Table III workload names.
+func WorkloadNames() []string {
+	specs := ycsb.TableIII(0)
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// AllWorkloadNames lists every built-in workload, Table III presets
+// first, then the YCSB core workloads.
+func AllWorkloadNames() []string { return ycsb.AllWorkloadNames() }
+
+// GenerateWorkload builds a workload from a custom spec.
+func GenerateWorkload(spec WorkloadSpec) (*Workload, error) { return ycsb.Generate(spec) }
+
+// WorkloadProfile is the descriptive summary of a trace (hot-set sizes,
+// access skew, record-size range) — the a-priori workload knowledge the
+// paper's approach builds on.
+type WorkloadProfile = ycsb.Profile
+
+// DescribeWorkload summarizes a trace without running anything.
+func DescribeWorkload(w *Workload) WorkloadProfile { return ycsb.Describe(w) }
+
+// LoadWorkloadCSV reads a workload trace in the mnemo-workload v1 CSV
+// format (as produced by Workload.WriteCSV or cmd/workloadgen).
+func LoadWorkloadCSV(r io.Reader) (*Workload, error) { return ycsb.ReadCSV(r) }
+
+// LoadRedisMonitor imports a workload descriptor from a Redis MONITOR
+// capture — the practical way to collect a production cache's key and
+// request-type sequence. Keys never written in the capture get
+// defaultSize bytes (MONITOR does not show read payloads).
+func LoadRedisMonitor(r io.Reader, defaultSize int) (*Workload, error) {
+	return ycsb.ParseRedisMonitor(r, defaultSize)
+}
+
+// Engines lists the available store engines.
+func Engines() []Engine { return server.Engines() }
+
+// EngineByName resolves "redislike", "memcachedlike" or "dynamolike".
+func EngineByName(name string) (Engine, bool) { return server.EngineByName(name) }

@@ -1,0 +1,105 @@
+package mnemo
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// MatrixCell identifies one profiling job of a sweep and carries its
+// result.
+type MatrixCell struct {
+	Workload string
+	Engine   Engine
+	Report   *Report
+	Err      error
+}
+
+// MatrixRequest describes a profiling sweep: every named workload is
+// profiled on every engine — the shape of the paper's Fig 8a/Fig 9
+// evaluations, where 5 workloads × 3 stores are independent experiments.
+type MatrixRequest struct {
+	// Workloads are built-in workload names (see AllWorkloadNames), each
+	// generated with the request's Seed.
+	Workloads []string
+	// Engines to profile; nil means all three.
+	Engines []Engine
+	// Options applied to every cell (Store is overridden per cell).
+	Options Options
+	// Parallelism bounds concurrent profiling sessions; ≤ 0 uses
+	// GOMAXPROCS. Each session is independent (own deployment, own
+	// noise stream), so cells parallelize perfectly.
+	Parallelism int
+}
+
+// ProfileMatrix runs the sweep, fanning cells out over a bounded worker
+// pool. The returned cells are sorted by workload then engine, and every
+// cell carries either a report or its error — one failed cell does not
+// abort the sweep.
+func ProfileMatrix(req MatrixRequest) ([]MatrixCell, error) {
+	if len(req.Workloads) == 0 {
+		return nil, fmt.Errorf("mnemo: ProfileMatrix needs at least one workload")
+	}
+	engines := req.Engines
+	if len(engines) == 0 {
+		engines = Engines()
+	}
+	workers := req.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Generate workloads up front (cheap, and shared across engines —
+	// generation is deterministic and the profile path never mutates the
+	// descriptor).
+	byName := make(map[string]*Workload, len(req.Workloads))
+	for _, name := range req.Workloads {
+		if _, dup := byName[name]; dup {
+			return nil, fmt.Errorf("mnemo: workload %q listed twice", name)
+		}
+		w, err := WorkloadByName(name, req.Options.Seed)
+		if err != nil {
+			return nil, err
+		}
+		byName[name] = w
+	}
+
+	jobs := make(chan MatrixCell)
+	results := make(chan MatrixCell)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cell := range jobs {
+				opts := req.Options
+				opts.Store = cell.Engine
+				cell.Report, cell.Err = Profile(byName[cell.Workload], opts)
+				results <- cell
+			}
+		}()
+	}
+	go func() {
+		for _, name := range req.Workloads {
+			for _, e := range engines {
+				jobs <- MatrixCell{Workload: name, Engine: e}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	cells := make([]MatrixCell, 0, len(req.Workloads)*len(engines))
+	for cell := range results {
+		cells = append(cells, cell)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Workload != cells[j].Workload {
+			return cells[i].Workload < cells[j].Workload
+		}
+		return cells[i].Engine < cells[j].Engine
+	})
+	return cells, nil
+}
