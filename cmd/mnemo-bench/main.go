@@ -14,9 +14,11 @@
 //
 // Flags:
 //
-//	-quick    run at 10×-reduced scale (default is the paper's full
-//	          scale: 10 000 keys × 100 000 requests per workload)
-//	-seed n   deterministic seed
+//	-quick          run at 10×-reduced scale (default is the paper's full
+//	                scale: 10 000 keys × 100 000 requests per workload)
+//	-seed n         deterministic seed
+//	-cpuprofile f   write a pprof CPU profile of the run to f
+//	-memprofile f   write a pprof heap profile (taken after the run) to f
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mnemo/internal/experiments"
@@ -174,12 +178,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run at 10x-reduced scale")
 	seed := fs.Int64("seed", 42, "deterministic seed")
+	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
+	memprofile := fs.String("memprofile", "", "write heap profile to `file`")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "mnemo-bench: -memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	selected := fs.Args()

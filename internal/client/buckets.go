@@ -3,8 +3,6 @@ package client
 import (
 	"math/bits"
 	"sort"
-
-	"mnemo/internal/stats"
 )
 
 // BucketStat is the average service time observed for requests whose
@@ -35,32 +33,6 @@ func BucketRange(bucket int) (lo, hi int) {
 		return 0, 1
 	}
 	return 1 << (bucket - 1), 1 << bucket
-}
-
-// bucketAccum collects per-bucket summaries during a run.
-type bucketAccum struct {
-	m map[int]*stats.Summary
-}
-
-func newBucketAccum() *bucketAccum { return &bucketAccum{m: map[int]*stats.Summary{}} }
-
-func (a *bucketAccum) add(size int, ns float64) {
-	b := SizeBucket(size)
-	s, ok := a.m[b]
-	if !ok {
-		s = &stats.Summary{}
-		a.m[b] = s
-	}
-	s.Add(ns)
-}
-
-func (a *bucketAccum) stats() []BucketStat {
-	out := make([]BucketStat, 0, len(a.m))
-	for b, s := range a.m {
-		out = append(out, BucketStat{Bucket: b, Count: s.N(), MeanNs: s.Mean()})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
-	return out
 }
 
 // MeanFor returns the mean service time of the bucket, or (0, false) if

@@ -42,11 +42,11 @@ func TestBucketRangeRoundTrip(t *testing.T) {
 }
 
 func TestBucketAccum(t *testing.T) {
-	a := newBucketAccum()
-	a.add(1000, 10)
-	a.add(1020, 30)
-	a.add(100_000, 500)
-	bs := a.stats()
+	a := &histAccum{}
+	a.add(SizeBucket(1000), 10)
+	a.add(SizeBucket(1020), 30)
+	a.add(SizeBucket(100_000), 500)
+	bs := a.bucketStats()
 	if len(bs) != 2 {
 		t.Fatalf("buckets = %d, want 2", len(bs))
 	}

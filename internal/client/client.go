@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"mnemo/internal/kvstore"
+	"mnemo/internal/pool"
 	"mnemo/internal/server"
 	"mnemo/internal/simclock"
 	"mnemo/internal/stats"
@@ -78,30 +79,62 @@ const (
 	latencyHistGrowth = 1.02 // ≤2% quantile error
 )
 
-// histAccum collects per-bucket latency histograms during a run.
+// histAccum collects per-bucket latency histograms during a run. It is a
+// slice indexed by size class, so the per-op path does no map hashing;
+// slots materialize lazily on first observation and the slice only grows
+// while a new class is being discovered.
 type histAccum struct {
-	m map[int]*stats.Histogram
+	hists []*stats.Histogram // indexed by bucket; nil = unobserved
 }
 
-func newHistAccum() *histAccum { return &histAccum{m: map[int]*stats.Histogram{}} }
-
-func (a *histAccum) add(size int, ns float64) {
-	b := SizeBucket(size)
-	h, ok := a.m[b]
-	if !ok {
+func (a *histAccum) add(bucket int, ns float64) {
+	if bucket >= len(a.hists) {
+		grown := make([]*stats.Histogram, bucket+1)
+		copy(grown, a.hists)
+		a.hists = grown
+	}
+	h := a.hists[bucket]
+	if h == nil {
 		h = stats.NewHistogram(latencyHistMin, latencyHistGrowth)
-		a.m[b] = h
+		a.hists[bucket] = h
 	}
 	h.Record(ns)
 }
 
 func (a *histAccum) histograms() []BucketHistogram {
-	out := make([]BucketHistogram, 0, len(a.m))
-	for b, h := range a.m {
-		out = append(out, BucketHistogram{Bucket: b, Hist: h})
+	var out []BucketHistogram
+	for b, h := range a.hists {
+		if h != nil {
+			out = append(out, BucketHistogram{Bucket: b, Hist: h})
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Bucket < out[j].Bucket })
 	return out
+}
+
+// bucketStats derives the per-class count/mean breakdown from the class
+// histograms, which track exact counts and sums as they record — so the
+// replay loop maintains one accumulator per class instead of two.
+func (a *histAccum) bucketStats() []BucketStat {
+	var out []BucketStat
+	for b, h := range a.hists {
+		if h != nil && h.N() > 0 {
+			out = append(out, BucketStat{Bucket: b, Count: int(h.N()), MeanNs: h.Mean()})
+		}
+	}
+	return out
+}
+
+// countAndSum folds the class histograms' exact totals into one request
+// count and latency sum.
+func (a *histAccum) countAndSum() (int, float64) {
+	n, sum := 0, 0.0
+	for _, h := range a.hists {
+		if h != nil {
+			n += int(h.N())
+			sum += h.Sum()
+		}
+	}
+	return n, sum
 }
 
 // mergeHistograms folds run B's per-class histograms into run A's.
@@ -132,42 +165,98 @@ func (s RunStats) String() string {
 		s.AvgNs/1000, s.P99Ns/1000)
 }
 
+// replayAccum is the per-run accumulator state of the replay loop, kept
+// separate from RunStats assembly so the steady-state per-op cost — and
+// its allocation count, pinned at zero by the client tests — is exactly
+// the observe path below. One size-class histogram per request kind is
+// the complete state: counts, sums, means and buckets all derive from
+// the class histograms afterwards.
+type replayAccum struct {
+	readHists, writeHists histAccum
+}
+
+func newReplayAccum() *replayAccum { return &replayAccum{} }
+
+// observe folds one served request into the accumulators, classified by
+// its record's precomputed size class. Every request lands in exactly one
+// size-class histogram; the run-level histogram is recovered afterwards by
+// merging the classes, so the per-op path records each latency once
+// instead of twice.
+func (a *replayAccum) observe(kind kvstore.OpKind, bucket int, ns float64) {
+	if kind == kvstore.Read {
+		a.readHists.add(bucket, ns)
+	} else {
+		a.writeHists.add(bucket, ns)
+	}
+}
+
+// sizeClasses computes each record's power-of-two size class once, so the
+// replay loop reads a byte from an L1-resident table instead of chasing
+// into the records array and re-deriving the bucket per request.
+func sizeClasses(recs []ycsb.Record) []uint8 {
+	classes := make([]uint8, len(recs))
+	for i := range recs {
+		classes[i] = uint8(SizeBucket(recs[i].Size))
+	}
+	return classes
+}
+
+// replay drives the workload trace through the deployment's
+// index-addressed request path, folding every response into the
+// accumulators. The loop body does no string work: requests address
+// records by trace index, size classes come from the precomputed table,
+// and the accumulators are slice-indexed.
+func replay(d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAccum) {
+	for _, op := range w.Ops {
+		res := d.DoIndex(op.Key, op.Kind)
+		a.observe(op.Kind, int(classes[op.Key]), float64(res.Latency.Nanoseconds()))
+	}
+}
+
+// mergedHistogram folds the per-size-class histograms of both request
+// kinds into one run-level histogram. Since each request was recorded in
+// exactly one class, the merged counts, extrema and quantiles equal those
+// of a histogram fed directly per request.
+func mergedHistogram(groups ...[]BucketHistogram) *stats.Histogram {
+	h := stats.NewHistogram(latencyHistMin, latencyHistGrowth)
+	for _, g := range groups {
+		for _, bh := range g {
+			h.Merge(bh.Hist)
+		}
+	}
+	return h
+}
+
 // Run replays the workload trace against an already-loaded deployment.
 func Run(d *server.Deployment, w *ycsb.Workload) RunStats {
 	start := d.Clock()
-	var readSum, writeSum stats.Summary
-	readBuckets, writeBuckets := newBucketAccum(), newBucketAccum()
-	readHists, writeHists := newHistAccum(), newHistAccum()
-	hist := stats.NewHistogram(latencyHistMin, latencyHistGrowth)
-	for _, op := range w.Ops {
-		rec := w.Dataset.Records[op.Key]
-		res := d.Do(rec.Key, op.Kind, rec.Size)
-		ns := float64(res.Latency.Nanoseconds())
-		hist.Record(ns)
-		if op.Kind == kvstore.Read {
-			readSum.Add(ns)
-			readBuckets.add(rec.Size, ns)
-			readHists.add(rec.Size, ns)
-		} else {
-			writeSum.Add(ns)
-			writeBuckets.add(rec.Size, ns)
-			writeHists.add(rec.Size, ns)
-		}
-	}
+	a := newReplayAccum()
+	replay(d, w, sizeClasses(w.Dataset.Records), a)
 	runtime := d.Clock() - start
+	reads, readSum := a.readHists.countAndSum()
+	writes, writeSum := a.writeHists.countAndSum()
 	out := RunStats{
 		Workload: w.Spec.Name,
 		Engine:   d.Engine().String(),
 		Requests: len(w.Ops),
-		Reads:    readSum.N(),
-		Writes:   writeSum.N(),
+		Reads:    reads,
+		Writes:   writes,
 		Runtime:  runtime,
 	}
 	if runtime > 0 {
 		out.ThroughputOpsSec = float64(len(w.Ops)) / runtime.Seconds()
 	}
-	out.AvgReadNs = readSum.Mean()
-	out.AvgWriteNs = writeSum.Mean()
+	out.ReadBuckets = a.readHists.bucketStats()
+	out.WriteBuckets = a.writeHists.bucketStats()
+	out.ReadLatency = a.readHists.histograms()
+	out.WriteLatency = a.writeHists.histograms()
+	hist := mergedHistogram(out.ReadLatency, out.WriteLatency)
+	if reads > 0 {
+		out.AvgReadNs = readSum / float64(reads)
+	}
+	if writes > 0 {
+		out.AvgWriteNs = writeSum / float64(writes)
+	}
 	out.AvgNs = hist.Mean()
 	out.P50Ns = hist.Quantile(0.50)
 	out.P95Ns = hist.Quantile(0.95)
@@ -176,10 +265,6 @@ func Run(d *server.Deployment, w *ycsb.Workload) RunStats {
 	if llc := d.Machine().LLC(); llc != nil {
 		out.LLCHitRate = llc.HitRate()
 	}
-	out.ReadBuckets = readBuckets.stats()
-	out.WriteBuckets = writeBuckets.stats()
-	out.ReadLatency = readHists.histograms()
-	out.WriteLatency = writeHists.histograms()
 	return out
 }
 
@@ -196,18 +281,36 @@ func Execute(cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats,
 // ExecuteMean runs the workload `runs` times with distinct noise seeds
 // and returns the per-field means — the paper reports "the mean of
 // multiple experiment runs". Percentiles are averaged across runs.
+// Repetitions execute in parallel across a bounded worker pool; see
+// ExecuteMeanWorkers for the determinism contract.
 func ExecuteMean(cfg server.Config, w *ycsb.Workload, p server.Placement, runs int) (RunStats, error) {
+	return ExecuteMeanWorkers(cfg, w, p, runs, 0)
+}
+
+// ExecuteMeanWorkers is ExecuteMean with an explicit worker bound
+// (≤ 0 = GOMAXPROCS). Each repetition is an independent simulation —
+// its own deployment, noise stream seeded from the run index, and
+// accumulators — and results are folded in run-index order, so the
+// returned RunStats are bit-identical for every worker count: workers=1
+// is the serial reference execution of the same code path.
+func ExecuteMeanWorkers(cfg server.Config, w *ycsb.Workload, p server.Placement, runs, workers int) (RunStats, error) {
 	if runs <= 0 {
 		return RunStats{}, fmt.Errorf("client: runs %d must be positive", runs)
 	}
-	var agg RunStats
-	for i := 0; i < runs; i++ {
+	results := make([]RunStats, runs)
+	errs := make([]error, runs)
+	pool.Run(runs, workers, func(i int) {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*1009
-		st, err := Execute(c, w, p)
+		results[i], errs[i] = Execute(c, w, p)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return RunStats{}, err
 		}
+	}
+	var agg RunStats
+	for i, st := range results {
 		if i == 0 {
 			agg = st
 			continue

@@ -15,7 +15,10 @@ import (
 type PlacementEngine struct{}
 
 // PlacementFor builds the placement that pins the first point.KeysInFast
-// keys of the ordering to FastMem and leaves the rest on SlowMem.
+// keys of the ordering to FastMem and leaves the rest on SlowMem. An
+// ordering over a full dataset (every KeyStat.Index in range) yields an
+// index-keyed placement — the replay fast path; partial or synthetic
+// orderings fall back to the string-keyed form.
 func (PlacementEngine) PlacementFor(ord Ordering, point CurvePoint) (server.Placement, error) {
 	if point.KeysInFast < 0 || point.KeysInFast > len(ord.Keys) {
 		return server.Placement{}, fmt.Errorf("core: point places %d keys, ordering has %d",
@@ -26,6 +29,19 @@ func (PlacementEngine) PlacementFor(ord Ordering, point CurvePoint) (server.Plac
 	}
 	if point.KeysInFast == 0 {
 		return server.AllSlow(), nil
+	}
+	fastIdx := make([]int, point.KeysInFast)
+	indexed := true
+	for i := 0; i < point.KeysInFast; i++ {
+		idx := ord.Keys[i].Index
+		if idx < 0 || idx >= len(ord.Keys) {
+			indexed = false
+			break
+		}
+		fastIdx[i] = idx
+	}
+	if indexed {
+		return server.FastIndices(fastIdx, len(ord.Keys)), nil
 	}
 	fast := make([]string, point.KeysInFast)
 	for i := 0; i < point.KeysInFast; i++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mnemo/internal/client"
+	"mnemo/internal/pool"
 	"mnemo/internal/server"
 	"mnemo/internal/ycsb"
 )
@@ -27,19 +28,33 @@ func NewSensitivityEngine(cfg Config) (*SensitivityEngine, error) {
 }
 
 // Baselines executes the workload under both extreme placements and
-// returns the measured baselines.
+// returns the measured baselines. The two executions are independent
+// simulations, so they run concurrently; each owns its deployment and
+// noise stream and keeps its fixed seed, so the result is bit-identical
+// to running them back to back.
 func (s *SensitivityEngine) Baselines(w *ycsb.Workload) (Baselines, error) {
-	fast, err := client.ExecuteMean(s.cfg.Server, w, server.AllFast(), s.cfg.Runs)
-	if err != nil {
-		return Baselines{}, fmt.Errorf("core: FastMem baseline: %w", err)
-	}
 	// Decorrelate the noise streams of the two baseline runs, as two
 	// separate physical executions would be.
 	slowCfg := s.cfg.Server
 	slowCfg.Seed += 7919
-	slow, err := client.ExecuteMean(slowCfg, w, server.AllSlow(), s.cfg.Runs)
-	if err != nil {
-		return Baselines{}, fmt.Errorf("core: SlowMem baseline: %w", err)
+
+	jobs := []struct {
+		name string
+		cfg  server.Config
+		p    server.Placement
+	}{
+		{"FastMem", s.cfg.Server, server.AllFast()},
+		{"SlowMem", slowCfg, server.AllSlow()},
 	}
-	return Baselines{Fast: fast, Slow: slow}, nil
+	var results [2]client.RunStats
+	var errs [2]error
+	pool.Run(len(jobs), len(jobs), func(i int) {
+		results[i], errs[i] = client.ExecuteMean(jobs[i].cfg, w, jobs[i].p, s.cfg.Runs)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return Baselines{}, fmt.Errorf("core: %s baseline: %w", jobs[i].name, err)
+		}
+	}
+	return Baselines{Fast: results[0], Slow: results[1]}, nil
 }

@@ -186,9 +186,13 @@ func (s *Store) find(key string, id uint64) (*entry, int) {
 
 // Get implements kvstore.Store.
 func (s *Store) Get(key string) (kvstore.Value, kvstore.OpTrace) {
+	return s.GetID(key, kvstore.KeyID(key))
+}
+
+// GetID implements kvstore.Store: Get with a precomputed KeyID.
+func (s *Store) GetID(key string, id uint64) (kvstore.Value, kvstore.OpTrace) {
 	s.opTick()
 	s.rehashStep()
-	id := kvstore.KeyID(key)
 	e, chases := s.find(key, id)
 	tr := kvstore.OpTrace{Kind: kvstore.Read, RecordID: id, Chases: chases}
 	if s.reapIfLapsed(e) {
@@ -199,22 +203,26 @@ func (s *Store) Get(key string) (kvstore.Value, kvstore.OpTrace) {
 	}
 	tr.Found = true
 	tr.Chases++ // dereference the value object
-	tr.Touched = int(float64(e.val.Size) * Profile.ReadAmplification)
+	tr.Touched = kvstore.Amplify(e.val.Size, Profile.ReadAmplification)
 	return e.val, tr
 }
 
 // Put implements kvstore.Store.
 func (s *Store) Put(key string, v kvstore.Value) kvstore.OpTrace {
+	return s.PutID(key, kvstore.KeyID(key), v)
+}
+
+// PutID implements kvstore.Store: Put with a precomputed KeyID.
+func (s *Store) PutID(key string, id uint64, v kvstore.Value) kvstore.OpTrace {
 	if err := v.Validate(); err != nil {
 		panic(err)
 	}
 	s.opTick()
 	s.rehashStep()
 	s.maybeExpand()
-	id := kvstore.KeyID(key)
 	e, chases := s.find(key, id)
 	tr := kvstore.OpTrace{Kind: kvstore.Write, RecordID: id, Chases: chases + 1,
-		Touched: int(float64(v.Size) * Profile.WriteAmplification)}
+		Touched: kvstore.Amplify(v.Size, Profile.WriteAmplification)}
 	if s.reapIfLapsed(e) {
 		e = nil
 	}
@@ -243,9 +251,13 @@ func (s *Store) Put(key string, v kvstore.Value) kvstore.OpTrace {
 
 // Del implements kvstore.Store.
 func (s *Store) Del(key string) kvstore.OpTrace {
+	return s.DelID(key, kvstore.KeyID(key))
+}
+
+// DelID implements kvstore.Store: Del with a precomputed KeyID.
+func (s *Store) DelID(key string, id uint64) kvstore.OpTrace {
 	s.opTick()
 	s.rehashStep()
-	id := kvstore.KeyID(key)
 	e, chases := s.find(key, id)
 	tr := kvstore.OpTrace{Kind: kvstore.Delete, RecordID: id, Chases: chases}
 	if e == nil {

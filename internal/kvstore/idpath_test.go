@@ -1,0 +1,84 @@
+package kvstore_test
+
+// The ID-addressed operation path (GetID/PutID/DelID) is the replay fast
+// path: callers pass a precomputed KeyID instead of having each engine
+// re-hash the key per request. Its contract is strict behavioural
+// equivalence — GetID(k, KeyID(k)) ≡ Get(k) and likewise for Put/Del.
+// These tests drive two instances of every engine through an identical
+// mixed operation sequence, one per path, and require identical traces,
+// values and engine pauses throughout.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mnemo/internal/kvstore"
+	"mnemo/internal/kvstore/hashkv"
+	"mnemo/internal/kvstore/slabkv"
+	"mnemo/internal/kvstore/treekv"
+)
+
+func engineConstructors() map[string]func() kvstore.Store {
+	return map[string]func() kvstore.Store{
+		"hashkv": func() kvstore.Store { return hashkv.New() },
+		"slabkv": func() kvstore.Store { return slabkv.New(0) },
+		"treekv": func() kvstore.Store { return treekv.New() },
+	}
+}
+
+func TestIDPathMatchesStringPath(t *testing.T) {
+	for name, mk := range engineConstructors() {
+		t.Run(name, func(t *testing.T) {
+			str, id := mk(), mk()
+			check := func(op string, key string, trStr, trID kvstore.OpTrace) {
+				t.Helper()
+				if !reflect.DeepEqual(trStr, trID) {
+					t.Fatalf("%s(%q): string trace %+v != id trace %+v", op, key, trStr, trID)
+				}
+				if p, q := str.TakePauseNs(), id.TakePauseNs(); p != q {
+					t.Fatalf("%s(%q): pauses diverged %v != %v", op, key, p, q)
+				}
+			}
+			keys := make([]string, 96)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("user%04d", i*7)
+			}
+			// Three rounds of inserts and overwrites at varying sizes,
+			// with lookups (hits and misses) and deletes interleaved.
+			for round := 0; round < 3; round++ {
+				for i, k := range keys {
+					size := 64 + (i*37+round*411)%4000
+					check("Put", k,
+						str.Put(k, kvstore.Sized(size)),
+						id.PutID(k, kvstore.KeyID(k), kvstore.Sized(size)))
+				}
+				for i, k := range keys {
+					v1, tr1 := str.Get(k)
+					v2, tr2 := id.GetID(k, kvstore.KeyID(k))
+					check("Get", k, tr1, tr2)
+					if !reflect.DeepEqual(v1, v2) {
+						t.Fatalf("Get(%q): values diverged %+v != %+v", k, v1, v2)
+					}
+					if i%5 == round {
+						check("Del", k, str.Del(k), id.DelID(k, kvstore.KeyID(k)))
+					}
+				}
+				miss := fmt.Sprintf("absent%d", round)
+				_, tr1 := str.Get(miss)
+				_, tr2 := id.GetID(miss, kvstore.KeyID(miss))
+				check("Get", miss, tr1, tr2)
+				if tr1.Found {
+					t.Fatalf("Get(%q) found a key never inserted", miss)
+				}
+				check("Del", miss, str.Del(miss), id.DelID(miss, kvstore.KeyID(miss)))
+			}
+			if str.Len() != id.Len() {
+				t.Fatalf("resident keys diverged: %d != %d", str.Len(), id.Len())
+			}
+			if str.DataBytes() != id.DataBytes() {
+				t.Fatalf("data bytes diverged: %d != %d", str.DataBytes(), id.DataBytes())
+			}
+		})
+	}
+}

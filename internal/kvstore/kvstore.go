@@ -89,6 +89,15 @@ type OpTrace struct {
 // client issues requests sequentially; concurrency effects such as
 // Memcached's worker threads are modeled as memory-level parallelism in
 // the engine's Profile, not with goroutines).
+//
+// Every operation exists in two forms: a string-keyed form that derives
+// the record identity itself, and an ID-addressed form (GetID/PutID/
+// DelID) taking a precomputed KeyID(key). The ID forms are the replay
+// fast path — a workload trace resolves each key's ID once at generation
+// time, so per-request re-hashing would be pure overhead; the string
+// forms remain for callers without a cached identity (tests, ad-hoc
+// use). Both forms are behaviourally identical: GetID(k, KeyID(k))
+// ≡ Get(k), and likewise for Put/Del.
 type Store interface {
 	// Name identifies the engine ("redislike", "memcachedlike",
 	// "dynamolike").
@@ -100,6 +109,13 @@ type Store interface {
 	Get(key string) (Value, OpTrace)
 	// Del removes a key if present.
 	Del(key string) OpTrace
+	// PutID is Put with the caller-supplied record identity; id must
+	// equal KeyID(key).
+	PutID(key string, id uint64, v Value) OpTrace
+	// GetID is Get with the caller-supplied record identity.
+	GetID(key string, id uint64) (Value, OpTrace)
+	// DelID is Del with the caller-supplied record identity.
+	DelID(key string, id uint64) OpTrace
 	// Len reports the number of resident keys.
 	Len() int
 	// DataBytes reports the total resident payload bytes (the quantity
@@ -137,6 +153,16 @@ type EngineProfile struct {
 	ReadAmplification float64
 	// WriteAmplification multiplies value bytes touched per Put.
 	WriteAmplification float64
+}
+
+// Amplify scales a payload size by an engine amplification factor. A
+// factor of 1 — the common case — is the identity and skips the float
+// round trip on the per-operation path.
+func Amplify(size int, factor float64) int {
+	if factor == 1 {
+		return size
+	}
+	return int(float64(size) * factor)
 }
 
 // KeyID derives the stable 64-bit record identity used by the LLC model

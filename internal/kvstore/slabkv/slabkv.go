@@ -158,8 +158,12 @@ func (s *Store) TakePauseNs() float64 {
 
 // Get implements kvstore.Store.
 func (s *Store) Get(key string) (kvstore.Value, kvstore.OpTrace) {
+	return s.GetID(key, kvstore.KeyID(key))
+}
+
+// GetID implements kvstore.Store: Get with a precomputed KeyID.
+func (s *Store) GetID(key string, id uint64) (kvstore.Value, kvstore.OpTrace) {
 	s.opTick()
-	id := kvstore.KeyID(key)
 	// Index probe + item header: memcached's hash walk is O(1) with its
 	// power-of-two table; two dependent loads model it.
 	tr := kvstore.OpTrace{Kind: kvstore.Read, RecordID: id, Chases: 2}
@@ -173,19 +177,23 @@ func (s *Store) Get(key string) (kvstore.Value, kvstore.OpTrace) {
 	}
 	s.classes[it.class].bump(it)
 	tr.Found = true
-	tr.Touched = int(float64(it.val.Size) * Profile.ReadAmplification)
+	tr.Touched = kvstore.Amplify(it.val.Size, Profile.ReadAmplification)
 	return it.val, tr
 }
 
 // Put implements kvstore.Store.
 func (s *Store) Put(key string, v kvstore.Value) kvstore.OpTrace {
+	return s.PutID(key, kvstore.KeyID(key), v)
+}
+
+// PutID implements kvstore.Store: Put with a precomputed KeyID.
+func (s *Store) PutID(key string, id uint64, v kvstore.Value) kvstore.OpTrace {
 	if err := v.Validate(); err != nil {
 		panic(err)
 	}
 	s.opTick()
-	id := kvstore.KeyID(key)
 	tr := kvstore.OpTrace{Kind: kvstore.Write, RecordID: id, Chases: 3,
-		Touched: int(float64(v.Size) * Profile.WriteAmplification)}
+		Touched: kvstore.Amplify(v.Size, Profile.WriteAmplification)}
 	need := len(key) + v.Size + itemOverheadB
 	cls, err := s.classFor(need)
 	if err != nil {
@@ -242,8 +250,12 @@ func (s *Store) evictFrom(cls int) bool {
 
 // Del implements kvstore.Store.
 func (s *Store) Del(key string) kvstore.OpTrace {
+	return s.DelID(key, kvstore.KeyID(key))
+}
+
+// DelID implements kvstore.Store: Del with a precomputed KeyID.
+func (s *Store) DelID(key string, id uint64) kvstore.OpTrace {
 	s.opTick()
-	id := kvstore.KeyID(key)
 	tr := kvstore.OpTrace{Kind: kvstore.Delete, RecordID: id, Chases: 2}
 	it, ok := s.index[key]
 	if !ok {

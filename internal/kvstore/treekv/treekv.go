@@ -9,8 +9,6 @@
 package treekv
 
 import (
-	"sort"
-
 	"mnemo/internal/kvstore"
 )
 
@@ -53,13 +51,22 @@ type node struct {
 func (n *node) leaf() bool { return len(n.children) == 0 }
 
 // findKey locates key within the node, reporting the comparisons made.
+// The loop is sort.Search unrolled (same probe sequence, hence the same
+// comparison count) — the inline form avoids allocating a closure on the
+// replay hot path.
 func (n *node) findKey(key string) (idx int, found bool, cmps int) {
-	idx = sort.Search(len(n.items), func(i int) bool {
+	i, j := 0, len(n.items)
+	for i < j {
+		h := int(uint(i+j) >> 1)
 		cmps++
-		return n.items[i].key >= key
-	})
-	found = idx < len(n.items) && n.items[idx].key == key
-	return idx, found, cmps
+		if n.items[h].key < key {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	found = i < len(n.items) && n.items[i].key == key
+	return i, found, cmps
 }
 
 // Store is the DynamoDB-like engine. Not safe for concurrent use.
@@ -124,7 +131,11 @@ func (s *Store) Height() int {
 
 // Get implements kvstore.Store.
 func (s *Store) Get(key string) (kvstore.Value, kvstore.OpTrace) {
-	id := kvstore.KeyID(key)
+	return s.GetID(key, kvstore.KeyID(key))
+}
+
+// GetID implements kvstore.Store: Get with a precomputed KeyID.
+func (s *Store) GetID(key string, id uint64) (kvstore.Value, kvstore.OpTrace) {
 	tr := kvstore.OpTrace{Kind: kvstore.Read, RecordID: id}
 	n := s.root
 	for {
@@ -135,7 +146,7 @@ func (s *Store) Get(key string) (kvstore.Value, kvstore.OpTrace) {
 			it := n.items[idx]
 			tr.Found = true
 			tr.Chases += 6 // marshalling layers re-dereference the record
-			tr.Touched = int(float64(it.val.Size) * Profile.ReadAmplification)
+			tr.Touched = kvstore.Amplify(it.val.Size, Profile.ReadAmplification)
 			s.charge(it.val.Size)
 			return it.val, tr
 		}
@@ -149,12 +160,16 @@ func (s *Store) Get(key string) (kvstore.Value, kvstore.OpTrace) {
 
 // Put implements kvstore.Store.
 func (s *Store) Put(key string, v kvstore.Value) kvstore.OpTrace {
+	return s.PutID(key, kvstore.KeyID(key), v)
+}
+
+// PutID implements kvstore.Store: Put with a precomputed KeyID.
+func (s *Store) PutID(key string, id uint64, v kvstore.Value) kvstore.OpTrace {
 	if err := v.Validate(); err != nil {
 		panic(err)
 	}
-	id := kvstore.KeyID(key)
 	tr := kvstore.OpTrace{Kind: kvstore.Write, RecordID: id,
-		Touched: int(float64(v.Size) * Profile.WriteAmplification)}
+		Touched: kvstore.Amplify(v.Size, Profile.WriteAmplification)}
 	if len(s.root.items) == 2*degree-1 {
 		old := s.root
 		s.root = &node{children: []*node{old}}
@@ -228,7 +243,11 @@ func (s *Store) insertNonFull(n *node, it treeItem) (replacedSize int, replaced 
 // Del implements kvstore.Store. Deletion uses the standard B-tree
 // rebalancing algorithm (borrow or merge on the way down).
 func (s *Store) Del(key string) kvstore.OpTrace {
-	id := kvstore.KeyID(key)
+	return s.DelID(key, kvstore.KeyID(key))
+}
+
+// DelID implements kvstore.Store: Del with a precomputed KeyID.
+func (s *Store) DelID(key string, id uint64) kvstore.OpTrace {
 	tr := kvstore.OpTrace{Kind: kvstore.Delete, RecordID: id}
 	removedSize, removed, chases := s.delete(s.root, key)
 	tr.Chases = chases + 4

@@ -1,0 +1,145 @@
+package memsim
+
+// Model-based test of the flat-slice LRUCache: a reference cache built on
+// container/list (the previous implementation, kept here as the
+// executable specification) is driven through long randomized op
+// sequences in lockstep with the real one, and every observable — hit
+// results, residency, byte usage, counters — must agree at every step.
+
+import (
+	"container/list"
+	"math/rand"
+	"testing"
+)
+
+type refCache struct {
+	capacity int64
+	used     int64
+	order    *list.List
+	index    map[uint64]*list.Element
+
+	hits, misses int64
+}
+
+type refEntry struct {
+	id    uint64
+	bytes int64
+}
+
+func newRefCache(capacity int64) *refCache {
+	return &refCache{capacity: capacity, order: list.New(), index: make(map[uint64]*list.Element)}
+}
+
+func (c *refCache) access(rec RecordRef) bool {
+	size := int64(rec.Bytes)
+	if el, ok := c.index[rec.ID]; ok {
+		if el.Value.(refEntry).bytes == size {
+			c.order.MoveToFront(el)
+			c.hits++
+			return true
+		}
+		c.removeElement(el)
+	}
+	c.misses++
+	if size > c.capacity {
+		return false
+	}
+	for c.used+size > c.capacity {
+		if back := c.order.Back(); back != nil {
+			c.removeElement(back)
+		}
+	}
+	c.index[rec.ID] = c.order.PushFront(refEntry{id: rec.ID, bytes: size})
+	c.used += size
+	return false
+}
+
+func (c *refCache) remove(id uint64) {
+	if el, ok := c.index[id]; ok {
+		c.removeElement(el)
+	}
+}
+
+func (c *refCache) removeElement(el *list.Element) {
+	ent := el.Value.(refEntry)
+	c.order.Remove(el)
+	delete(c.index, ent.id)
+	c.used -= ent.bytes
+}
+
+func (c *refCache) flush() {
+	c.order.Init()
+	c.index = make(map[uint64]*list.Element)
+	c.used = 0
+}
+
+func TestLRUCacheMatchesReferenceModel(t *testing.T) {
+	const capacity = 64 << 10
+	got := NewLRUCache(capacity)
+	want := newRefCache(capacity)
+	rng := rand.New(rand.NewSource(99))
+
+	// IDs drawn from a working set a few times the cache's record
+	// capacity force constant eviction churn; a sprinkle of size changes,
+	// removals and flushes exercises every mutation path.
+	ids := make([]uint64, 512)
+	for i := range ids {
+		ids[i] = rng.Uint64() // hash-like IDs, as kvstore.KeyID produces
+	}
+	for step := 0; step < 200000; step++ {
+		switch r := rng.Intn(100); {
+		case r < 90:
+			rec := RecordRef{ID: ids[rng.Intn(len(ids))], Bytes: 1 << (5 + rng.Intn(8))}
+			if g, w := got.Access(rec), want.access(rec); g != w {
+				t.Fatalf("step %d: Access(%+v) = %v, reference says %v", step, rec, g, w)
+			}
+		case r < 97:
+			id := ids[rng.Intn(len(ids))]
+			got.Remove(id)
+			want.remove(id)
+		case r < 99:
+			// Uncacheable streaming record.
+			rec := RecordRef{ID: ids[rng.Intn(len(ids))], Bytes: capacity * 2}
+			if g, w := got.Access(rec), want.access(rec); g != w {
+				t.Fatalf("step %d: streaming Access = %v, reference says %v", step, g, w)
+			}
+		default:
+			got.Flush()
+			want.flush()
+		}
+		if got.Used() != want.used {
+			t.Fatalf("step %d: used %d, reference %d", step, got.Used(), want.used)
+		}
+		if got.Len() != want.order.Len() {
+			t.Fatalf("step %d: len %d, reference %d", step, got.Len(), want.order.Len())
+		}
+		if got.Hits() != want.hits || got.Misses() != want.misses {
+			t.Fatalf("step %d: hits/misses %d/%d, reference %d/%d",
+				step, got.Hits(), got.Misses(), want.hits, want.misses)
+		}
+	}
+}
+
+// TestLRUCacheDenseIDs repeats a short model run with small sequential
+// IDs, the worst case for a table that indexes IDs without re-hashing.
+func TestLRUCacheDenseIDs(t *testing.T) {
+	const capacity = 4 << 10
+	got := NewLRUCache(capacity)
+	want := newRefCache(capacity)
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 50000; step++ {
+		rec := RecordRef{ID: uint64(rng.Intn(256)), Bytes: 64 + rng.Intn(192)}
+		if rng.Intn(20) == 0 {
+			got.Remove(rec.ID)
+			want.remove(rec.ID)
+			continue
+		}
+		if g, w := got.Access(rec), want.access(rec); g != w {
+			t.Fatalf("step %d: Access(%+v) = %v, reference says %v", step, rec, g, w)
+		}
+	}
+	if got.Used() != want.used || got.Len() != want.order.Len() {
+		t.Fatalf("final state diverged: used %d/%d len %d/%d",
+			got.Used(), want.used, got.Len(), want.order.Len())
+	}
+}

@@ -239,6 +239,15 @@ func (m *Machine) Touch(t Tier, rec RecordRef, chases int) Traffic {
 	return tr
 }
 
+// TouchHit performs one logical access of the record, updating the LLC
+// model exactly as Touch does, and reports only whether the record was
+// LLC-resident. This is the narrow form used by the server's pricing hot
+// path, which selects the serving medium from the hit bit alone and has
+// no use for a Traffic breakdown.
+func (m *Machine) TouchHit(rec RecordRef) bool {
+	return m.llc != nil && m.llc.Access(rec)
+}
+
 // Invalidate drops a record from the LLC model (e.g. after deletion).
 func (m *Machine) Invalidate(rec RecordRef) {
 	if m.llc != nil {

@@ -1,0 +1,65 @@
+// Package pool provides the bounded worker pool shared by the
+// reproduction's embarrassingly parallel sweeps: repeated measurement
+// runs (internal/client.ExecuteMean), the two baseline executions
+// (internal/core.SensitivityEngine) and the workload×engine profiling
+// matrix (mnemo.ProfileMatrix). Each job owns its state (deployment,
+// noise stream, accumulators), so parallel execution changes wall-clock
+// time only — results are folded by the caller in job-index order,
+// keeping parallel output bit-identical to serial.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers clamps a requested worker count to [1, n] jobs, defaulting to
+// GOMAXPROCS when the request is non-positive.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn(0) … fn(n-1) across at most `workers` goroutines and
+// returns once all calls have finished. Job indices are handed out in
+// ascending order; with workers ≤ 1 the calls run sequentially on the
+// calling goroutine, so a serial reference execution is the workers=1
+// special case of the same code path. fn must write its result into
+// caller-owned, index-addressed storage rather than shared state.
+func Run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -9,9 +9,22 @@ import (
 // node; a placement decides which instance serves each key. Placements
 // are static — Mnemo produces "a static key allocation, with no support
 // for dynamic data migration".
+//
+// A placement carries one of two representations. String-keyed
+// placements (AllFast/AllSlow/FastSet) resolve tiers by key through a
+// map. Index-keyed placements (FastIndices) carry a dense []memsim.Tier
+// addressed by dataset record index — the replay fast path, since a
+// workload trace already refers to records by index. Deployment.Load
+// materializes either form into its per-record tier table, so both are
+// equally usable; only the lookup cost differs.
 type Placement struct {
 	defaultTier memsim.Tier
 	overrides   map[string]memsim.Tier
+	// dense is the index-keyed representation: dense[i] is the tier of
+	// dataset record i. When non-nil it is authoritative and overrides
+	// is nil; string lookups on a dense placement fall back to the
+	// default tier.
+	dense []memsim.Tier
 }
 
 // AllFast places every key on FastMem — the paper's best-case baseline.
@@ -30,7 +43,27 @@ func FastSet(fastKeys []string) Placement {
 	return p
 }
 
-// TierOf returns the tier serving the key.
+// FastIndices places the records with the listed dataset indices on
+// FastMem and the rest of the `total`-record dataset on SlowMem. This is
+// the index-keyed equivalent of FastSet: no key strings are stored and
+// tier resolution is a slice load. Indices outside [0, total) panic.
+func FastIndices(fastIdx []int, total int) Placement {
+	if total < 0 {
+		panic("server: negative dataset size")
+	}
+	dense := make([]memsim.Tier, total)
+	for i := range dense {
+		dense[i] = memsim.Slow
+	}
+	for _, i := range fastIdx {
+		dense[i] = memsim.Fast
+	}
+	return Placement{defaultTier: memsim.Slow, dense: dense}
+}
+
+// TierOf returns the tier serving the key. For index-keyed placements
+// the key string carries no routing information, so the default tier is
+// returned; resolve by index instead (TierOfIndex).
 func (p Placement) TierOf(key string) memsim.Tier {
 	if t, ok := p.overrides[key]; ok {
 		return t
@@ -38,10 +71,41 @@ func (p Placement) TierOf(key string) memsim.Tier {
 	return p.defaultTier
 }
 
+// TierOfIndex returns the tier serving the record with the given dataset
+// index. For string-keyed placements every record follows the map-free
+// default, so callers holding keys should use TierOf; Deployment.Load
+// resolves each record once through tierForRecord and caches the result.
+func (p Placement) TierOfIndex(idx int) memsim.Tier {
+	if p.dense != nil && idx >= 0 && idx < len(p.dense) {
+		return p.dense[idx]
+	}
+	return p.defaultTier
+}
+
+// tierForRecord resolves one dataset record through whichever
+// representation the placement carries.
+func (p Placement) tierForRecord(idx int, key string) memsim.Tier {
+	if p.dense != nil {
+		if idx >= 0 && idx < len(p.dense) {
+			return p.dense[idx]
+		}
+		return p.defaultTier
+	}
+	return p.TierOf(key)
+}
+
+// Dense reports whether the placement is index-keyed.
+func (p Placement) Dense() bool { return p.dense != nil }
+
 // FastKeyCount reports how many keys are explicitly pinned to FastMem
 // (0 for AllFast/AllSlow placements, which pin via the default).
 func (p Placement) FastKeyCount() int {
 	n := 0
+	for _, t := range p.dense {
+		if t == memsim.Fast {
+			n++
+		}
+	}
 	for _, t := range p.overrides {
 		if t == memsim.Fast {
 			n++

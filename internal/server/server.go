@@ -114,6 +114,13 @@ type Deployment struct {
 	placement Placement
 	noise     *Noise
 	profile   kvstore.EngineProfile
+
+	// records and tiers are the index-addressed request path, built by
+	// Load: records aliases the loaded dataset and tiers[i] caches the
+	// placement decision for record i, so DoIndex resolves a request
+	// with two slice loads instead of a map lookup plus a key hash.
+	records []ycsb.Record
+	tiers   []memsim.Tier
 }
 
 // NewDeployment builds an empty deployment with an AllFast placement.
@@ -153,12 +160,15 @@ func (d *Deployment) Instance(t memsim.Tier) kvstore.Store { return d.instances[
 // capacity.
 func (d *Deployment) Load(ds ycsb.Dataset, p Placement) error {
 	d.placement = p
-	for _, rec := range ds.Records {
-		tier := p.TierOf(rec.Key)
+	d.records = ds.Records
+	d.tiers = make([]memsim.Tier, len(ds.Records))
+	for i, rec := range ds.Records {
+		tier := p.tierForRecord(i, rec.Key)
+		d.tiers[i] = tier
 		if err := d.machine.Node(tier).Alloc(int64(rec.Size)); err != nil {
 			return fmt.Errorf("server: loading %q: %w", rec.Key, err)
 		}
-		d.instances[tier].Put(rec.Key, kvstore.Sized(rec.Size))
+		d.instances[tier].PutID(rec.Key, rec.ID, kvstore.Sized(rec.Size))
 		d.instances[tier].TakePauseNs() // setup-phase stalls are not timed
 	}
 	if llc := d.machine.LLC(); llc != nil {
@@ -178,7 +188,9 @@ type Result struct {
 }
 
 // Do executes one request against the deployment, advancing the clock by
-// its service time.
+// its service time. This is the string-keyed path; replay loops holding
+// dataset indices should use DoIndex, which skips the placement map
+// lookup and the key re-hash.
 func (d *Deployment) Do(key string, kind kvstore.OpKind, size int) Result {
 	tier := d.placement.TierOf(key)
 	st := d.instances[tier]
@@ -193,33 +205,66 @@ func (d *Deployment) Do(key string, kind kvstore.OpKind, size int) Result {
 	default:
 		panic(fmt.Sprintf("server: unknown op kind %v", kind))
 	}
+	return d.price(tier, st, kind, tr, size)
+}
 
+// DoIndex executes one request addressed by dataset record index — the
+// replay fast path. The record's tier comes from the table Load built
+// and its identity from the dataset's cached KeyID, so no per-request
+// string work remains. Writes store the record's dataset size (the
+// trace's record sizes are fixed for the workload's lifetime). DoIndex
+// panics if the deployment has not been loaded or idx is out of range.
+func (d *Deployment) DoIndex(idx int, kind kvstore.OpKind) Result {
+	rec := &d.records[idx]
+	tier := d.tiers[idx]
+	st := d.instances[tier]
+	var tr kvstore.OpTrace
+	switch kind {
+	case kvstore.Read:
+		_, tr = st.GetID(rec.Key, rec.ID)
+	case kvstore.Write:
+		tr = st.PutID(rec.Key, rec.ID, kvstore.Value{Size: rec.Size})
+	case kvstore.Delete:
+		tr = st.DelID(rec.Key, rec.ID)
+	default:
+		panic(fmt.Sprintf("server: unknown op kind %v", kind))
+	}
+	return d.price(tier, st, kind, tr, rec.Size)
+}
+
+// price turns an operation trace into simulated service time and
+// advances the clock — the shared back half of Do and DoIndex.
+func (d *Deployment) price(tier memsim.Tier, st kvstore.Store, kind kvstore.OpKind, tr kvstore.OpTrace, size int) Result {
 	// Cache residency is tracked at the record's value size; pricing uses
 	// the engine's (possibly amplified) touched bytes.
-	ref := memsim.RecordRef{ID: tr.RecordID, Bytes: d.valueBytes(tr, size)}
-	traffic := d.machine.Touch(tier, ref, tr.Chases)
+	vb := d.valueBytes(tr, size)
+	ref := memsim.RecordRef{ID: tr.RecordID, Bytes: vb}
+	hit := d.machine.TouchHit(ref)
 	if kind == kvstore.Delete {
 		d.machine.Invalidate(ref)
 	}
 
-	var medium memsim.NodeParams
-	if traffic.CacheHit {
-		medium = memsim.LLCParams
+	var medium *memsim.NodeParams
+	if hit {
+		medium = &memsim.LLCParams
 	} else {
-		medium = d.machine.Node(tier).Params
+		medium = &d.machine.Node(tier).Params
 	}
 	transferNs := medium.TransferNs(tr.Touched)
 	if kind == kvstore.Write {
 		transferNs *= d.profile.WritePenalty
 	}
-	memNs := (medium.ChaseNs(tr.Chases) + transferNs) / d.profile.MLP
+	memNs := medium.ChaseNs(tr.Chases) + transferNs
+	if mlp := d.profile.MLP; mlp != 1 {
+		memNs /= mlp
+	}
 
-	cpuNs := d.profile.CPUBaseNs + d.profile.CPUPerByteNs*float64(d.valueBytes(tr, size))
+	cpuNs := d.profile.CPUBaseNs + d.profile.CPUPerByteNs*float64(vb)
 	serviceNs := (cpuNs+memNs)*d.noise.Factor() + st.TakePauseNs()
 
 	lat := simclock.FromNanos(serviceNs)
 	d.clock.Advance(lat)
-	return Result{Tier: tier, Kind: kind, Latency: lat, Found: tr.Found, Hit: traffic.CacheHit}
+	return Result{Tier: tier, Kind: kind, Latency: lat, Found: tr.Found, Hit: hit}
 }
 
 // valueBytes recovers the record's actual payload size from an operation
@@ -235,8 +280,10 @@ func (d *Deployment) valueBytes(tr kvstore.OpTrace, writeSize int) int {
 		return 0
 	}
 	amp := d.profile.ReadAmplification
-	if amp < 1 {
-		amp = 1
+	if amp <= 1 {
+		// Unamplified engines (hash, slab) touch exactly the payload;
+		// dividing by 1.0 is the identity, so skip the float round trip.
+		return tr.Touched
 	}
 	return int(float64(tr.Touched) / amp)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Histogram is a log-bucketed latency histogram in the spirit of HDR
@@ -15,13 +16,15 @@ import (
 //
 // The zero value is not usable; construct with NewHistogram.
 type Histogram struct {
-	growth  float64 // geometric bucket growth factor, > 1
-	minVal  float64 // lower bound of bucket 0
-	counts  []int64
-	total   int64
-	sum     float64
-	maxSeen float64
-	minSeen float64
+	growth    float64 // geometric bucket growth factor, > 1
+	logGrowth float64 // cached math.Log(growth); spares one Log per Record
+	minVal    float64 // lower bound of bucket 0
+	table     *bucketTable
+	counts    []int64
+	total     int64
+	sum       float64
+	maxSeen   float64
+	minSeen   float64
 }
 
 // NewHistogram creates a histogram whose buckets start at minVal and grow
@@ -34,7 +37,23 @@ func NewHistogram(minVal, growth float64) *Histogram {
 	if growth <= 1 {
 		panic("stats: histogram growth must exceed 1")
 	}
-	return &Histogram{growth: growth, minVal: minVal, minSeen: math.Inf(1)}
+	return &Histogram{
+		growth:    growth,
+		logGrowth: math.Log(growth),
+		minVal:    minVal,
+		table:     tableFor(minVal, growth),
+		minSeen:   math.Inf(1),
+	}
+}
+
+// logBucket is the defining bucket formula: values v > minVal land in
+// bucket floor(log(v/minVal)/log(growth)) + 1. Record goes through a
+// precomputed boundary table instead (bucketFor below), which by
+// construction returns exactly this function's result for every float —
+// the table spares two transcendental calls per recording, it does not
+// change the geometry.
+func logBucket(v, minVal, logGrowth float64) int {
+	return int(math.Log(v/minVal)/logGrowth) + 1
 }
 
 // bucketFor maps a value to its bucket index (values below minVal share
@@ -43,7 +62,103 @@ func (h *Histogram) bucketFor(v float64) int {
 	if v <= h.minVal {
 		return 0
 	}
-	return int(math.Log(v/h.minVal)/math.Log(h.growth)) + 1
+	if t := h.table; t != nil && v < t.last {
+		return t.lookup(v)
+	}
+	return logBucket(v, h.minVal, h.logGrowth)
+}
+
+// bucketTable precomputes the exact bucket boundaries of one (minVal,
+// growth) geometry so the per-Record bucket lookup is a polynomial log2
+// estimate snapped to the exact boundary array — no logarithms on the hot
+// path. bounds[i] is the smallest float64 whose logBucket is i+2 (the
+// boundary between buckets i+1 and i+2), found by ulp-walking around
+// minVal·growth^(i+1), so table and formula agree on every input bit for
+// bit.
+type bucketTable struct {
+	bounds        []float64
+	last          float64 // bounds[len-1]; values at or above fall back to the formula
+	log2Min       float64 // log2(minVal)
+	invLog2Growth float64 // 1 / log2(growth)
+}
+
+// Boundaries are tabulated up to 1e15 (for latency histograms: ~11 days
+// in nanoseconds); larger values are rare enough to pay the Log.
+const maxTableBound = 1e15
+
+func buildBucketTable(minVal, growth float64) *bucketTable {
+	logGrowth := math.Log(growth)
+	var bounds []float64
+	for k := 1; ; k++ {
+		v := minVal * math.Pow(growth, float64(k))
+		if v > maxTableBound {
+			break
+		}
+		// Pow lands within ulps of the true boundary; walk to the exact
+		// smallest float the formula assigns to bucket k+1.
+		for v > minVal && logBucket(v, minVal, logGrowth) >= k+1 {
+			v = math.Nextafter(v, 0)
+		}
+		for v <= minVal || logBucket(v, minVal, logGrowth) < k+1 {
+			v = math.Nextafter(v, math.Inf(1))
+		}
+		bounds = append(bounds, v)
+	}
+	if len(bounds) == 0 {
+		return &bucketTable{last: minVal} // degenerate geometry, formula only
+	}
+	return &bucketTable{
+		bounds:        bounds,
+		last:          bounds[len(bounds)-1],
+		log2Min:       math.Log2(minVal),
+		invLog2Growth: 1 / math.Log2(growth),
+	}
+}
+
+// lookup returns the bucket of v; the caller guarantees
+// minVal < v < t.last. The bucket is 1 + (number of boundaries ≤ v). A
+// quadratic estimate of log2(v) built from the raw float bits lands
+// within a fraction of a bucket for common growth factors; the estimate
+// is then snapped to the exact boundary array, so the result matches the
+// defining formula bit for bit no matter how coarse the estimate was.
+func (t *bucketTable) lookup(v float64) int {
+	bits := math.Float64bits(v)
+	m := 1 + float64(bits&(1<<52-1))*(1.0/(1<<52)) // mantissa in [1, 2)
+	// Quadratic minimax fit of log2(m) on [1, 2); |error| < 0.009.
+	log2 := float64(int(bits>>52&0x7ff)-1023) + (2.0248613-0.3448549*m)*m - 1.6799357
+	c := int((log2 - t.log2Min) * t.invLog2Growth)
+	if c < 0 {
+		c = 0
+	} else if c >= len(t.bounds) {
+		c = len(t.bounds) - 1
+	}
+	for c < len(t.bounds) && t.bounds[c] <= v {
+		c++
+	}
+	for c > 0 && t.bounds[c-1] > v {
+		c--
+	}
+	return c + 1
+}
+
+// tableFor returns the shared boundary table of a geometry, building it
+// on first use. Histograms of one geometry all point at one immutable
+// table, so construction cost is paid once per process.
+var (
+	tableMu    sync.Mutex
+	tableCache = map[[2]float64]*bucketTable{}
+)
+
+func tableFor(minVal, growth float64) *bucketTable {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	key := [2]float64{minVal, growth}
+	t, ok := tableCache[key]
+	if !ok {
+		t = buildBucketTable(minVal, growth)
+		tableCache[key] = t
+	}
+	return t
 }
 
 // bucketUpper returns the representative (upper bound) value for bucket i.
@@ -79,6 +194,9 @@ func (h *Histogram) Record(v float64) {
 
 // N returns the number of recorded observations.
 func (h *Histogram) N() int64 { return h.total }
+
+// Sum returns the exact sum of recorded observations.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Mean returns the exact mean of recorded observations (tracked outside
 // the buckets, so it carries no bucketing error).

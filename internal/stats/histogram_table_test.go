@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBucketTableMatchesLogFormula is the exactness contract of the
+// boundary table: for every float64 the table must return the bucket the
+// defining log formula returns — including one ulp either side of every
+// tabulated boundary, where an off-by-one would silently skew quantiles.
+func TestBucketTableMatchesLogFormula(t *testing.T) {
+	for _, geom := range []struct{ min, growth float64 }{
+		{100, 1.02},
+		{100, 1.05},
+		{1, 1.5},
+		{0.25, 1.001},
+	} {
+		h := NewHistogram(geom.min, geom.growth)
+		formula := func(v float64) int {
+			if v <= h.minVal {
+				return 0
+			}
+			return logBucket(v, h.minVal, h.logGrowth)
+		}
+		check := func(v float64) {
+			t.Helper()
+			if got, want := h.bucketFor(v), formula(v); got != want {
+				t.Fatalf("geometry (%v, %v): bucketFor(%v) = %d, formula says %d",
+					geom.min, geom.growth, v, got, want)
+			}
+		}
+		for _, b := range h.table.bounds {
+			check(math.Nextafter(b, 0))
+			check(b)
+			check(math.Nextafter(b, math.Inf(1)))
+		}
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 200000; i++ {
+			// Log-uniform values spanning below minVal through past the
+			// table's upper limit (exercising the formula fallback).
+			v := math.Exp(rng.Float64()*math.Log(maxTableBound*100/geom.min)) * geom.min / 10
+			check(v)
+		}
+		check(geom.min)
+		check(maxTableBound)
+		check(maxTableBound * 10)
+	}
+}
+
+func TestBucketTableSharedAcrossHistograms(t *testing.T) {
+	a, b := NewHistogram(100, 1.02), NewHistogram(100, 1.02)
+	if a.table != b.table {
+		t.Fatal("same geometry must share one boundary table")
+	}
+	c := NewHistogram(100, 1.05)
+	if c.table == a.table {
+		t.Fatal("different geometries must not share a table")
+	}
+}

@@ -2,9 +2,8 @@ package mnemo
 
 import (
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
+
+	"mnemo/internal/pool"
 )
 
 // MatrixCell identifies one profiling job of a sweep and carries its
@@ -34,9 +33,10 @@ type MatrixRequest struct {
 }
 
 // ProfileMatrix runs the sweep, fanning cells out over a bounded worker
-// pool. The returned cells are sorted by workload then engine, and every
-// cell carries either a report or its error — one failed cell does not
-// abort the sweep.
+// pool. Cells are written into an index-addressed slice, so the returned
+// order — workload-name input order, then engine — is deterministic
+// regardless of worker count. Every cell carries either a report or its
+// error — one failed cell does not abort the sweep.
 func ProfileMatrix(req MatrixRequest) ([]MatrixCell, error) {
 	if len(req.Workloads) == 0 {
 		return nil, fmt.Errorf("mnemo: ProfileMatrix needs at least one workload")
@@ -44,10 +44,6 @@ func ProfileMatrix(req MatrixRequest) ([]MatrixCell, error) {
 	engines := req.Engines
 	if len(engines) == 0 {
 		engines = Engines()
-	}
-	workers := req.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 
 	// Generate workloads up front (cheap, and shared across engines —
@@ -65,41 +61,17 @@ func ProfileMatrix(req MatrixRequest) ([]MatrixCell, error) {
 		byName[name] = w
 	}
 
-	jobs := make(chan MatrixCell)
-	results := make(chan MatrixCell)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for cell := range jobs {
-				opts := req.Options
-				opts.Store = cell.Engine
-				cell.Report, cell.Err = Profile(byName[cell.Workload], opts)
-				results <- cell
-			}
-		}()
-	}
-	go func() {
-		for _, name := range req.Workloads {
-			for _, e := range engines {
-				jobs <- MatrixCell{Workload: name, Engine: e}
-			}
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
 	cells := make([]MatrixCell, 0, len(req.Workloads)*len(engines))
-	for cell := range results {
-		cells = append(cells, cell)
-	}
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].Workload != cells[j].Workload {
-			return cells[i].Workload < cells[j].Workload
+	for _, name := range req.Workloads {
+		for _, e := range engines {
+			cells = append(cells, MatrixCell{Workload: name, Engine: e})
 		}
-		return cells[i].Engine < cells[j].Engine
+	}
+	pool.Run(len(cells), req.Parallelism, func(i int) {
+		cell := &cells[i]
+		opts := req.Options
+		opts.Store = cell.Engine
+		cell.Report, cell.Err = Profile(byName[cell.Workload], opts)
 	})
 	return cells, nil
 }
