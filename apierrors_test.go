@@ -1,0 +1,166 @@
+package mnemo
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// tinyAPIWorkload is the smallest workload the error-path tests profile.
+func tinyAPIWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := GenerateWorkload(WorkloadSpec{
+		Name: "apierr", Keys: 40, Requests: 200,
+		Dist:      DistSpec{Kind: Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+		ReadRatio: 1.0, Sizes: SizeThumbnail, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestOptionsValidation exercises every Options.validate rejection and
+// checks the message names the offending field — descriptive errors are
+// part of the contract.
+func TestOptionsValidation(t *testing.T) {
+	w := tinyAPIWorkload(t)
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring the error must contain
+	}{
+		{"unknown engine", Options{Store: Engine(99)}, "unknown store engine"},
+		{"negative runs", Options{Runs: -1}, "Runs"},
+		{"price factor above 1", Options{PriceFactor: 1.5}, "PriceFactor"},
+		{"negative price factor", Options{PriceFactor: -0.2}, "PriceFactor"},
+		{"negative SLO", Options{SLO: -0.1}, "SLO"},
+		{"fault prob above 1", Options{Fault: FaultSpec{FailProb: 1.5}}, "FailProb"},
+		{"negative fault prob", Options{Fault: FaultSpec{StallProb: -0.5}}, "StallProb"},
+		{"negative stall", Options{Fault: FaultSpec{StallProb: 0.1, Stall: -Second}}, "Stall"},
+		{"negative outlier factor", Options{Fault: FaultSpec{OutlierProb: 0.1, OutlierFactor: -2}}, "OutlierFactor"},
+		{"negative run timeout", Options{RunTimeout: -Second}, "RunTimeout"},
+		{"negative retries", Options{Retries: -1}, "Retries"},
+		{"negative min runs", Options{MinRuns: -1}, "MinRuns"},
+		{"negative outlier MAD", Options{OutlierMAD: -3.5}, "OutlierMAD"},
+		{"MAD without min runs", Options{OutlierMAD: 3.5}, "MinRuns"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Profile(w, tc.opts); err == nil {
+				t.Fatalf("options %+v accepted", tc.opts)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// PriceFactor 1 is the edge of the legal (0,1] range.
+	if _, err := Profile(w, Options{PriceFactor: 1}); err != nil {
+		t.Fatalf("PriceFactor 1 rejected: %v", err)
+	}
+}
+
+func TestProfileWithTieringErrors(t *testing.T) {
+	w := tinyAPIWorkload(t)
+	if _, err := ProfileWithTiering(w, []string{"no_such_key"}, Options{}); err == nil {
+		t.Fatal("unknown tiered key accepted")
+	}
+	if _, err := ProfileWithTiering(w, []string{"user0", "user0"}, Options{}); err == nil {
+		t.Fatal("repeated tiered key accepted")
+	}
+	if _, err := ProfileWithTiering(w, nil, Options{Runs: -1}); err == nil {
+		t.Fatal("bad options accepted by ProfileWithTiering")
+	}
+}
+
+func TestAdvisorErrors(t *testing.T) {
+	if _, err := Advise(&Curve{}, 0.1); err == nil {
+		t.Error("empty curve accepted by Advise")
+	}
+	if _, err := AdviseLatency(&Curve{}, 100); err == nil {
+		t.Error("empty curve accepted by AdviseLatency")
+	}
+	w := tinyAPIWorkload(t)
+	rep, err := Profile(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Advise(rep.Curve, -0.1); err == nil {
+		t.Error("negative slowdown accepted")
+	}
+	if _, err := AdviseLatency(rep.Curve, 0); err == nil {
+		t.Error("non-positive latency budget accepted")
+	}
+	if _, err := EstimateTails(rep, []int{-1}); err == nil {
+		t.Error("negative sizing accepted by EstimateTails")
+	}
+	if _, err := EstimateTails(rep, []int{len(w.Dataset.Records) + 1}); err == nil {
+		t.Error("oversized sizing accepted by EstimateTails")
+	}
+}
+
+func TestWorkloadLoaderErrors(t *testing.T) {
+	if _, err := WorkloadByName("no_such_workload", 1); err == nil {
+		t.Error("unknown workload name accepted")
+	}
+	if _, err := GenerateWorkload(WorkloadSpec{Name: "bad", Keys: -1, Requests: 10}); err == nil {
+		t.Error("negative key count accepted")
+	}
+	if _, err := LoadWorkloadCSV(strings.NewReader("not a workload")); err == nil {
+		t.Error("garbage CSV accepted")
+	}
+	if _, err := LoadRedisMonitor(strings.NewReader("no commands here"), 64); err == nil {
+		t.Error("command-free capture accepted")
+	}
+	if _, err := LoadRedisMonitor(strings.NewReader(`1.0 [0 x] "GET" "k"`+"\n"), 0); err == nil {
+		t.Error("zero default size accepted")
+	}
+}
+
+func TestCostModelErrors(t *testing.T) {
+	if _, err := PriceFactorFromHardware(0, 5); err == nil {
+		t.Error("zero slow price accepted")
+	}
+	if _, err := PriceFactorFromHardware(5, 0); err == nil {
+		t.Error("zero fast price accepted")
+	}
+	if _, err := PriceFactorFromHardware(7, 5); err == nil {
+		t.Error("slow dearer than fast accepted")
+	}
+}
+
+func TestProfileMatrixRequestErrors(t *testing.T) {
+	ctx := context.Background()
+	if _, err := ProfileMatrixContext(ctx, MatrixRequest{}); err == nil {
+		t.Error("empty request accepted")
+	}
+	if _, err := ProfileMatrixContext(ctx, MatrixRequest{
+		Workloads: []string{"trending"},
+		Engines:   []Engine{RedisLike, RedisLike},
+	}); err == nil {
+		t.Error("duplicate engine accepted")
+	}
+	if _, err := ProfileMatrixContext(ctx, MatrixRequest{
+		Workloads: []string{"trending", "trending"},
+	}); err == nil {
+		t.Error("duplicate workload name accepted")
+	}
+	if _, err := ProfileMatrixContext(ctx, MatrixRequest{
+		Workloads: []string{"no_such_workload"},
+	}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := ProfileMatrixContext(ctx, MatrixRequest{
+		Specs: []WorkloadSpec{{Name: "bad", Keys: -1, Requests: 10}},
+	}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	spec := tinyAPIWorkload(t).Spec
+	if _, err := ProfileMatrixContext(ctx, MatrixRequest{
+		Workloads: []string{"trending"},
+		Specs:     []WorkloadSpec{func() WorkloadSpec { s := spec; s.Name = "trending"; return s }()},
+	}); err == nil {
+		t.Error("spec name colliding with workload name accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package mnemo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"mnemo/internal/pool"
+)
+
+// chaosSpec is a deliberately tiny workload so hundreds of fault
+// schedules stay fast under -race.
+func chaosSpec(name string, seed int64) WorkloadSpec {
+	return WorkloadSpec{
+		Name: name, Keys: 60, Requests: 400,
+		Dist:      DistSpec{Kind: Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+		ReadRatio: 0.9, Sizes: SizeThumbnail, Seed: seed,
+	}
+}
+
+// expectedChaosErr reports whether err is one of the typed failures a
+// fault-injected profile is allowed to surface: an injected fault, a
+// run-timeout cut, or the caller's own cancellation. Anything else —
+// and in particular a captured panic — is a bug.
+func expectedChaosErr(err error) bool {
+	var fe *FaultError
+	return errors.As(err, &fe) ||
+		errors.Is(err, ErrRunTimeout) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// TestChaosMatrixSchedules drives ProfileMatrixContext through hundreds
+// of randomized (but seeded, hence reproducible) fault schedules. The
+// robustness contract under test: every cell ends with exactly one of a
+// report or a typed error, no panic ever escapes (or is even captured),
+// and the process does not leak goroutines.
+func TestChaosMatrixSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is a long test")
+	}
+	const schedules = 500
+
+	warmup := runtime.NumGoroutine()
+
+	for i := 0; i < schedules; i++ {
+		rng := rand.New(rand.NewSource(int64(i)*7919 + 1))
+		opts := Options{
+			Seed: int64(i) + 1,
+			Runs: 1 + rng.Intn(3),
+			Fault: FaultSpec{
+				Seed:        int64(i)*13 + 5,
+				FailProb:    rng.Float64() * 0.6,
+				StallProb:   rng.Float64() * 0.3,
+				OutlierProb: rng.Float64() * 0.4,
+			},
+			Retries: rng.Intn(3),
+		}
+		if rng.Intn(2) == 0 {
+			opts.RunTimeout = 2 * Second // cuts injected stalls
+		}
+		if rng.Intn(2) == 0 {
+			opts.MinRuns = 1
+			if rng.Intn(2) == 0 {
+				opts.OutlierMAD = 3.5
+			}
+		}
+		cells, sweepErr := ProfileMatrixContext(context.Background(), MatrixRequest{
+			Specs:       []WorkloadSpec{chaosSpec(fmt.Sprintf("chaos_%d", i), int64(i))},
+			Engines:     []Engine{RedisLike, DynamoLike},
+			Options:     opts,
+			Parallelism: 1 + rng.Intn(4),
+		})
+		if sweepErr != nil {
+			// Per-cell failures never abort the sweep; only invalid
+			// requests or cancellation do, and this request is valid.
+			t.Fatalf("schedule %d: sweep error %v", i, sweepErr)
+		}
+		if len(cells) != 2 {
+			t.Fatalf("schedule %d: %d cells", i, len(cells))
+		}
+		for _, cell := range cells {
+			if (cell.Report == nil) == (cell.Err == nil) {
+				t.Fatalf("schedule %d %s/%v: report %v, err %v — want exactly one",
+					i, cell.Workload, cell.Engine, cell.Report, cell.Err)
+			}
+			if cell.Err != nil {
+				var pe *pool.PanicError
+				if errors.As(cell.Err, &pe) {
+					t.Fatalf("schedule %d %s/%v: panic captured: %v\n%s",
+						i, cell.Workload, cell.Engine, pe.Value, pe.Stack)
+				}
+				if !expectedChaosErr(cell.Err) {
+					t.Fatalf("schedule %d %s/%v: untyped error %v",
+						i, cell.Workload, cell.Engine, cell.Err)
+				}
+			}
+			if cell.Report != nil && opts.MinRuns == 0 && cell.Report.Degraded {
+				t.Fatalf("schedule %d %s/%v: strict-mode report flagged degraded",
+					i, cell.Workload, cell.Engine)
+			}
+		}
+	}
+
+	// Worker goroutines must all have drained; allow the runtime a
+	// moment to retire them.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= warmup+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after %d schedules", warmup, n, schedules)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosMatrixCancellationPrompt cancels a sweep mid-flight: the call
+// must return quickly in wall time (the testbed runs on simulated time),
+// report the context error, and leave every unfinished cell carrying it.
+func TestChaosMatrixCancellationPrompt(t *testing.T) {
+	specs := make([]WorkloadSpec, 6)
+	for i := range specs {
+		specs[i] = WorkloadSpec{
+			Name: fmt.Sprintf("cancel_%d", i), Keys: 2000, Requests: 100_000,
+			Dist:      DistSpec{Kind: Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+			ReadRatio: 0.9, Sizes: SizeThumbnail, Seed: int64(i),
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	cells, err := ProfileMatrixContext(ctx, MatrixRequest{
+		Specs:   specs,
+		Options: Options{Seed: 1, Runs: 4},
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep error = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	finished, cut := 0, 0
+	for _, cell := range cells {
+		switch {
+		case cell.Report != nil && cell.Err == nil:
+			finished++
+		case cell.Err != nil && errors.Is(cell.Err, context.Canceled):
+			cut++
+		default:
+			t.Fatalf("cell %s/%v: report %v err %v after cancellation",
+				cell.Workload, cell.Engine, cell.Report, cell.Err)
+		}
+	}
+	if cut == 0 {
+		t.Skip("sweep finished before cancellation; nothing to assert")
+	}
+	t.Logf("cancelled sweep: %d finished, %d cut", finished, cut)
+}

@@ -17,6 +17,14 @@
 //	-quick          run at 10×-reduced scale (default is the paper's full
 //	                scale: 10 000 keys × 100 000 requests per workload)
 //	-seed n         deterministic seed
+//	-fault p        chaos mode: each measurement run independently fails,
+//	                stalls, or returns outlier latencies with probability p
+//	                per class (deterministic per -seed/-fault-seed);
+//	                measurements then retry and degrade instead of aborting
+//	-fault-seed n   decorrelates the fault schedule from -seed
+//	-timeout s      per-run budget in simulated seconds; a run whose
+//	                simulated clock exceeds it (e.g. an injected stall) is
+//	                cut off and retried (0 = unbounded)
 //	-cpuprofile f   write a pprof CPU profile of the run to f
 //	-memprofile f   write a pprof heap profile (taken after the run) to f
 package main
@@ -32,6 +40,7 @@ import (
 
 	"mnemo/internal/experiments"
 	"mnemo/internal/server"
+	"mnemo/internal/simclock"
 )
 
 // experiment is one runnable unit.
@@ -178,6 +187,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run at 10x-reduced scale")
 	seed := fs.Int64("seed", 42, "deterministic seed")
+	fault := fs.Float64("fault", 0, "inject faults with probability `p` per class (fail/stall/outlier)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault schedule")
+	timeout := fs.Float64("timeout", 0, "per-run budget in simulated `seconds` (0 = unbounded)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write heap profile to `file`")
 	if err := fs.Parse(args); err != nil {
@@ -187,6 +199,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *quick {
 		scale = experiments.Quick
 	}
+	if *fault < 0 || *fault > 1 {
+		return fmt.Errorf("-fault %v outside [0,1]", *fault)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout %v must be non-negative", *timeout)
+	}
+	if *fault > 0 {
+		scale.Fault = server.FaultSpec{
+			Seed:        *faultSeed,
+			FailProb:    *fault,
+			StallProb:   *fault,
+			OutlierProb: *fault,
+		}
+	}
+	scale.RunTimeout = simclock.Duration(*timeout * float64(simclock.Second))
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -47,6 +47,33 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestRunChaosFlags(t *testing.T) {
+	// A light fault schedule with a simulated-time budget must still
+	// produce the experiment output: runs retry and degrade instead of
+	// aborting the sweep.
+	var stdout, stderr bytes.Buffer
+	args := []string{"-quick", "-seed", "7", "-fault", "0.05", "-fault-seed", "3", "-timeout", "600", "fig9"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "Fig 9") {
+		t.Error("fig9 output missing under fault injection")
+	}
+}
+
+func TestRunRejectsBadChaosFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fault", "1.5", "table1"},
+		{"-fault", "-0.1", "table1"},
+		{"-timeout", "-1", "table1"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
 func TestExperimentListHasNoDuplicates(t *testing.T) {
 	seen := map[string]bool{}
 	for _, e := range all {

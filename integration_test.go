@@ -8,6 +8,7 @@ package mnemo_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestAdvisedPlacementMeetsSLOWhenDeployed(t *testing.T) {
 	const slo = 0.10
 
 	cfg := core.DefaultConfig(server.RedisLike, 101)
-	rep, err := core.Profile(cfg, w, core.StandAlone, slo)
+	rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, slo)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestAdvisedPlacementMeetsSLOWhenDeployed(t *testing.T) {
 func TestPlacementEngineRoutesBytesAsAdvised(t *testing.T) {
 	w := integrationWorkload(t, 102)
 	cfg := core.DefaultConfig(server.MemcachedLike, 102)
-	rep, err := core.Profile(cfg, w, core.MnemoT, 0.05)
+	rep, err := core.Profile(context.Background(), cfg, w, core.MnemoT, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestExternalTieringPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	points, err := core.Validate(cfg, w, bad.Curve, ord, 4)
+	points, err := core.Validate(context.Background(), cfg, w, bad.Curve, ord, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

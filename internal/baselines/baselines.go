@@ -18,6 +18,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 
 	"mnemo/internal/client"
@@ -74,7 +75,7 @@ func MnemoTOverhead(cfg core.Config, w *ycsb.Workload) (OverheadReport, core.Bas
 	if err != nil {
 		return OverheadReport{}, core.Baselines{}, core.Ordering{}, err
 	}
-	b, err := se.Baselines(w)
+	b, err := se.Baselines(context.Background(), w)
 	if err != nil {
 		return OverheadReport{}, core.Baselines{}, core.Ordering{}, err
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -126,7 +127,7 @@ func TestTahoeInferenceNonNegative(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := se.Baselines(w)
+	b, err := se.Baselines(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,11 +7,11 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"mnemo/internal/kvstore"
-	"mnemo/internal/pool"
 	"mnemo/internal/server"
 	"mnemo/internal/simclock"
 	"mnemo/internal/stats"
@@ -53,6 +53,14 @@ type RunStats struct {
 	// extension (internal/core TailEstimator). Empty classes are
 	// omitted.
 	ReadLatency, WriteLatency []BucketHistogram
+
+	// RunsRequested, RunsUsed, RunsRetried and Degraded summarize an
+	// ExecuteMean* aggregate's resilience: repetitions requested, the
+	// survivors the means were folded from, and retry attempts spent.
+	// Degraded marks an aggregate computed from fewer runs than
+	// requested. Single-run stats leave all four zero.
+	RunsRequested, RunsUsed, RunsRetried int
+	Degraded                             bool
 }
 
 // BucketHistogram pairs a record-size class with the latency histogram
@@ -207,10 +215,32 @@ func sizeClasses(recs []ycsb.Record) []uint8 {
 // records by trace index, size classes come from the precomputed table,
 // and the accumulators are slice-indexed.
 func replay(d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAccum) {
-	for _, op := range w.Ops {
+	_ = replayBounded(context.Background(), d, w, classes, a, 0)
+}
+
+// replayBounded is replay under a watchdog: a per-run budget in
+// simulated time (0 = unbounded, checked every request so an injected
+// stall is caught at the op where the clock jumped) and a cancellable
+// context (checked every 4096 requests — replay advances only simulated
+// time, so wall-clock cancellation latency stays microseconds). Both
+// checks cost a predictable branch and keep the steady-state loop
+// allocation-free.
+func replayBounded(ctx context.Context, d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAccum, budget simclock.Duration) error {
+	start := d.Clock()
+	for i, op := range w.Ops {
 		res := d.DoIndex(op.Key, op.Kind)
 		a.observe(op.Kind, int(classes[op.Key]), float64(res.Latency.Nanoseconds()))
+		if budget > 0 && d.Clock()-start > budget {
+			return fmt.Errorf("%w after %d/%d requests (simulated %v > budget %v)",
+				ErrRunTimeout, i+1, len(w.Ops), d.Clock()-start, budget)
+		}
+		if i&4095 == 4095 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
 // mergedHistogram folds the per-size-class histograms of both request
@@ -229,9 +259,23 @@ func mergedHistogram(groups ...[]BucketHistogram) *stats.Histogram {
 
 // Run replays the workload trace against an already-loaded deployment.
 func Run(d *server.Deployment, w *ycsb.Workload) RunStats {
+	st, err := RunCtx(context.Background(), d, w, 0)
+	if err != nil {
+		// Unreachable: no budget and an uncancellable context.
+		panic(err)
+	}
+	return st
+}
+
+// RunCtx is Run with cancellation and a per-run simulated-time budget
+// (0 = unbounded). A run cut off by either returns the error and no
+// stats: partial measurements are discarded, never folded into means.
+func RunCtx(ctx context.Context, d *server.Deployment, w *ycsb.Workload, budget simclock.Duration) (RunStats, error) {
 	start := d.Clock()
 	a := newReplayAccum()
-	replay(d, w, sizeClasses(w.Dataset.Records), a)
+	if err := replayBounded(ctx, d, w, sizeClasses(w.Dataset.Records), a, budget); err != nil {
+		return RunStats{}, err
+	}
 	runtime := d.Clock() - start
 	reads, readSum := a.readHists.countAndSum()
 	writes, writeSum := a.writeHists.countAndSum()
@@ -265,17 +309,34 @@ func Run(d *server.Deployment, w *ycsb.Workload) RunStats {
 	if llc := d.Machine().LLC(); llc != nil {
 		out.LLCHitRate = llc.HitRate()
 	}
-	return out
+	return out, nil
 }
 
 // Execute builds a fresh deployment, loads the dataset under the given
 // placement (the untimed load phase) and replays the trace.
 func Execute(cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats, error) {
+	return ExecuteCtx(context.Background(), cfg, w, p)
+}
+
+// ExecuteCtx is Execute with cancellation. It also honors the config's
+// hardening knobs: a deployment fated to fail by cfg.Fault returns its
+// *server.FaultError before loading (a dead server is noticed at connect
+// time), and cfg.RunTimeout bounds the replay in simulated time.
+func ExecuteCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return RunStats{}, err
+	}
 	d := server.NewDeployment(cfg)
+	if err := d.InjectedFailure(); err != nil {
+		return RunStats{}, err
+	}
 	if err := d.Load(w.Dataset, p); err != nil {
 		return RunStats{}, err
 	}
-	return Run(d, w), nil
+	return RunCtx(ctx, d, w, cfg.RunTimeout)
 }
 
 // ExecuteMean runs the workload `runs` times with distinct noise seeds
@@ -294,52 +355,5 @@ func ExecuteMean(cfg server.Config, w *ycsb.Workload, p server.Placement, runs i
 // returned RunStats are bit-identical for every worker count: workers=1
 // is the serial reference execution of the same code path.
 func ExecuteMeanWorkers(cfg server.Config, w *ycsb.Workload, p server.Placement, runs, workers int) (RunStats, error) {
-	if runs <= 0 {
-		return RunStats{}, fmt.Errorf("client: runs %d must be positive", runs)
-	}
-	results := make([]RunStats, runs)
-	errs := make([]error, runs)
-	pool.Run(runs, workers, func(i int) {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)*1009
-		results[i], errs[i] = Execute(c, w, p)
-	})
-	for _, err := range errs {
-		if err != nil {
-			return RunStats{}, err
-		}
-	}
-	var agg RunStats
-	for i, st := range results {
-		if i == 0 {
-			agg = st
-			continue
-		}
-		agg.ReadBuckets = mergeBuckets(agg.ReadBuckets, st.ReadBuckets)
-		agg.WriteBuckets = mergeBuckets(agg.WriteBuckets, st.WriteBuckets)
-		agg.ReadLatency = mergeHistograms(agg.ReadLatency, st.ReadLatency)
-		agg.WriteLatency = mergeHistograms(agg.WriteLatency, st.WriteLatency)
-		agg.Runtime += st.Runtime
-		agg.ThroughputOpsSec += st.ThroughputOpsSec
-		agg.AvgReadNs += st.AvgReadNs
-		agg.AvgWriteNs += st.AvgWriteNs
-		agg.AvgNs += st.AvgNs
-		agg.P50Ns += st.P50Ns
-		agg.P95Ns += st.P95Ns
-		agg.P99Ns += st.P99Ns
-		agg.MaxNs += st.MaxNs
-		agg.LLCHitRate += st.LLCHitRate
-	}
-	n := float64(runs)
-	agg.Runtime = simclock.Duration(float64(agg.Runtime) / n)
-	agg.ThroughputOpsSec /= n
-	agg.AvgReadNs /= n
-	agg.AvgWriteNs /= n
-	agg.AvgNs /= n
-	agg.P50Ns /= n
-	agg.P95Ns /= n
-	agg.P99Ns /= n
-	agg.MaxNs /= n
-	agg.LLCHitRate /= n
-	return agg, nil
+	return ExecuteMeanCtx(context.Background(), cfg, w, p, runs, workers, Policy{})
 }

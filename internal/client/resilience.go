@@ -1,0 +1,288 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"mnemo/internal/pool"
+	"mnemo/internal/server"
+	"mnemo/internal/simclock"
+	"mnemo/internal/stats"
+	"mnemo/internal/ycsb"
+)
+
+// ErrRunTimeout marks a measurement run whose simulated clock exceeded
+// the per-run budget (server.Config.RunTimeout) — the way a stalled run
+// on a real testbed is cut off by a watchdog. Detect with errors.Is.
+var ErrRunTimeout = errors.New("client: run exceeded simulated time budget")
+
+// Policy configures graceful degradation of repeated measurement runs:
+// bounded retry with capped exponential backoff for runs that fail or
+// stall, and median-absolute-deviation rejection of runs that complete
+// with outlier runtimes. The zero value is the strict legacy behavior —
+// no retries, no rejection, any failed repetition aborts the aggregate.
+type Policy struct {
+	// Retries is the extra attempts allowed per repetition after a
+	// failure; each attempt re-rolls the measurement seed.
+	Retries int
+	// BackoffBase and BackoffCap bound the capped exponential wall-clock
+	// backoff between attempts (defaults 1ms and 50ms). The jitter is
+	// drawn from a seeded stream, so retry schedules are reproducible.
+	BackoffBase, BackoffCap time.Duration
+	// MinRuns is the minimum surviving repetitions required for the
+	// aggregate; ≤ 0 keeps strict mode (all must survive, and outlier
+	// rejection is disabled). With MinRuns ≥ 1 the aggregate degrades to
+	// the surviving runs instead of aborting, flagged via
+	// RunStats.Degraded.
+	MinRuns int
+	// OutlierMAD rejects surviving runs whose runtime deviates from the
+	// median by more than OutlierMAD× the median absolute deviation
+	// (3.5 is conventional). 0 disables rejection. At least half the
+	// runs always survive the gate, by the definition of the MAD.
+	OutlierMAD float64
+}
+
+// Validate rejects malformed policies with descriptive errors.
+func (p Policy) Validate() error {
+	if p.Retries < 0 {
+		return fmt.Errorf("client: policy retries %d must be non-negative", p.Retries)
+	}
+	if p.BackoffBase < 0 || p.BackoffCap < 0 {
+		return fmt.Errorf("client: policy backoff (base %v, cap %v) must be non-negative",
+			p.BackoffBase, p.BackoffCap)
+	}
+	if p.OutlierMAD < 0 {
+		return fmt.Errorf("client: policy outlier MAD gate %v must be non-negative", p.OutlierMAD)
+	}
+	return nil
+}
+
+const (
+	defaultBackoffBase = time.Millisecond
+	defaultBackoffCap  = 50 * time.Millisecond
+
+	// runSeedStride decorrelates repetitions (the legacy stride — it must
+	// not change, or aggregates stop being bit-identical to the seed
+	// repo's) and attemptSeedStride decorrelates retry attempts of one
+	// repetition.
+	runSeedStride     = 1009
+	attemptSeedStride = 15485863
+)
+
+// backoffDelay computes the capped exponential delay before retry
+// `attempt` (0-based), with seeded jitter in [delay/2, delay].
+func (p Policy) backoffDelay(attempt int, jitter *rand.Rand) time.Duration {
+	base, cap := p.BackoffBase, p.BackoffCap
+	if base == 0 {
+		base = defaultBackoffBase
+	}
+	if cap == 0 {
+		cap = defaultBackoffCap
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(jitter.Int63n(int64(half)+1))
+}
+
+// sleepBackoff waits for d, returning early with ctx's error when the
+// context is cancelled.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// repOutcome is one repetition's final state after retries.
+type repOutcome struct {
+	stats   RunStats
+	err     error
+	retries int
+}
+
+// executeRepetition runs repetition i, retrying per the policy. Attempt
+// a of repetition i measures with seed cfg.Seed + i·1009 + a·15485863,
+// so attempt 0 reproduces the legacy seed schedule exactly and every
+// retry is a fresh, deterministic re-measurement.
+func executeRepetition(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement, i int, pol Policy) repOutcome {
+	jitter := rand.New(rand.NewSource(cfg.Seed*2654435761 + int64(i)))
+	var out repOutcome
+	for attempt := 0; ; attempt++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*runSeedStride + int64(attempt)*attemptSeedStride
+		st, err := ExecuteCtx(ctx, c, w, p)
+		if err == nil {
+			out.stats, out.err = st, nil
+			return out
+		}
+		out.err = fmt.Errorf("client: repetition %d attempt %d (seed %d): %w", i, attempt, c.Seed, err)
+		// Cancellation is not a measurement failure — never retry it.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
+			return out
+		}
+		if attempt >= pol.Retries {
+			return out
+		}
+		out.retries++
+		if serr := sleepBackoff(ctx, pol.backoffDelay(attempt, jitter)); serr != nil {
+			return out
+		}
+	}
+}
+
+// rejectOutliers drops surviving repetitions whose runtime deviates from
+// the median by more than gate× the MAD. With a degenerate deviation
+// spread (MAD 0) only runs at the exact median survive — those are the
+// majority by definition, so the result is never empty.
+func rejectOutliers(out []repOutcome, survivors []int, gate float64) []int {
+	if len(survivors) < 4 {
+		return survivors
+	}
+	times := make([]float64, len(survivors))
+	for j, i := range survivors {
+		times[j] = float64(out[i].stats.Runtime)
+	}
+	med := stats.Median(times)
+	devs := make([]float64, len(times))
+	for j, x := range times {
+		devs[j] = math.Abs(x - med)
+	}
+	mad := stats.Median(devs)
+	kept := make([]int, 0, len(survivors))
+	for j, i := range survivors {
+		if devs[j] <= gate*mad {
+			kept = append(kept, i)
+		}
+	}
+	return kept
+}
+
+// ExecuteMeanCtx is the hardened repeated-measurement driver: ExecuteMean
+// with cancellation, bounded retry, and outlier-rejecting degradation per
+// the policy. Repetitions fan out over a bounded worker pool (workers ≤ 0
+// = GOMAXPROCS) and fold in run-index order, so for any fixed policy the
+// aggregate is bit-identical across worker counts; with the zero policy
+// and no injected faults it is bit-identical to the legacy ExecuteMean.
+//
+// The returned RunStats carry the resilience summary: RunsRequested,
+// RunsUsed (successful, outlier-surviving repetitions the aggregate is
+// computed from), RunsRetried, and Degraded (RunsUsed < RunsRequested).
+func ExecuteMeanCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement, runs, workers int, pol Policy) (RunStats, error) {
+	if runs <= 0 {
+		return RunStats{}, fmt.Errorf("client: runs %d must be positive", runs)
+	}
+	if err := pol.Validate(); err != nil {
+		return RunStats{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]repOutcome, runs)
+	if err := pool.RunCtx(ctx, runs, workers, func(i int) {
+		out[i] = executeRepetition(ctx, cfg, w, p, i, pol)
+	}); err != nil {
+		return RunStats{}, err
+	}
+
+	var survivors []int
+	var firstErr, lastErr error
+	retried := 0
+	for i := range out {
+		retried += out[i].retries
+		if out[i].err != nil {
+			if firstErr == nil {
+				firstErr = out[i].err
+			}
+			lastErr = out[i].err
+			continue
+		}
+		survivors = append(survivors, i)
+	}
+	strict := pol.MinRuns <= 0
+	if strict {
+		if firstErr != nil {
+			return RunStats{}, firstErr
+		}
+	} else if pol.OutlierMAD > 0 {
+		survivors = rejectOutliers(out, survivors, pol.OutlierMAD)
+	}
+	minRuns := pol.MinRuns
+	if strict {
+		minRuns = runs
+	}
+	if len(survivors) < minRuns {
+		err := lastErr
+		if err == nil {
+			err = fmt.Errorf("outlier rejection kept %d runs", len(survivors))
+		}
+		return RunStats{}, fmt.Errorf("client: %d of %d repetitions survived, need %d: %w",
+			len(survivors), runs, minRuns, err)
+	}
+
+	agg := foldRuns(out, survivors)
+	agg.RunsRequested = runs
+	agg.RunsUsed = len(survivors)
+	agg.RunsRetried = retried
+	agg.Degraded = agg.RunsUsed < runs
+	return agg, nil
+}
+
+// foldRuns averages the surviving repetitions in ascending run-index
+// order — the deterministic fold that keeps parallel aggregates
+// bit-identical to serial.
+func foldRuns(out []repOutcome, survivors []int) RunStats {
+	var agg RunStats
+	for j, i := range survivors {
+		st := out[i].stats
+		if j == 0 {
+			agg = st
+			continue
+		}
+		agg.ReadBuckets = mergeBuckets(agg.ReadBuckets, st.ReadBuckets)
+		agg.WriteBuckets = mergeBuckets(agg.WriteBuckets, st.WriteBuckets)
+		agg.ReadLatency = mergeHistograms(agg.ReadLatency, st.ReadLatency)
+		agg.WriteLatency = mergeHistograms(agg.WriteLatency, st.WriteLatency)
+		agg.Runtime += st.Runtime
+		agg.ThroughputOpsSec += st.ThroughputOpsSec
+		agg.AvgReadNs += st.AvgReadNs
+		agg.AvgWriteNs += st.AvgWriteNs
+		agg.AvgNs += st.AvgNs
+		agg.P50Ns += st.P50Ns
+		agg.P95Ns += st.P95Ns
+		agg.P99Ns += st.P99Ns
+		agg.MaxNs += st.MaxNs
+		agg.LLCHitRate += st.LLCHitRate
+	}
+	n := float64(len(survivors))
+	agg.Runtime = simclock.Duration(float64(agg.Runtime) / n)
+	agg.ThroughputOpsSec /= n
+	agg.AvgReadNs /= n
+	agg.AvgWriteNs /= n
+	agg.AvgNs /= n
+	agg.P50Ns /= n
+	agg.P95Ns /= n
+	agg.P99Ns /= n
+	agg.MaxNs /= n
+	agg.LLCHitRate /= n
+	return agg
+}

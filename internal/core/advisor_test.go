@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"mnemo/internal/server"
@@ -8,7 +9,7 @@ import (
 
 func TestAdviseLatency(t *testing.T) {
 	w := testWorkload(51)
-	rep, err := Profile(DefaultConfig(server.RedisLike, 51), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 51), w, StandAlone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestAdviseLatencyErrors(t *testing.T) {
 		t.Error("empty curve accepted")
 	}
 	w := testWorkload(52)
-	rep, err := Profile(DefaultConfig(server.RedisLike, 52), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 52), w, StandAlone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -144,6 +144,10 @@ type Config struct {
 	// (see EstimateEngine.SetSizeAware). Off by default: the paper's
 	// model uses a single global average.
 	SizeAwareEstimate bool
+	// Resilience governs how baseline and validation measurements cope
+	// with failing runs (retry, degrade, reject outliers). The zero value
+	// is strict: any failed run aborts the profiling session.
+	Resilience client.Policy
 }
 
 // normalized applies defaults and validates.
@@ -157,8 +161,17 @@ func (c Config) normalized() (Config, error) {
 	if c.PriceFactor == 0 {
 		c.PriceFactor = costmodel.DefaultPriceFactor
 	}
-	if c.PriceFactor < 0 || c.PriceFactor >= 1 {
-		return c, fmt.Errorf("core: price factor %v outside (0,1)", c.PriceFactor)
+	if c.PriceFactor <= 0 || c.PriceFactor > 1 {
+		return c, fmt.Errorf("core: price factor %v outside (0,1]", c.PriceFactor)
+	}
+	if err := c.Server.Fault.Validate(); err != nil {
+		return c, err
+	}
+	if c.Server.RunTimeout < 0 {
+		return c, fmt.Errorf("core: run timeout %v must be non-negative", c.Server.RunTimeout)
+	}
+	if err := c.Resilience.Validate(); err != nil {
+		return c, err
 	}
 	return c, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestSensitivityBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := se.Baselines(w)
+	b, err := se.Baselines(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestKeyStatWeight(t *testing.T) {
 
 func TestEstimateCurveShape(t *testing.T) {
 	w := testWorkload(5)
-	rep, err := Profile(DefaultConfig(server.RedisLike, 5), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 5), w, StandAlone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,11 +184,11 @@ func TestEstimateAccuracy(t *testing.T) {
 		{"mixed", mixedWorkload(7)},
 	} {
 		cfg := DefaultConfig(server.RedisLike, 6)
-		rep, err := Profile(cfg, tc.w, StandAlone, 0)
+		rep, err := Profile(context.Background(), cfg, tc.w, StandAlone, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		points, err := Validate(cfg, tc.w, rep.Curve, rep.Ordering, 5)
+		points, err := Validate(context.Background(), cfg, tc.w, rep.Curve, rep.Ordering, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +210,7 @@ func TestEstimateAccuracy(t *testing.T) {
 
 func TestAdvisorFindsSweetSpot(t *testing.T) {
 	w := testWorkload(8)
-	rep, err := Profile(DefaultConfig(server.RedisLike, 8), w, StandAlone, 0.10)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 8), w, StandAlone, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestAdviseErrors(t *testing.T) {
 		t.Error("empty curve accepted")
 	}
 	w := testWorkload(9)
-	rep, err := Profile(DefaultConfig(server.RedisLike, 9), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 9), w, StandAlone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestPlacementEngine(t *testing.T) {
 
 func TestCurveCSVRoundTrip(t *testing.T) {
 	w := testWorkload(11)
-	rep, err := Profile(DefaultConfig(server.RedisLike, 11), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 11), w, StandAlone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,20 +331,20 @@ func TestReadCurveCSVErrors(t *testing.T) {
 func TestProfileModeErrors(t *testing.T) {
 	w := testWorkload(12)
 	cfg := DefaultConfig(server.RedisLike, 12)
-	if _, err := Profile(cfg, w, WithExternalTiering, 0); err == nil {
+	if _, err := Profile(context.Background(), cfg, w, WithExternalTiering, 0); err == nil {
 		t.Error("external mode without ordering accepted")
 	}
-	if _, err := Profile(cfg, w, Mode(99), 0); err == nil {
+	if _, err := Profile(context.Background(), cfg, w, Mode(99), 0); err == nil {
 		t.Error("unknown mode accepted")
 	}
 	bad := cfg
 	bad.PriceFactor = 2
-	if _, err := Profile(bad, w, StandAlone, 0); err == nil {
+	if _, err := Profile(context.Background(), bad, w, StandAlone, 0); err == nil {
 		t.Error("bad price factor accepted")
 	}
 	bad2 := cfg
 	bad2.Runs = -1
-	if _, err := Profile(bad2, w, StandAlone, 0); err == nil {
+	if _, err := Profile(context.Background(), bad2, w, StandAlone, 0); err == nil {
 		t.Error("negative runs accepted")
 	}
 }
@@ -354,7 +355,7 @@ func TestProfileWithExternalOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ProfileWithOrdering(DefaultConfig(server.RedisLike, 13), w, ord, 0.1)
+	rep, err := ProfileWithOrdering(context.Background(), DefaultConfig(server.RedisLike, 13), w, ord, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,8 +378,11 @@ func TestEstimateEngineValidation(t *testing.T) {
 	if _, err := NewEstimateEngine(-1); err == nil {
 		t.Error("negative price accepted")
 	}
-	if _, err := NewEstimateEngine(1); err == nil {
-		t.Error("price 1 accepted")
+	if _, err := NewEstimateEngine(1.5); err == nil {
+		t.Error("price 1.5 accepted")
+	}
+	if _, err := NewEstimateEngine(1); err != nil {
+		t.Errorf("price 1 (boundary of (0,1]) rejected: %v", err)
 	}
 	ee, err := NewEstimateEngine(0)
 	if err != nil {
@@ -393,7 +397,7 @@ func TestEstimateEngineValidation(t *testing.T) {
 	// Ordering/dataset mismatch rejected.
 	short := Ordering{Name: "touch", Keys: ord.Keys[:5]}
 	se, _ := NewSensitivityEngine(DefaultConfig(server.RedisLike, 14))
-	b, err := se.Baselines(w)
+	b, err := se.Baselines(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,15 +409,15 @@ func TestEstimateEngineValidation(t *testing.T) {
 func TestValidateArgErrors(t *testing.T) {
 	w := testWorkload(15)
 	cfg := DefaultConfig(server.RedisLike, 15)
-	rep, err := Profile(cfg, w, StandAlone, 0)
+	rep, err := Profile(context.Background(), cfg, w, StandAlone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Validate(cfg, w, rep.Curve, rep.Ordering, 0); err == nil {
+	if _, err := Validate(context.Background(), cfg, w, rep.Curve, rep.Ordering, 0); err == nil {
 		t.Error("samples=0 accepted")
 	}
 	shortOrd := Ordering{Keys: rep.Ordering.Keys[:5]}
-	if _, err := Validate(cfg, w, rep.Curve, shortOrd, 3); err == nil {
+	if _, err := Validate(context.Background(), cfg, w, rep.Curve, shortOrd, 3); err == nil {
 		t.Error("mismatched ordering accepted")
 	}
 }
@@ -429,11 +433,11 @@ func TestMnemoTBeatsTouchOnMixedSizes(t *testing.T) {
 		ReadRatio: 1.0, Sizes: ycsb.SizeTrendingPreview, Seed: 16,
 	})
 	cfg := DefaultConfig(server.RedisLike, 16)
-	touch, err := Profile(cfg, w, StandAlone, 0)
+	touch, err := Profile(context.Background(), cfg, w, StandAlone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tiered, err := Profile(cfg, w, MnemoT, 0)
+	tiered, err := Profile(context.Background(), cfg, w, MnemoT, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

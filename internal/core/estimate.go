@@ -51,8 +51,8 @@ func NewEstimateEngine(priceFactor float64) (*EstimateEngine, error) {
 	if priceFactor == 0 {
 		priceFactor = costmodel.DefaultPriceFactor
 	}
-	if priceFactor < 0 || priceFactor >= 1 {
-		return nil, fmt.Errorf("core: price factor %v outside (0,1)", priceFactor)
+	if priceFactor < 0 || priceFactor > 1 {
+		return nil, fmt.Errorf("core: price factor %v outside (0,1]", priceFactor)
 	}
 	return &EstimateEngine{priceFactor: priceFactor}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mnemo/internal/ycsb"
@@ -47,13 +48,20 @@ type Report struct {
 	Ordering  Ordering
 	Curve     *Curve
 	Advice    *Advice
+	// Degraded marks a report whose baselines were aggregated from fewer
+	// runs than requested (failed runs dropped per the config's
+	// resilience policy); the per-baseline RunStats carry the exact
+	// RunsUsed/RunsRetried counts.
+	Degraded bool
 }
 
 // Profile runs the complete Mnemo pipeline for the workload: baselines
 // via the Sensitivity Engine, ordering via the mode's Pattern Engine, the
 // Estimate Engine's curve, and — when maxSlowdown > 0 — the advisor's
-// sweet spot. For WithExternalTiering use ProfileWithOrdering.
-func Profile(cfg Config, w *ycsb.Workload, mode Mode, maxSlowdown float64) (*Report, error) {
+// sweet spot. For WithExternalTiering use ProfileWithOrdering. The
+// context cancels the measurement sweeps; a cancelled profile returns
+// ctx's error and no report.
+func Profile(ctx context.Context, cfg Config, w *ycsb.Workload, mode Mode, maxSlowdown float64) (*Report, error) {
 	var ord Ordering
 	switch mode {
 	case StandAlone:
@@ -65,17 +73,17 @@ func Profile(cfg Config, w *ycsb.Workload, mode Mode, maxSlowdown float64) (*Rep
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", int(mode))
 	}
-	return profileWith(cfg, w, mode, ord, maxSlowdown)
+	return profileWith(ctx, cfg, w, mode, ord, maxSlowdown)
 }
 
 // ProfileWithOrdering runs the pipeline with a caller-supplied ordering
 // (deployment mode 2b: an existing tiering solution's DRAM key
 // allocations).
-func ProfileWithOrdering(cfg Config, w *ycsb.Workload, ord Ordering, maxSlowdown float64) (*Report, error) {
-	return profileWith(cfg, w, WithExternalTiering, ord, maxSlowdown)
+func ProfileWithOrdering(ctx context.Context, cfg Config, w *ycsb.Workload, ord Ordering, maxSlowdown float64) (*Report, error) {
+	return profileWith(ctx, cfg, w, WithExternalTiering, ord, maxSlowdown)
 }
 
-func profileWith(cfg Config, w *ycsb.Workload, mode Mode, ord Ordering, maxSlowdown float64) (*Report, error) {
+func profileWith(ctx context.Context, cfg Config, w *ycsb.Workload, mode Mode, ord Ordering, maxSlowdown float64) (*Report, error) {
 	ncfg, err := cfg.normalized()
 	if err != nil {
 		return nil, err
@@ -84,7 +92,7 @@ func profileWith(cfg Config, w *ycsb.Workload, mode Mode, ord Ordering, maxSlowd
 	if err != nil {
 		return nil, err
 	}
-	baselines, err := se.Baselines(w)
+	baselines, err := se.Baselines(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +112,7 @@ func profileWith(cfg Config, w *ycsb.Workload, mode Mode, ord Ordering, maxSlowd
 		Baselines: baselines,
 		Ordering:  ord,
 		Curve:     curve,
+		Degraded:  baselines.Fast.Degraded || baselines.Slow.Degraded,
 	}
 	if maxSlowdown > 0 {
 		advice, err := Advise(curve, maxSlowdown)

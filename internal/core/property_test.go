@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestPipelineInvariantsOnRandomWorkloads(t *testing.T) {
 		}
 		cfg := DefaultConfig(engine, rng.Int63())
 		cfg.SizeAwareEstimate = rng.Intn(2) == 1
-		rep, err := Profile(cfg, w, mode, 0.10)
+		rep, err := Profile(context.Background(), cfg, w, mode, 0.10)
 		if err != nil {
 			t.Fatalf("trial %d (%+v): %v", trial, spec, err)
 		}
@@ -115,7 +116,7 @@ func TestEstimateBracketsBaselines(t *testing.T) {
 		spec := randomSpec(rng)
 		spec.ReadRatio = 1.0
 		w := ycsb.MustGenerate(spec)
-		rep, err := Profile(DefaultConfig(server.RedisLike, rng.Int63()), w, StandAlone, 0)
+		rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, rng.Int63()), w, StandAlone, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

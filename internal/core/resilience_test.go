@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mnemo/internal/client"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+func resilienceWorkload() *ycsb.Workload {
+	return ycsb.MustGenerate(ycsb.Spec{
+		Name: "core-resilience", Keys: 64, Requests: 1000,
+		Dist:      ycsb.DistSpec{Kind: ycsb.Uniform},
+		ReadRatio: 0.9, Sizes: ycsb.SizeFixed1KB, Seed: 19,
+	})
+}
+
+func TestProfileCancelled(t *testing.T) {
+	w := resilienceWorkload()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Profile(ctx, DefaultConfig(server.RedisLike, 61), w, StandAlone, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProfileDegradedReport(t *testing.T) {
+	w := resilienceWorkload()
+	cfg := DefaultConfig(server.RedisLike, 62)
+	cfg.Runs = 6
+	cfg.Server.Fault = server.FaultSpec{Seed: 7, FailProb: 0.4}
+	cfg.Resilience = client.Policy{MinRuns: 1}
+	rep, err := Profile(context.Background(), cfg, w, StandAlone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := rep.Baselines.Fast, rep.Baselines.Slow
+	if fast.RunsRequested != 6 || slow.RunsRequested != 6 {
+		t.Fatalf("run counts not recorded: fast %+v slow %+v", fast, slow)
+	}
+	if !rep.Degraded && fast.RunsUsed == 6 && slow.RunsUsed == 6 {
+		t.Skip("chosen seeds produced no failures; degraded path untested")
+	}
+	if rep.Degraded != (fast.Degraded || slow.Degraded) {
+		t.Fatalf("report degraded flag %v inconsistent with baselines (%v, %v)",
+			rep.Degraded, fast.Degraded, slow.Degraded)
+	}
+}
+
+func TestProfileStrictModeSurfacesFault(t *testing.T) {
+	w := resilienceWorkload()
+	cfg := DefaultConfig(server.RedisLike, 63)
+	cfg.Server.Fault = server.FaultSpec{Seed: 7, FailProb: 1}
+	_, err := Profile(context.Background(), cfg, w, StandAlone, 0)
+	var ferr *server.FaultError
+	if !errors.As(err, &ferr) {
+		t.Fatalf("err = %v, want wrapped *server.FaultError", err)
+	}
+}
+
+func TestConfigRejectsBadResilience(t *testing.T) {
+	w := resilienceWorkload()
+	bad := DefaultConfig(server.RedisLike, 64)
+	bad.Resilience = client.Policy{Retries: -1}
+	if _, err := Profile(context.Background(), bad, w, StandAlone, 0); err == nil {
+		t.Error("negative retries accepted")
+	}
+	bad2 := DefaultConfig(server.RedisLike, 64)
+	bad2.Server.Fault = server.FaultSpec{FailProb: 2}
+	if _, err := Profile(context.Background(), bad2, w, StandAlone, 0); err == nil {
+		t.Error("invalid fault spec accepted")
+	}
+	bad3 := DefaultConfig(server.RedisLike, 64)
+	bad3.Server.RunTimeout = -1
+	if _, err := Profile(context.Background(), bad3, w, StandAlone, 0); err == nil {
+		t.Error("negative run timeout accepted")
+	}
+	// PriceFactor 1 is now legal: R(1) = 1 everywhere, a valid (if
+	// pointless) price ratio.
+	ok := DefaultConfig(server.RedisLike, 64)
+	ok.PriceFactor = 1
+	if _, err := Profile(context.Background(), ok, w, StandAlone, 0); err != nil {
+		t.Errorf("price factor 1 rejected: %v", err)
+	}
+}
+
+func TestBaselinesDegradedRunCountsDeterministic(t *testing.T) {
+	w := resilienceWorkload()
+	cfg := DefaultConfig(server.DynamoLike, 65)
+	cfg.Runs = 5
+	cfg.Server.Fault = server.FaultSpec{Seed: 3, FailProb: 0.3}
+	cfg.Resilience = client.Policy{Retries: 1, MinRuns: 1}
+	n, err := NewSensitivityEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := n.Baselines(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Baselines(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fast.RunsUsed != b.Fast.RunsUsed || a.Slow.RunsUsed != b.Slow.RunsUsed ||
+		a.Fast.Runtime != b.Fast.Runtime || a.Slow.Runtime != b.Slow.Runtime {
+		t.Fatalf("degraded baselines not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mnemo/internal/client"
@@ -31,8 +32,9 @@ func NewSensitivityEngine(cfg Config) (*SensitivityEngine, error) {
 // returns the measured baselines. The two executions are independent
 // simulations, so they run concurrently; each owns its deployment and
 // noise stream and keeps its fixed seed, so the result is bit-identical
-// to running them back to back.
-func (s *SensitivityEngine) Baselines(w *ycsb.Workload) (Baselines, error) {
+// to running them back to back. Cancelling ctx aborts both mid-sweep;
+// failing runs are retried/degraded per the config's resilience policy.
+func (s *SensitivityEngine) Baselines(ctx context.Context, w *ycsb.Workload) (Baselines, error) {
 	// Decorrelate the noise streams of the two baseline runs, as two
 	// separate physical executions would be.
 	slowCfg := s.cfg.Server
@@ -48,9 +50,11 @@ func (s *SensitivityEngine) Baselines(w *ycsb.Workload) (Baselines, error) {
 	}
 	var results [2]client.RunStats
 	var errs [2]error
-	pool.Run(len(jobs), len(jobs), func(i int) {
-		results[i], errs[i] = client.ExecuteMean(jobs[i].cfg, w, jobs[i].p, s.cfg.Runs)
-	})
+	if err := pool.RunCtx(ctx, len(jobs), len(jobs), func(i int) {
+		results[i], errs[i] = client.ExecuteMeanCtx(ctx, jobs[i].cfg, w, jobs[i].p, s.cfg.Runs, 0, s.cfg.Resilience)
+	}); err != nil {
+		return Baselines{}, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return Baselines{}, fmt.Errorf("core: %s baseline: %w", jobs[i].name, err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestBaselinesConcurrentMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.Baselines(w)
+	got, err := eng.Baselines(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}

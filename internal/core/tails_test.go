@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"mnemo/internal/server"
@@ -9,7 +10,7 @@ import (
 func TestTailEstimatorEndpointsMatchBaselines(t *testing.T) {
 	w := testWorkload(31)
 	cfg := DefaultConfig(server.RedisLike, 31)
-	rep, err := Profile(cfg, w, StandAlone, 0)
+	rep, err := Profile(context.Background(), cfg, w, StandAlone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestTailEstimatorMonotoneInFastKeys(t *testing.T) {
 	// More FastMem never raises the predicted tails (read-only trending).
 	w := testWorkload(32)
 	cfg := DefaultConfig(server.RedisLike, 32)
-	rep, err := Profile(cfg, w, StandAlone, 0)
+	rep, err := Profile(context.Background(), cfg, w, StandAlone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestTailEstimatorErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := se.Baselines(w)
+	b, err := se.Baselines(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -24,7 +25,7 @@ type ValidationPoint struct {
 // Validate executes the workload at `samples` evenly spaced tierings of
 // the curve (excluding the endpoints, which were measured as baselines)
 // and reports the estimate errors — the raw material of Fig 8a/8c.
-func Validate(cfg Config, w *ycsb.Workload, c *Curve, ord Ordering, samples int) ([]ValidationPoint, error) {
+func Validate(ctx context.Context, cfg Config, w *ycsb.Workload, c *Curve, ord Ordering, samples int) ([]ValidationPoint, error) {
 	ncfg, err := cfg.normalized()
 	if err != nil {
 		return nil, err
@@ -52,7 +53,7 @@ func Validate(cfg Config, w *ycsb.Workload, c *Curve, ord Ordering, samples int)
 		// noise stream, like a fresh run on the testbed.
 		runCfg := ncfg.Server
 		runCfg.Seed += int64(i) * 104729
-		measured, err := client.ExecuteMean(runCfg, w, placement, ncfg.Runs)
+		measured, err := client.ExecuteMeanCtx(ctx, runCfg, w, placement, ncfg.Runs, 0, ncfg.Resilience)
 		if err != nil {
 			return nil, fmt.Errorf("core: validating point %d: %w", k, err)
 		}

@@ -34,8 +34,8 @@ func CostReduction(fastBytes, totalBytes int64, p float64) float64 {
 	if fastBytes < 0 || fastBytes > totalBytes {
 		panic(fmt.Sprintf("costmodel: fast bytes %d outside [0,%d]", fastBytes, totalBytes))
 	}
-	if p <= 0 || p >= 1 {
-		panic(fmt.Sprintf("costmodel: price factor %v outside (0,1)", p))
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("costmodel: price factor %v outside (0,1]", p))
 	}
 	f := float64(fastBytes)
 	c := float64(totalBytes)

@@ -14,6 +14,11 @@ func TestCostReductionEndpoints(t *testing.T) {
 	if got := CostReduction(0, 100, 0.2); got != 0.2 {
 		t.Errorf("all-slow R = %v, want 0.2", got)
 	}
+	// p = 1 (SlowMem priced like FastMem) is the degenerate boundary of
+	// the legal (0,1] range: cost reduction vanishes everywhere.
+	if got := CostReduction(30, 100, 1); got != 1 {
+		t.Errorf("R at p=1 = %v, want 1", got)
+	}
 }
 
 func TestCostReductionMotivatingExample(t *testing.T) {
@@ -30,7 +35,7 @@ func TestCostReductionPanics(t *testing.T) {
 		func() { CostReduction(-1, 100, 0.2) },
 		func() { CostReduction(101, 100, 0.2) },
 		func() { CostReduction(50, 100, 0) },
-		func() { CostReduction(50, 100, 1) },
+		func() { CostReduction(50, 100, 1.5) },
 	} {
 		func() {
 			defer func() {

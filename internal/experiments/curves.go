@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -129,11 +130,11 @@ func measuredCurve(scale Scale, e server.Engine, spec ycsb.Spec, seed int64, mod
 		return nil, nil, err
 	}
 	cfg := scale.coreConfig(e, seed)
-	rep, err := core.Profile(cfg, w, mode, 0)
+	rep, err := core.Profile(context.Background(), cfg, w, mode, 0)
 	if err != nil {
 		return nil, nil, err
 	}
-	points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+	points, err := core.Validate(context.Background(), cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -12,8 +12,10 @@ package experiments
 import (
 	"fmt"
 
+	"mnemo/internal/client"
 	"mnemo/internal/core"
 	"mnemo/internal/server"
+	"mnemo/internal/simclock"
 	"mnemo/internal/ycsb"
 )
 
@@ -26,6 +28,14 @@ type Scale struct {
 	Runs int
 	// CurveSamples is how many interior tierings are measured per curve.
 	CurveSamples int
+	// Fault injects deterministic measurement faults into every run of
+	// the experiment (chaos benchmarking); the zero value injects
+	// nothing. When enabled, measurements retry and degrade per
+	// defaultResilience instead of aborting the experiment.
+	Fault server.FaultSpec
+	// RunTimeout bounds each measurement run in simulated time (cuts off
+	// injected stalls); 0 disables the bound.
+	RunTimeout simclock.Duration
 }
 
 // Full is the paper's scale.
@@ -38,6 +48,12 @@ var Quick = Scale{Name: "quick", Keys: 1_000, Requests: 10_000, Runs: 1, CurveSa
 func (s Scale) Validate() error {
 	if s.Keys <= 0 || s.Requests <= 0 || s.Runs <= 0 || s.CurveSamples <= 0 {
 		return fmt.Errorf("experiments: invalid scale %+v", s)
+	}
+	if err := s.Fault.Validate(); err != nil {
+		return err
+	}
+	if s.RunTimeout < 0 {
+		return fmt.Errorf("experiments: run timeout %v must be non-negative", s.RunTimeout)
 	}
 	return nil
 }
@@ -58,8 +74,18 @@ func (s Scale) coreConfig(e server.Engine, seed int64) core.Config {
 	cfg := core.DefaultConfig(e, seed)
 	cfg.Runs = s.Runs
 	cfg.Server.Machine.LLCBytes = int64(12<<20) * int64(s.Keys) / int64(Full.Keys)
+	cfg.Server.Fault = s.Fault
+	cfg.Server.RunTimeout = s.RunTimeout
+	if s.Fault.Enabled() {
+		cfg.Resilience = defaultResilience
+	}
 	return cfg
 }
+
+// defaultResilience is the degradation policy a chaos-benchmarked
+// experiment runs under: a couple of retries, a report as long as one
+// repetition survives, and MAD rejection of outlier runtimes.
+var defaultResilience = client.Policy{Retries: 2, MinRuns: 1, OutlierMAD: 3.5}
 
 // SLO is the permissible application slowdown used by Fig 9 (10%, the
 // value "commonly used in other research on optimizing performance and

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -47,7 +48,7 @@ func Downsample(scale Scale, seed int64, factors []int) (*DownsampleResult, erro
 		return nil, err
 	}
 	cfg := scale.coreConfig(server.RedisLike, seed)
-	fullRep, err := core.Profile(cfg, full, core.StandAlone, SLO)
+	fullRep, err := core.Profile(context.Background(), cfg, full, core.StandAlone, SLO)
 	if err != nil {
 		return nil, err
 	}
@@ -59,11 +60,11 @@ func Downsample(scale Scale, seed int64, factors []int) (*DownsampleResult, erro
 			return nil, fmt.Errorf("experiments: bad downsampling factor %d", f)
 		}
 		sampled := full.Downsample(f, seed+int64(f))
-		rep, err := core.Profile(cfg, sampled, core.StandAlone, SLO)
+		rep, err := core.Profile(context.Background(), cfg, sampled, core.StandAlone, SLO)
 		if err != nil {
 			return nil, err
 		}
-		points, err := core.Validate(cfg, sampled, rep.Curve, rep.Ordering, scale.CurveSamples)
+		points, err := core.Validate(context.Background(), cfg, sampled, rep.Curve, rep.Ordering, scale.CurveSamples)
 		if err != nil {
 			return nil, err
 		}
@@ -146,11 +147,11 @@ func AblationLLC(scale Scale, seed int64) (*AblationLLCResult, error) {
 		if !withLLC {
 			cfg.Server.Machine.LLCBytes = 0
 		}
-		rep, err := core.Profile(cfg, w, core.StandAlone, 0)
+		rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, 0)
 		if err != nil {
 			return nil, err
 		}
-		points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+		points, err := core.Validate(context.Background(), cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
 		if err != nil {
 			return nil, err
 		}
@@ -201,11 +202,11 @@ func AblationNoise(scale Scale, seed int64, sigmas []float64) (*AblationNoiseRes
 	for _, sigma := range sigmas {
 		cfg := scale.coreConfig(server.RedisLike, seed)
 		cfg.Server.NoiseSigma = sigma
-		rep, err := core.Profile(cfg, w, core.StandAlone, 0)
+		rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, 0)
 		if err != nil {
 			return nil, err
 		}
-		points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+		points, err := core.Validate(context.Background(), cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
 		if err != nil {
 			return nil, err
 		}
@@ -317,11 +318,11 @@ func AblationAnchor(scale Scale, seed int64) (*AblationAnchorResult, error) {
 		return nil, err
 	}
 	cfg := scale.coreConfig(server.RedisLike, seed)
-	rep, err := core.Profile(cfg, w, core.StandAlone, 0)
+	rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, 0)
 	if err != nil {
 		return nil, err
 	}
-	points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+	points, err := core.Validate(context.Background(), cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -49,7 +50,7 @@ func ModeB(scale Scale, seed int64, rates []int) (*ModeBResult, error) {
 	}
 	cfg := scale.coreConfig(server.RedisLike, seed)
 
-	ref, err := core.Profile(cfg, w, core.MnemoT, SLO)
+	ref, err := core.Profile(context.Background(), cfg, w, core.MnemoT, SLO)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +71,7 @@ func ModeB(scale Scale, seed int64, rates []int) (*ModeBResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := core.ProfileWithOrdering(cfg, w, ord, SLO)
+		rep, err := core.ProfileWithOrdering(context.Background(), cfg, w, ord, SLO)
 		if err != nil {
 			return nil, err
 		}

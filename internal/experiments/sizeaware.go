@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,11 +39,11 @@ func AblationSizeAware(scale Scale, seed int64) (*AblationSizeAwareResult, error
 		}
 		cfg := scale.coreConfig(server.RedisLike, seed)
 		cfg.SizeAwareEstimate = sizeAware
-		rep, err := core.Profile(cfg, w, core.MnemoT, 0)
+		rep, err := core.Profile(context.Background(), cfg, w, core.MnemoT, 0)
 		if err != nil {
 			return 0, err
 		}
-		points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+		points, err := core.Validate(context.Background(), cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
 		if err != nil {
 			return 0, err
 		}

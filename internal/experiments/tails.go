@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -46,11 +47,11 @@ func ExtTails(scale Scale, e server.Engine, seed int64) (*ExtTailsResult, error)
 		return nil, err
 	}
 	cfg := scale.coreConfig(e, seed)
-	rep, err := core.Profile(cfg, w, core.StandAlone, 0)
+	rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, 0)
 	if err != nil {
 		return nil, err
 	}
-	points, err := core.Validate(cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
+	points, err := core.Validate(context.Background(), cfg, w, rep.Curve, rep.Ordering, scale.CurveSamples)
 	if err != nil {
 		return nil, err
 	}

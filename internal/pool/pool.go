@@ -6,11 +6,19 @@
 // noise stream, accumulators), so parallel execution changes wall-clock
 // time only — results are folded by the caller in job-index order,
 // keeping parallel output bit-identical to serial.
+//
+// RunCtx is the hardened entry point: it honors context cancellation
+// between jobs and converts a panicking job into a typed *PanicError
+// instead of crashing the process or wedging the feeder goroutine.
 package pool
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers clamps a requested worker count to [1, n] jobs, defaulting to
@@ -29,37 +37,132 @@ func Workers(requested, n int) int {
 	return w
 }
 
+// PanicError is a panic recovered from a pool job, carrying the job
+// index, the recovered value and the stack of the panicking goroutine.
+// It is the typed error RunCtx returns so a sweep can report which cell
+// blew up without taking the process down.
+type PanicError struct {
+	Job   int
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: job %d panicked: %v", e.Job, e.Value)
+}
+
+// Guard runs fn, converting a panic into a *PanicError tagged with the
+// given job index (nil when fn returns normally). Callers that want
+// per-job failure isolation — e.g. a matrix sweep recording one cell's
+// panic as that cell's error — wrap their job body in Guard so RunCtx
+// never sees the panic at all.
+func Guard(job int, fn func()) (perr *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			perr = &PanicError{Job: job, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
 // Run executes fn(0) … fn(n-1) across at most `workers` goroutines and
 // returns once all calls have finished. Job indices are handed out in
 // ascending order; with workers ≤ 1 the calls run sequentially on the
 // calling goroutine, so a serial reference execution is the workers=1
 // special case of the same code path. fn must write its result into
 // caller-owned, index-addressed storage rather than shared state.
+//
+// A panic in fn is re-raised on the calling goroutine (as a *PanicError
+// carrying the original value and stack) after the pool has shut down
+// cleanly — workers exit, no goroutine leaks. Callers that want an
+// error instead use RunCtx.
 func Run(n, workers int, fn func(i int)) {
+	if err := RunCtx(context.Background(), n, workers, fn); err != nil {
+		// Background context cannot be cancelled, so the only possible
+		// error is a recovered job panic; preserve panic semantics for
+		// legacy callers.
+		panic(err)
+	}
+}
+
+// RunCtx is Run with cancellation and panic containment. It executes
+// fn(0) … fn(n-1) across at most `workers` goroutines and returns nil
+// once all jobs have finished.
+//
+// Cancellation: when ctx is cancelled (or its deadline passes) no new
+// jobs are started; in-flight jobs run to completion and RunCtx returns
+// ctx.Err(). Jobs that never started simply leave their index-addressed
+// result slot untouched, so the caller observes a clean partial result.
+//
+// Panics: the first panicking job is recovered and converted into a
+// *PanicError (job index, panic value, stack). Remaining queued jobs are
+// drained without running, the feeder never blocks on a dead pool, and
+// every worker goroutine exits before RunCtx returns. A panic takes
+// precedence over a concurrent cancellation in the returned error.
+func RunCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if perr := Guard(i, func() { fn(i) }); perr != nil {
+				return perr
+			}
 		}
-		return
+		return nil
 	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var failed atomic.Bool
+	var mu sync.Mutex
+	var first *PanicError
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				fn(i)
+				if failed.Load() {
+					continue // drain: keep the feeder unblocked, run nothing
+				}
+				if perr := Guard(i, func() { fn(i) }); perr != nil {
+					mu.Lock()
+					if first == nil {
+						first = perr
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		if failed.Load() {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	mu.Lock()
+	perr := first
+	mu.Unlock()
+	if perr != nil {
+		return perr
+	}
+	return ctx.Err()
 }

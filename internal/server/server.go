@@ -97,6 +97,14 @@ type Config struct {
 	Machine    memsim.Config
 	NoiseSigma float64
 	Seed       int64
+	// Fault injects deterministic measurement faults (zero value: none).
+	// The per-run fate is rolled once per deployment from Fault.Seed
+	// mixed with Seed; see FaultSpec.
+	Fault FaultSpec
+	// RunTimeout bounds one measurement run in simulated time; the
+	// client aborts a replay whose clock exceeds it (cutting off
+	// injected stalls). 0 disables the bound.
+	RunTimeout simclock.Duration
 }
 
 // DefaultConfig returns the Table I machine with default noise.
@@ -121,6 +129,12 @@ type Deployment struct {
 	// with two slice loads instead of a map lookup plus a key hash.
 	records []ycsb.Record
 	tiers   []memsim.Tier
+
+	// fault is this run's rolled fate and ops the served-request count
+	// that triggers a scheduled stall. The inert plan costs two
+	// predictable branches per request.
+	fault faultPlan
+	ops   int
 }
 
 // NewDeployment builds an empty deployment with an AllFast placement.
@@ -131,6 +145,7 @@ func NewDeployment(cfg Config) *Deployment {
 		placement: AllFast(),
 		noise:     NewNoise(cfg.NoiseSigma, cfg.Seed),
 		profile:   cfg.Engine.Profile(),
+		fault:     cfg.Fault.roll(cfg.Seed),
 	}
 	d.instances[memsim.Fast] = cfg.Engine.newStore()
 	d.instances[memsim.Slow] = cfg.Engine.newStore()
@@ -152,6 +167,17 @@ func (d *Deployment) Placement() Placement { return d.placement }
 
 // Instance returns the store bound to a tier.
 func (d *Deployment) Instance(t memsim.Tier) kvstore.Store { return d.instances[t] }
+
+// InjectedFailure reports the scheduled fail-fault of this deployment as
+// a typed *FaultError, or nil when the run is healthy. Clients check it
+// before replaying, the way a dead server process is noticed at connect
+// time.
+func (d *Deployment) InjectedFailure() error {
+	if d.fault.fail {
+		return &FaultError{Kind: FaultFail, Seed: d.cfg.Seed}
+	}
+	return nil
+}
 
 // Load populates the deployment from a dataset under the given placement.
 // Loading is the untimed setup phase (the paper's YCSB load stage): it
@@ -261,6 +287,17 @@ func (d *Deployment) price(tier memsim.Tier, st kvstore.Store, kind kvstore.OpKi
 
 	cpuNs := d.profile.CPUBaseNs + d.profile.CPUPerByteNs*float64(vb)
 	serviceNs := (cpuNs+memNs)*d.noise.Factor() + st.TakePauseNs()
+
+	// Scheduled faults: an outlier run inflates every service time; a
+	// stalled run jumps the clock once, at its rolled request index.
+	// The inert plan (factor 1, stallAt −1) leaves serviceNs bit-exact.
+	if d.fault.factor != 1 {
+		serviceNs *= d.fault.factor
+	}
+	if d.fault.stallAt >= 0 && d.ops == d.fault.stallAt {
+		serviceNs += float64(d.cfg.Fault.stall())
+	}
+	d.ops++
 
 	lat := simclock.FromNanos(serviceNs)
 	d.clock.Advance(lat)

@@ -20,6 +20,12 @@ import (
 // sequence of keys and request types" input (§IV, Interfacing with
 // Mnemo).
 
+// maxRecordSize bounds a single record's declared size (1 GiB). Traces
+// are untrusted input: a hostile row declaring a petabyte record would
+// otherwise sail through Atoi and poison every capacity and cost
+// computation downstream.
+const maxRecordSize = 1 << 30
+
 // WriteCSV serializes the workload.
 func (w *Workload) WriteCSV(out io.Writer) error {
 	cw := csv.NewWriter(out)
@@ -68,9 +74,16 @@ func ReadCSV(in io.Reader) (*Workload, error) {
 		}
 		switch row[0] {
 		case "rec":
+			if row[1] == "" {
+				return nil, fmt.Errorf("ycsb: line %d: empty record key", line)
+			}
 			size, err := strconv.Atoi(row[2])
 			if err != nil || size < 0 {
 				return nil, fmt.Errorf("ycsb: line %d: bad record size %q", line, row[2])
+			}
+			if size > maxRecordSize {
+				return nil, fmt.Errorf("ycsb: line %d: record size %d exceeds the %d-byte limit",
+					line, size, maxRecordSize)
 			}
 			if _, dup := index[row[1]]; dup {
 				return nil, fmt.Errorf("ycsb: line %d: duplicate record %q", line, row[1])

@@ -56,6 +56,9 @@ func TestReadCSVErrors(t *testing.T) {
 		"bad size":      "mnemo-workload,v1,x\nrec,k1,notanumber\n",
 		"negative size": "mnemo-workload,v1,x\nrec,k1,-5\n",
 		"dup record":    "mnemo-workload,v1,x\nrec,k1,5\nrec,k1,6\n",
+		"huge size":     "mnemo-workload,v1,x\nrec,k1,1125899906842624\n",
+		"overflow size": "mnemo-workload,v1,x\nrec,k1,99999999999999999999999999\n",
+		"empty key":     "mnemo-workload,v1,x\nrec,,5\n",
 		"unknown key":   "mnemo-workload,v1,x\nop,k9,read\n",
 		"unknown kind":  "mnemo-workload,v1,x\nrec,k1,5\nop,k1,scan\n",
 		"unknown row":   "mnemo-workload,v1,x\nblah,k1,5\n",

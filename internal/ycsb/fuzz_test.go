@@ -19,6 +19,15 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("mnemo-workload,v1,t\nrec,k1,-3\n")
 	f.Add("mnemo-workload,v1,t\nop,k1,read\n")
 	f.Add("mnemo-workload,v1,t\nrec,\"a,b\",7\nop,\"a,b\",read\n")
+	// Hostile inputs the hardened parser must reject, not absorb:
+	// petabyte-scale declared sizes, overflowing integers, empty keys,
+	// truncated rows.
+	f.Add("mnemo-workload,v1,t\nrec,k1,1125899906842624\n")
+	f.Add("mnemo-workload,v1,t\nrec,k1,99999999999999999999999999\n")
+	f.Add("mnemo-workload,v1,t\nrec,,10\n")
+	f.Add("mnemo-workload,v1,t\nrec,k1\n")
+	f.Add("mnemo-workload,v1,t\nrec,k1,10,extra\n")
+	f.Add("mnemo-workload,v1")
 	f.Fuzz(func(t *testing.T, in string) {
 		w, err := ReadCSV(strings.NewReader(in))
 		if err != nil {
@@ -58,6 +67,55 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if _, err := ReadCSV(&buf); err != nil {
 			t.Fatalf("round-trip read failed: %v", err)
+		}
+	})
+}
+
+// FuzzParseRedisMonitor hammers the MONITOR-capture importer: arbitrary
+// input must yield an error or a structurally consistent workload, never
+// a panic — captures come straight off production machines and arrive
+// truncated, interleaved and binary-laden.
+func FuzzParseRedisMonitor(f *testing.F) {
+	f.Add(`1530699284.926984 [0 127.0.0.1:51442] "GET" "user:1001"`, 100)
+	f.Add(`1530699285.130800 [0 127.0.0.1:51442] "SET" "user:1001" "payload"`, 100)
+	f.Add("OK\n"+`1.0 [0 c] "MGET" "a" "b" "c"`, 1)
+	f.Add(`1.0 [0 c] "DEL" "a" "b"`, 64)
+	f.Add(`"SET" "k" "\x41\x42"`+"\n"+`"GET" "k"`, 10)
+	f.Add(`"SET" "unterminated`, 10)
+	f.Add(`"SETEX" "k" "60" "v"`, 10)
+	f.Add("", 100)
+	f.Add("no quotes at all", 100)
+	f.Add(`"INCR" "counter"`, -1)
+	f.Add(`"GET" "k"`, 1<<31-1)
+	f.Add("\"GET\" \"\\", 5)
+	f.Fuzz(func(t *testing.T, in string, defaultSize int) {
+		w, err := ParseRedisMonitor(strings.NewReader(in), defaultSize)
+		if err != nil {
+			return
+		}
+		if w.Spec.Keys != len(w.Dataset.Records) {
+			t.Fatalf("keys %d != records %d", w.Spec.Keys, len(w.Dataset.Records))
+		}
+		if w.Spec.Requests != len(w.Ops) {
+			t.Fatalf("requests %d != ops %d", w.Spec.Requests, len(w.Ops))
+		}
+		if len(w.Ops) == 0 {
+			t.Fatal("accepted a capture with no data commands")
+		}
+		var total int64
+		for _, rec := range w.Dataset.Records {
+			if rec.Size <= 0 {
+				t.Fatalf("record %q has non-positive size %d", rec.Key, rec.Size)
+			}
+			total += int64(rec.Size)
+		}
+		if total != w.Dataset.TotalBytes {
+			t.Fatalf("total bytes %d != sum %d", w.Dataset.TotalBytes, total)
+		}
+		for i, op := range w.Ops {
+			if op.Key < 0 || op.Key >= len(w.Dataset.Records) {
+				t.Fatalf("op %d references record %d of %d", i, op.Key, len(w.Dataset.Records))
+			}
 		}
 	})
 }

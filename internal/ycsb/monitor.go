@@ -27,6 +27,10 @@ func ParseRedisMonitor(r io.Reader, defaultSize int) (*Workload, error) {
 	if defaultSize <= 0 {
 		return nil, fmt.Errorf("ycsb: default record size %d must be positive", defaultSize)
 	}
+	if defaultSize > maxRecordSize {
+		return nil, fmt.Errorf("ycsb: default record size %d exceeds the %d-byte limit",
+			defaultSize, maxRecordSize)
+	}
 	w := &Workload{Spec: Spec{Name: "redis_monitor"}}
 	index := map[string]int{}
 	sizes := map[int]int{}

@@ -91,6 +91,9 @@ func TestParseRedisMonitorErrors(t *testing.T) {
 	if _, err := ParseRedisMonitor(strings.NewReader(sampleMonitor), 0); err == nil {
 		t.Error("zero default size accepted")
 	}
+	if _, err := ParseRedisMonitor(strings.NewReader(sampleMonitor), 1<<31-1); err == nil {
+		t.Error("absurd default size accepted")
+	}
 }
 
 func TestParseRedisMonitorProfilesEndToEnd(t *testing.T) {

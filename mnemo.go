@@ -23,12 +23,15 @@
 package mnemo
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"mnemo/internal/client"
 	"mnemo/internal/core"
 	"mnemo/internal/costmodel"
 	"mnemo/internal/server"
+	"mnemo/internal/simclock"
 	"mnemo/internal/ycsb"
 )
 
@@ -103,6 +106,27 @@ type Ordering = core.Ordering
 // DefaultPriceFactor is the paper's SlowMem:FastMem price ratio p = 0.2.
 const DefaultPriceFactor = costmodel.DefaultPriceFactor
 
+// Duration is simulated time — the unit of Options.RunTimeout and of
+// every runtime a Report carries.
+type Duration = simclock.Duration
+
+// Second is one second of simulated time.
+const Second = simclock.Second
+
+// FaultSpec configures deterministic fault injection into the emulated
+// testbed: runs can die outright, stall until a timeout cuts them off,
+// or complete with inflated latencies. The zero value injects nothing
+// and leaves results bit-identical. See Options.Fault.
+type FaultSpec = server.FaultSpec
+
+// FaultError is the typed error of an injected run failure; detect it
+// with errors.As to distinguish scheduled chaos from real bugs.
+type FaultError = server.FaultError
+
+// ErrRunTimeout marks a run cut off by Options.RunTimeout; detect with
+// errors.Is.
+var ErrRunTimeout = client.ErrRunTimeout
+
 // Options configures a profiling session. The zero value plus a Store is
 // valid: one run per baseline, p = 0.2, the Table I machine, and default
 // measurement noise.
@@ -131,9 +155,70 @@ type Options struct {
 	// a reproduction improvement over the paper's global-average model
 	// that matters for MnemoT orderings on mixed record sizes.
 	SizeAwareEstimate bool
+	// Fault injects deterministic faults into the measurement runs
+	// (crashes, stalls, latency outliers); the zero value injects
+	// nothing. Pair it with RunTimeout and the resilience knobs below.
+	Fault FaultSpec
+	// RunTimeout bounds each measurement run in simulated time; a run
+	// whose clock exceeds it (e.g. an injected stall) is aborted with
+	// ErrRunTimeout. 0 disables the bound.
+	RunTimeout Duration
+	// Retries is how many times a failed measurement run is re-attempted
+	// (with a re-rolled seed and capped exponential backoff) before the
+	// repetition counts as lost.
+	Retries int
+	// MinRuns, when ≥ 1, lets baselines degrade gracefully: an aggregate
+	// is reported from the surviving repetitions (flagged via
+	// Report.Degraded) as long as at least MinRuns survive. 0 keeps the
+	// strict default — any lost repetition fails the profile.
+	MinRuns int
+	// OutlierMAD, when > 0, rejects surviving runs whose runtime strays
+	// from the median by more than OutlierMAD× the median absolute
+	// deviation (3.5 is conventional). Requires MinRuns ≥ 1.
+	OutlierMAD float64
 }
 
-func (o Options) coreConfig() core.Config {
+// validate rejects malformed options with descriptive errors before any
+// measurement is attempted.
+func (o Options) validate() error {
+	if _, ok := EngineByName(o.Store.String()); !ok {
+		return fmt.Errorf("mnemo: unknown store engine %v", o.Store)
+	}
+	if o.Runs < 0 {
+		return fmt.Errorf("mnemo: Runs %d must be non-negative (0 means the default of 1)", o.Runs)
+	}
+	if o.PriceFactor < 0 || o.PriceFactor > 1 {
+		return fmt.Errorf("mnemo: PriceFactor %v outside (0,1] (0 means the paper's %v)",
+			o.PriceFactor, DefaultPriceFactor)
+	}
+	if o.SLO < 0 {
+		return fmt.Errorf("mnemo: SLO %v must be non-negative (0 disables the advisor)", o.SLO)
+	}
+	if err := o.Fault.Validate(); err != nil {
+		return fmt.Errorf("mnemo: %w", err)
+	}
+	if o.RunTimeout < 0 {
+		return fmt.Errorf("mnemo: RunTimeout %v must be non-negative (0 disables it)", o.RunTimeout)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("mnemo: Retries %d must be non-negative", o.Retries)
+	}
+	if o.MinRuns < 0 {
+		return fmt.Errorf("mnemo: MinRuns %d must be non-negative (0 means strict)", o.MinRuns)
+	}
+	if o.OutlierMAD < 0 {
+		return fmt.Errorf("mnemo: OutlierMAD %v must be non-negative", o.OutlierMAD)
+	}
+	if o.OutlierMAD > 0 && o.MinRuns == 0 {
+		return fmt.Errorf("mnemo: OutlierMAD %v requires MinRuns ≥ 1 (strict mode cannot drop runs)", o.OutlierMAD)
+	}
+	return nil
+}
+
+func (o Options) coreConfig() (core.Config, error) {
+	if err := o.validate(); err != nil {
+		return core.Config{}, err
+	}
 	cfg := core.DefaultConfig(o.Store, o.Seed)
 	if o.Runs > 0 {
 		cfg.Runs = o.Runs
@@ -147,18 +232,37 @@ func (o Options) coreConfig() core.Config {
 		cfg.Server.NoiseSigma = 0
 	}
 	cfg.SizeAwareEstimate = o.SizeAwareEstimate
-	return cfg
+	cfg.Server.Fault = o.Fault
+	cfg.Server.RunTimeout = o.RunTimeout
+	cfg.Resilience = client.Policy{
+		Retries:    o.Retries,
+		MinRuns:    o.MinRuns,
+		OutlierMAD: o.OutlierMAD,
+	}
+	return cfg, nil
 }
 
 // Profile runs the full Mnemo pipeline on the workload: real baseline
 // executions, pattern analysis, the analytical estimate curve, and (when
 // Options.SLO > 0) the advised sweet spot.
 func Profile(w *Workload, opts Options) (*Report, error) {
+	return ProfileContext(context.Background(), w, opts)
+}
+
+// ProfileContext is Profile with cancellation: a cancelled or expired
+// context aborts the baseline sweeps mid-run and returns the context's
+// error. Since the testbed advances simulated time, cancellation takes
+// effect within microseconds of wall time.
+func ProfileContext(ctx context.Context, w *Workload, opts Options) (*Report, error) {
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
 	mode := core.StandAlone
 	if opts.UseMnemoT {
 		mode = core.MnemoT
 	}
-	return core.Profile(opts.coreConfig(), w, mode, opts.SLO)
+	return core.Profile(ctx, cfg, w, mode, opts.SLO)
 }
 
 // ProfileWithTiering runs the pipeline following an external tiering
@@ -166,11 +270,20 @@ func Profile(w *Workload, opts Options) (*Report, error) {
 // the keys an existing tiering tool would place in DRAM, in priority
 // order.
 func ProfileWithTiering(w *Workload, tieredKeys []string, opts Options) (*Report, error) {
+	return ProfileWithTieringContext(context.Background(), w, tieredKeys, opts)
+}
+
+// ProfileWithTieringContext is ProfileWithTiering with cancellation.
+func ProfileWithTieringContext(ctx context.Context, w *Workload, tieredKeys []string, opts Options) (*Report, error) {
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
 	ord, err := core.ExternalOrdering(w, tieredKeys)
 	if err != nil {
 		return nil, err
 	}
-	return core.ProfileWithOrdering(opts.coreConfig(), w, ord, opts.SLO)
+	return core.ProfileWithOrdering(ctx, cfg, w, ord, opts.SLO)
 }
 
 // Advise re-runs the advisor on an existing curve with a different SLO,

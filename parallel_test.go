@@ -76,12 +76,26 @@ func TestProfileMatrixErrors(t *testing.T) {
 	}
 }
 
-func TestProfileMatrixCellErrorsDoNotAbort(t *testing.T) {
-	// A bad option fails every cell individually but the sweep returns.
-	cells, err := ProfileMatrix(MatrixRequest{
+func TestProfileMatrixRejectsBadOptionsUpFront(t *testing.T) {
+	// Options are validated before any measurement: a bad value fails the
+	// whole sweep immediately instead of burning a cell per engine.
+	_, err := ProfileMatrix(MatrixRequest{
 		Workloads: []string{"ycsb_c"},
 		Engines:   []Engine{RedisLike},
 		Options:   Options{Seed: 203, PriceFactor: 5}, // invalid p
+	})
+	if err == nil {
+		t.Fatal("invalid PriceFactor accepted")
+	}
+}
+
+func TestProfileMatrixCellErrorsDoNotAbort(t *testing.T) {
+	// A fault that kills every measurement run fails each cell
+	// individually but the sweep itself returns.
+	cells, err := ProfileMatrix(MatrixRequest{
+		Workloads: []string{"ycsb_c"},
+		Engines:   []Engine{RedisLike},
+		Options:   Options{Seed: 203, Fault: FaultSpec{Seed: 1, FailProb: 1}},
 	})
 	if err != nil {
 		t.Fatal(err)
