@@ -10,13 +10,14 @@
 //	fig1 table1 table2 fig3 fig4 fig5a fig5b fig5c
 //	fig8a fig8b fig8c fig8d fig8f fig9 table4 downsample
 //	ablation-llc ablation-noise ablation-knapsack ablation-anchor
-//	ablation-sizeaware modeb ext-tails ext-tech ycsb-core
+//	ablation-sizeaware modeb policy-compare ext-tails ext-tech ycsb-core
 //
 // Flags:
 //
 //	-quick          run at 10×-reduced scale (default is the paper's full
 //	                scale: 10 000 keys × 100 000 requests per workload)
 //	-seed n         deterministic seed
+//	-list-policies  print the tiering-policy catalog and exit
 //	-fault p        chaos mode: each measurement run independently fails,
 //	                stalls, or returns outlier latencies with probability p
 //	                per class (deterministic per -seed/-fault-seed);
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"mnemo/internal/experiments"
+	"mnemo/internal/registry"
 	"mnemo/internal/server"
 	"mnemo/internal/simclock"
 )
@@ -153,6 +155,10 @@ var all = []experiment{
 		r, err := experiments.ModeB(s, seed, []int{1, 64, 1024, 16384})
 		return renderTo(w, r, err)
 	}},
+	{"policy-compare", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.PolicyCompare(s, seed)
+		return renderTo(w, r, err)
+	}},
 	{"ycsb-core", func(s experiments.Scale, seed int64, w io.Writer) error {
 		r, err := experiments.YCSBCore(s, seed)
 		return renderTo(w, r, err)
@@ -192,8 +198,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	timeout := fs.Float64("timeout", 0, "per-run budget in simulated `seconds` (0 = unbounded)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write heap profile to `file`")
+	listPolicies := fs.Bool("list-policies", false, "print the tiering-policy catalog and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listPolicies {
+		for _, e := range registry.Entries() {
+			fmt.Fprintf(stdout, "%-12s %s\n", e.Name, e.Description)
+		}
+		return nil
 	}
 	scale := experiments.Full
 	if *quick {

@@ -9,9 +9,10 @@ import (
 )
 
 // buildHTMLReport assembles the shareable consulting artifact: workload
-// profile, measured baselines, the advised sizing and the estimate curve
-// as an SVG chart.
-func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload) *report.HTMLReport {
+// profile, measured baselines, the advised sizing, the estimate curve as
+// an SVG chart, and — when -compare profiled several policies — the
+// per-policy comparison overlay.
+func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report) *report.HTMLReport {
 	doc := &report.HTMLReport{
 		Title: fmt.Sprintf("Mnemo sizing report — %s on %s", rep.Workload, rep.Engine),
 	}
@@ -87,10 +88,41 @@ func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload) *report.HTMLReport {
 			Series: []report.Series{{Label: "estimate", X: xs, Y: ys}},
 		},
 	})
+
+	// Policy comparison overlay.
+	if len(compared) > 1 {
+		series := make([]report.PolicySeries, len(compared))
+		for i, r := range compared {
+			s := report.PolicySeries{Policy: r.Policy, AdvisedCost: -1}
+			for _, p := range curveSamples(r.Curve) {
+				s.X = append(s.X, p.CostFactor)
+				s.Y = append(s.Y, p.EstThroughputOps)
+			}
+			if r.Advice != nil {
+				s.AdvisedCost = r.Advice.Point.CostFactor
+				s.AdvisedSavings = r.Advice.CostSavings
+			}
+			series[i] = s
+		}
+		doc.Sections = append(doc.Sections, report.PolicyComparisonSection(series))
+	}
 	return doc
 }
 
+// curveSamples thins a curve to ≤200 chart points, endpoint included.
+func curveSamples(c *mnemo.Curve) []mnemo.CurvePoint {
+	step := len(c.Points) / 200
+	if step < 1 {
+		step = 1
+	}
+	var out []mnemo.CurvePoint
+	for i := 0; i < len(c.Points); i += step {
+		out = append(out, c.Points[i])
+	}
+	return append(out, c.FastOnly())
+}
+
 // writeHTMLReport renders the document to w.
-func writeHTMLReport(out io.Writer, rep *mnemo.Report, w *mnemo.Workload) error {
-	return buildHTMLReport(rep, w).Render(out)
+func writeHTMLReport(out io.Writer, rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report) error {
+	return buildHTMLReport(rep, w, compared).Render(out)
 }

@@ -11,7 +11,11 @@
 //	                  edit_thumbnail, trending_preview), or "-" to read a
 //	                  mnemo-workload v1 csv from stdin
 //	-store name       redislike | memcachedlike | dynamolike
-//	-mode name        standalone | mnemot
+//	-policy name      tiering policy (see -list-policies; default touch)
+//	-compare a,b,...  profile extra policies against the same baseline
+//	                  measurement; comparison lands on stderr and in -html
+//	-list-policies    print the tiering-policy catalog and exit
+//	-mode name        deprecated alias: standalone | mnemot
 //	-slo pct          permissible slowdown, e.g. 0.10 (0 = no advice)
 //	-p factor         SlowMem:FastMem per-byte price ratio (default 0.2)
 //	-runs n           repetitions per baseline measurement
@@ -31,15 +35,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"mnemo"
 	"mnemo/internal/report"
-	"mnemo/internal/ycsb"
 )
 
 func main() {
@@ -55,7 +60,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	var (
 		workload = fs.String("workload", "trending", "Table III workload name, or '-' for csv on stdin")
 		store    = fs.String("store", "redislike", "store engine: redislike|memcachedlike|dynamolike")
-		mode     = fs.String("mode", "standalone", "pattern engine: standalone|mnemot")
+		policy   = fs.String("policy", "", "tiering policy (see -list-policies; default touch)")
+		compare  = fs.String("compare", "", "comma-separated extra policies to profile on the same baselines")
+		listPol  = fs.Bool("list-policies", false, "print the tiering-policy catalog and exit")
+		mode     = fs.String("mode", "", "deprecated alias for -policy: standalone|mnemot")
 		slo      = fs.Float64("slo", 0.10, "permissible slowdown for the advisor (0 disables)")
 		price    = fs.Float64("p", mnemo.DefaultPriceFactor, "SlowMem:FastMem per-byte price ratio")
 		runs     = fs.Int("runs", 1, "repetitions per baseline measurement")
@@ -72,9 +80,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *listPol {
+		for _, p := range mnemo.Policies() {
+			fmt.Fprintf(stdout, "%-12s %s\n", p.Name, p.Description)
+		}
+		return nil
+	}
+	policyName, err := resolvePolicyName(*policy, *mode)
+	if err != nil {
+		return err
+	}
 
 	var w *mnemo.Workload
-	var err error
 	if *monitor {
 		if *workload != "-" {
 			return fmt.Errorf("-monitor requires -workload - (capture on stdin)")
@@ -96,16 +113,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		Runs:        *runs,
 		PriceFactor: *price,
 		SLO:         *slo,
-	}
-	switch *mode {
-	case "standalone":
-	case "mnemot":
-		opts.UseMnemoT = true
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		Policy:      policyName,
 	}
 
-	rep, err := mnemo.Profile(w, opts)
+	var rep *mnemo.Report
+	var compared []*mnemo.Report
+	if *compare != "" {
+		rep, compared, err = runComparison(w, opts, policyName, *compare, *slo, stderr)
+	} else {
+		rep, err = mnemo.Profile(w, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -136,7 +153,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := writeHTMLReport(f, rep, w); err != nil {
+		if err := writeHTMLReport(f, rep, w, compared); err != nil {
 			f.Close()
 			return err
 		}
@@ -171,31 +188,83 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 }
 
+// resolvePolicyName folds the deprecated -mode spelling into -policy.
+func resolvePolicyName(policy, mode string) (string, error) {
+	mapped := ""
+	switch mode {
+	case "":
+	case "standalone":
+		mapped = "touch"
+	case "mnemot":
+		mapped = "mnemot"
+	default:
+		return "", fmt.Errorf("unknown mode %q", mode)
+	}
+	if mapped != "" {
+		if policy != "" && policy != mapped {
+			return "", fmt.Errorf("-mode %s conflicts with -policy %s", mode, policy)
+		}
+		return mapped, nil
+	}
+	if policy == "" {
+		return "touch", nil
+	}
+	return policy, nil
+}
+
+// runComparison profiles the primary policy plus every -compare policy
+// through one session (a single baseline measurement), prints the
+// comparison table on stderr, and returns the primary report first.
+func runComparison(w *mnemo.Workload, opts mnemo.Options, primary, compare string, slo float64, stderr io.Writer) (*mnemo.Report, []*mnemo.Report, error) {
+	names := []string{primary}
+	for _, n := range strings.Split(compare, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" || n == primary {
+			continue
+		}
+		names = append(names, n)
+	}
+	policies := make([]mnemo.TieringPolicy, 0, len(names))
+	for _, n := range names {
+		p, err := mnemo.PolicyByName(n, opts.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		policies = append(policies, p)
+	}
+	session, err := mnemo.NewSession(w, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	reps, err := session.Compare(context.Background(), slo, policies...)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := report.NewTable(fmt.Sprintf("policy comparison (%d baseline measurement)", session.MeasureCount()),
+		"policy", "est ops/s @ cost 0.5", "advised cost", "savings")
+	for _, r := range reps {
+		cost, savings := "-", "-"
+		if r.Advice != nil {
+			cost = fmt.Sprintf("%.3f", r.Advice.Point.CostFactor)
+			savings = fmt.Sprintf("%.1f%%", r.Advice.CostSavings*100)
+		}
+		t.AddRow(r.Policy, fmt.Sprintf("%.0f", r.Curve.PointAtCost(0.5).EstThroughputOps), cost, savings)
+	}
+	if err := t.Render(stderr); err != nil {
+		return nil, nil, err
+	}
+	return reps[0], reps, nil
+}
+
 func loadWorkload(name string, seed int64, keys, requests int, stdin io.Reader) (*mnemo.Workload, error) {
 	if name == "-" {
 		return mnemo.LoadWorkloadCSV(stdin)
 	}
-	if name == "ycsb_f" {
-		k, r := ycsb.DefaultKeys, ycsb.DefaultRequests
-		if keys > 0 {
-			k = keys
-		}
-		if requests > 0 {
-			r = requests
-		}
-		return ycsb.GenerateF(seed, k, r)
+	w, err := mnemo.WorkloadByNameSized(name, seed, keys, requests)
+	if err != nil {
+		return nil, fmt.Errorf("%w (or '-' for csv on stdin)", err)
 	}
-	spec, ok := ycsb.AnySpecByName(name, seed)
-	if !ok {
-		return nil, fmt.Errorf("unknown workload %q (want one of %v or '-')", name, mnemo.AllWorkloadNames())
-	}
-	if keys > 0 {
-		spec.Keys = keys
-	}
-	if requests > 0 {
-		spec.Requests = requests
-	}
-	return mnemo.GenerateWorkload(spec)
+	return w, nil
 }
 
 func plotCurve(w io.Writer, c *mnemo.Curve) error {

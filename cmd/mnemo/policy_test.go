@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPolicyFlag(t *testing.T) {
+	for _, policy := range []string{"mnemot", "tahoe", "freqdecay", "pagesample", "knapsack", "standalone"} {
+		var stdout, stderr bytes.Buffer
+		err := run([]string{
+			"-workload", "trending", "-policy", policy,
+			"-keys", "200", "-requests", "2000", "-o", "",
+		}, strings.NewReader(""), &stdout, &stderr)
+		if err != nil {
+			t.Fatalf("-policy %s: %v", policy, err)
+		}
+	}
+}
+
+func TestRunListPolicies(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list-policies"}, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"touch", "mnemot", "tahoe", "freqdecay", "pagesample", "knapsack"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("catalog missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.html")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "trending", "-keys", "200", "-requests", "2000",
+		"-compare", "mnemot, tahoe,freqdecay", "-html", out, "-o", "",
+	}, strings.NewReader(""), &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "policy comparison (1 baseline measurement)") {
+		t.Errorf("comparison table missing or re-measured:\n%s", stderr.String())
+	}
+	for _, want := range []string{"touch", "mnemot", "tahoe", "freqdecay"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("comparison missing policy %q", want)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Policy comparison") {
+		t.Error("html report missing comparison section")
+	}
+}
+
+func TestResolvePolicyName(t *testing.T) {
+	cases := []struct {
+		policy, mode string
+		want         string
+		wantErr      bool
+	}{
+		{"", "", "touch", false},
+		{"mnemot", "", "mnemot", false},
+		{"", "standalone", "touch", false},
+		{"", "mnemot", "mnemot", false},
+		{"mnemot", "mnemot", "mnemot", false},
+		{"touch", "mnemot", "", true},
+		{"", "bogus", "", true},
+	}
+	for _, c := range cases {
+		got, err := resolvePolicyName(c.policy, c.mode)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("(%q,%q): no error", c.policy, c.mode)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("(%q,%q) = %q, %v; want %q", c.policy, c.mode, got, err, c.want)
+		}
+	}
+}
+
+func TestRunPolicyModeConflict(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "trending", "-policy", "touch", "-mode", "mnemot",
+		"-keys", "10", "-requests", "10",
+	}, strings.NewReader(""), &stdout, &stderr)
+	if err == nil {
+		t.Fatal("conflicting -policy/-mode accepted")
+	}
+}
+
+func TestRunUnknownPolicy(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "trending", "-policy", "bogus",
+		"-keys", "10", "-requests", "10",
+	}, strings.NewReader(""), &stdout, &stderr)
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("error %q does not name the problem", err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 
+	"mnemo/internal/registry"
 	"mnemo/internal/ycsb"
 )
 
@@ -60,16 +61,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	spec, err := buildSpec(*workload, *distName, *theta, *hotset, *hotops, *readRatio, *sizes, *seed)
-	if err != nil {
-		return err
+	if *keys <= 0 {
+		return fmt.Errorf("keys %d must be positive", *keys)
 	}
-	spec.Keys = *keys
-	spec.Requests = *requests
-
-	w, err := ycsb.Generate(spec)
-	if err != nil {
-		return err
+	if *requests <= 0 {
+		return fmt.Errorf("requests %d must be positive", *requests)
+	}
+	var w *ycsb.Workload
+	if *workload == "custom" {
+		spec, err := buildSpec(*workload, *distName, *theta, *hotset, *hotops, *readRatio, *sizes, *seed)
+		if err != nil {
+			return err
+		}
+		spec.Keys = *keys
+		spec.Requests = *requests
+		w, err = ycsb.Generate(spec)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Presets resolve through the shared registry helper, so the same
+		// names (including ycsb_f) work here, in cmd/mnemo and in the API.
+		var err error
+		w, err = registry.ResolveWorkload(*workload, *seed, *keys, *requests)
+		if err != nil {
+			return err
+		}
 	}
 	if *downsample > 1 {
 		w = w.Downsample(*downsample, *seed)
@@ -100,14 +117,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-func buildSpec(workload, distName string, theta, hotset, hotops, readRatio float64, sizes string, seed int64) (ycsb.Spec, error) {
-	if workload != "custom" {
-		spec, ok := ycsb.AnySpecByName(workload, seed)
-		if !ok {
-			return ycsb.Spec{}, fmt.Errorf("unknown workload %q", workload)
-		}
-		return spec, nil
-	}
+// buildSpec assembles the custom-workload spec; presets resolve through
+// registry.ResolveWorkload instead.
+func buildSpec(_, distName string, theta, hotset, hotops, readRatio float64, sizes string, seed int64) (ycsb.Spec, error) {
 	var dk ycsb.DistKind
 	switch distName {
 	case "uniform":

@@ -1,0 +1,76 @@
+// Policy-compare: profile one measured workload under several tiering
+// policies through a single Session — the staged pipeline measures the
+// Fast/Slow baselines exactly once, then each policy contributes only
+// its ordering and estimate. The comparison lands on stdout as CSV
+// (one row per policy per sampled curve point, plus the advised sizing)
+// ready for a spreadsheet or gnuplot.
+//
+//	go run ./examples/policy-compare
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"mnemo"
+)
+
+func main() {
+	w, err := mnemo.WorkloadByNameSized("trending", 42, 2_000, 20_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One session = one baseline measurement, shared by every policy.
+	session, err := mnemo.NewSession(w, mnemo.Options{
+		Store: mnemo.RedisLike,
+		Seed:  42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Four registered policies plus an "external" ordering as a fifth —
+	// the kind an existing tiering tool would hand over (here: the first
+	// 100 dataset keys, deliberately naive).
+	var policies []mnemo.TieringPolicy
+	for _, name := range []string{"touch", "mnemot", "tahoe", "freqdecay"} {
+		p, err := mnemo.PolicyByName(name, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		policies = append(policies, p)
+	}
+	var naive []string
+	for _, rec := range w.Dataset.Records[:100] {
+		naive = append(naive, rec.Key)
+	}
+	policies = append(policies, mnemo.ExternalPolicy(naive))
+
+	reports, err := session.Compare(context.Background(), 0.10, policies...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "compared %d policies with %d baseline measurement(s)\n",
+		len(reports), session.MeasureCount())
+
+	// CSV: the advised sizing per policy, then curves sampled every 5% of
+	// the key space so the file stays plottable.
+	fmt.Println("policy,kind,keys_in_fast,cost_factor,est_throughput_ops")
+	for _, rep := range reports {
+		a := rep.Advice.Point
+		fmt.Printf("%s,advice,%d,%.4f,%.0f\n", rep.Policy, a.KeysInFast, a.CostFactor, a.EstThroughputOps)
+	}
+	for _, rep := range reports {
+		step := len(rep.Curve.Points) / 20
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(rep.Curve.Points); i += step {
+			p := rep.Curve.Points[i]
+			fmt.Printf("%s,curve,%d,%.4f,%.0f\n", rep.Policy, p.KeysInFast, p.CostFactor, p.EstThroughputOps)
+		}
+	}
+}

@@ -39,7 +39,7 @@ func TestAdvisedPlacementMeetsSLOWhenDeployed(t *testing.T) {
 	const slo = 0.10
 
 	cfg := core.DefaultConfig(server.RedisLike, 101)
-	rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, slo)
+	rep, err := core.Profile(context.Background(), cfg, w, core.Touch, slo)
 	if err != nil {
 		t.Fatal(err)
 	}

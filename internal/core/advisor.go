@@ -29,8 +29,11 @@ func Advise(c *Curve, maxSlowdown float64) (Advice, error) {
 	if maxSlowdown < 0 {
 		return Advice{}, fmt.Errorf("core: max slowdown %v must be non-negative", maxSlowdown)
 	}
+	if c == nil {
+		return Advice{}, fmt.Errorf("core: nil curve (run the estimate stage before advising)")
+	}
 	if len(c.Points) == 0 {
-		return Advice{}, fmt.Errorf("core: empty curve")
+		return Advice{}, fmt.Errorf("core: empty curve (no points to advise from)")
 	}
 	// Runtime budget: FastMem-only estimated runtime inflated by the SLO.
 	// (Throughput ≥ (1−s)·T_fast ⇔ runtime ≤ R_fast/(1−s); for small s
@@ -67,8 +70,11 @@ func AdviseLatency(c *Curve, maxAvgLatencyNs float64) (Advice, error) {
 	if maxAvgLatencyNs <= 0 {
 		return Advice{}, fmt.Errorf("core: latency budget %v must be positive", maxAvgLatencyNs)
 	}
+	if c == nil {
+		return Advice{}, fmt.Errorf("core: nil curve (run the estimate stage before advising)")
+	}
 	if len(c.Points) == 0 {
-		return Advice{}, fmt.Errorf("core: empty curve")
+		return Advice{}, fmt.Errorf("core: empty curve (no points to advise from)")
 	}
 	for _, p := range c.Points {
 		if p.EstAvgLatencyNs <= maxAvgLatencyNs {

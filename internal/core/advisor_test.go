@@ -9,7 +9,7 @@ import (
 
 func TestAdviseLatency(t *testing.T) {
 	w := testWorkload(51)
-	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 51), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 51), w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestAdviseLatencyErrors(t *testing.T) {
 		t.Error("empty curve accepted")
 	}
 	w := testWorkload(52)
-	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 52), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 52), w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

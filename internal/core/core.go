@@ -63,9 +63,10 @@ func (k KeyStat) Weight() float64 {
 // pattern engine: prefixes of the ordering are the incremental FastMem
 // populations of the estimate curve.
 type Ordering struct {
-	// Name identifies the producing engine: "touch" (stand-alone Mnemo),
-	// "mnemot" (MnemoT weighted tiering), or "external" (an existing
-	// tiering solution's output, deployment mode 2b).
+	// Name identifies the producing tiering policy: "touch" (stand-alone
+	// Mnemo), "mnemot" (MnemoT weighted tiering), "external" (an existing
+	// tiering solution's output, deployment mode 2b), or any other
+	// registered TieringPolicy's name.
 	Name string
 	Keys []KeyStat
 }

@@ -126,7 +126,7 @@ func TestKeyStatWeight(t *testing.T) {
 
 func TestEstimateCurveShape(t *testing.T) {
 	w := testWorkload(5)
-	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 5), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 5), w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestEstimateAccuracy(t *testing.T) {
 		{"mixed", mixedWorkload(7)},
 	} {
 		cfg := DefaultConfig(server.RedisLike, 6)
-		rep, err := Profile(context.Background(), cfg, tc.w, StandAlone, 0)
+		rep, err := Profile(context.Background(), cfg, tc.w, Touch, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +210,7 @@ func TestEstimateAccuracy(t *testing.T) {
 
 func TestAdvisorFindsSweetSpot(t *testing.T) {
 	w := testWorkload(8)
-	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 8), w, StandAlone, 0.10)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 8), w, Touch, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestAdviseErrors(t *testing.T) {
 		t.Error("empty curve accepted")
 	}
 	w := testWorkload(9)
-	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 9), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 9), w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestPlacementEngine(t *testing.T) {
 
 func TestCurveCSVRoundTrip(t *testing.T) {
 	w := testWorkload(11)
-	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 11), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 11), w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,23 +328,23 @@ func TestReadCurveCSVErrors(t *testing.T) {
 	}
 }
 
-func TestProfileModeErrors(t *testing.T) {
+func TestProfileArgErrors(t *testing.T) {
 	w := testWorkload(12)
 	cfg := DefaultConfig(server.RedisLike, 12)
-	if _, err := Profile(context.Background(), cfg, w, WithExternalTiering, 0); err == nil {
-		t.Error("external mode without ordering accepted")
+	if _, err := Profile(context.Background(), cfg, w, nil, 0); err == nil {
+		t.Error("nil policy accepted")
 	}
-	if _, err := Profile(context.Background(), cfg, w, Mode(99), 0); err == nil {
-		t.Error("unknown mode accepted")
+	if _, err := Profile(context.Background(), cfg, nil, Touch, 0); err == nil {
+		t.Error("nil workload accepted")
 	}
 	bad := cfg
 	bad.PriceFactor = 2
-	if _, err := Profile(context.Background(), bad, w, StandAlone, 0); err == nil {
+	if _, err := Profile(context.Background(), bad, w, Touch, 0); err == nil {
 		t.Error("bad price factor accepted")
 	}
 	bad2 := cfg
 	bad2.Runs = -1
-	if _, err := Profile(context.Background(), bad2, w, StandAlone, 0); err == nil {
+	if _, err := Profile(context.Background(), bad2, w, Touch, 0); err == nil {
 		t.Error("negative runs accepted")
 	}
 }
@@ -359,18 +359,15 @@ func TestProfileWithExternalOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Mode != WithExternalTiering || rep.Curve.Ordering != "external" {
-		t.Error("mode/ordering labels wrong")
+	if rep.Policy != "external" || rep.Curve.Ordering != "external" {
+		t.Error("policy/ordering labels wrong")
 	}
 }
 
-func TestModeString(t *testing.T) {
-	if StandAlone.String() != "standalone" || MnemoT.String() != "mnemot" ||
-		WithExternalTiering.String() != "external" {
-		t.Error("mode strings wrong")
-	}
-	if Mode(42).String() == "" {
-		t.Error("unknown mode should format")
+func TestPolicyNames(t *testing.T) {
+	if Touch.Name() != "touch" || MnemoT.Name() != "mnemot" ||
+		External(nil).Name() != "external" {
+		t.Error("policy names wrong")
 	}
 }
 
@@ -409,7 +406,7 @@ func TestEstimateEngineValidation(t *testing.T) {
 func TestValidateArgErrors(t *testing.T) {
 	w := testWorkload(15)
 	cfg := DefaultConfig(server.RedisLike, 15)
-	rep, err := Profile(context.Background(), cfg, w, StandAlone, 0)
+	rep, err := Profile(context.Background(), cfg, w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +430,7 @@ func TestMnemoTBeatsTouchOnMixedSizes(t *testing.T) {
 		ReadRatio: 1.0, Sizes: ycsb.SizeTrendingPreview, Seed: 16,
 	})
 	cfg := DefaultConfig(server.RedisLike, 16)
-	touch, err := Profile(context.Background(), cfg, w, StandAlone, 0)
+	touch, err := Profile(context.Background(), cfg, w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

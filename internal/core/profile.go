@@ -2,48 +2,19 @@ package core
 
 import (
 	"context"
-	"fmt"
 
 	"mnemo/internal/ycsb"
 )
-
-// Mode selects which pattern engine orders keys for FastMem (the three
-// deployment scenarios of Fig 2).
-type Mode int
-
-// Deployment modes.
-const (
-	// StandAlone sizes FastMem with keys in touch order (Fig 2a).
-	StandAlone Mode = iota
-	// WithExternalTiering follows a user-supplied tiered ordering
-	// (Fig 2b); pass the ordering to ProfileWithOrdering.
-	WithExternalTiering
-	// MnemoT uses the built-in key-value-store-optimized tiering
-	// (Fig 2c).
-	MnemoT
-)
-
-// String implements fmt.Stringer.
-func (m Mode) String() string {
-	switch m {
-	case StandAlone:
-		return "standalone"
-	case WithExternalTiering:
-		return "external"
-	case MnemoT:
-		return "mnemot"
-	default:
-		return fmt.Sprintf("Mode(%d)", int(m))
-	}
-}
 
 // Report is the full output of one profiling session: baselines, the key
 // ordering, the estimate curve, and (if an SLO was supplied) the advised
 // sizing.
 type Report struct {
-	Workload  string
-	Engine    string
-	Mode      Mode
+	Workload string
+	Engine   string
+	// Policy is the tiering policy that produced the ordering ("touch",
+	// "mnemot", "external", or any registered policy name).
+	Policy    string
 	Baselines Baselines
 	Ordering  Ordering
 	Curve     *Curve
@@ -55,71 +26,24 @@ type Report struct {
 	Degraded bool
 }
 
-// Profile runs the complete Mnemo pipeline for the workload: baselines
-// via the Sensitivity Engine, ordering via the mode's Pattern Engine, the
-// Estimate Engine's curve, and — when maxSlowdown > 0 — the advisor's
-// sweet spot. For WithExternalTiering use ProfileWithOrdering. The
-// context cancels the measurement sweeps; a cancelled profile returns
-// ctx's error and no report.
-func Profile(ctx context.Context, cfg Config, w *ycsb.Workload, mode Mode, maxSlowdown float64) (*Report, error) {
-	var ord Ordering
-	switch mode {
-	case StandAlone:
-		ord = TouchOrdering(w)
-	case MnemoT:
-		ord = MnemoTOrdering(w)
-	case WithExternalTiering:
-		return nil, fmt.Errorf("core: WithExternalTiering requires ProfileWithOrdering")
-	default:
-		return nil, fmt.Errorf("core: unknown mode %d", int(mode))
+// Profile runs the complete Mnemo pipeline for the workload under one
+// tiering policy: baselines via the Sensitivity Engine, ordering via the
+// policy's Pattern Engine, the Estimate Engine's curve, and — when
+// maxSlowdown > 0 — the advisor's sweet spot. It is the one-shot form of
+// a Session; to profile several policies against one measurement, use
+// NewSession and Session.Compare. The context cancels the measurement
+// sweeps; a cancelled profile returns ctx's error and no report.
+func Profile(ctx context.Context, cfg Config, w *ycsb.Workload, p TieringPolicy, maxSlowdown float64) (*Report, error) {
+	s, err := NewSession(cfg, w)
+	if err != nil {
+		return nil, err
 	}
-	return profileWith(ctx, cfg, w, mode, ord, maxSlowdown)
+	return s.Run(ctx, p, maxSlowdown)
 }
 
 // ProfileWithOrdering runs the pipeline with a caller-supplied ordering
 // (deployment mode 2b: an existing tiering solution's DRAM key
-// allocations).
+// allocations, already resolved to an Ordering).
 func ProfileWithOrdering(ctx context.Context, cfg Config, w *ycsb.Workload, ord Ordering, maxSlowdown float64) (*Report, error) {
-	return profileWith(ctx, cfg, w, WithExternalTiering, ord, maxSlowdown)
-}
-
-func profileWith(ctx context.Context, cfg Config, w *ycsb.Workload, mode Mode, ord Ordering, maxSlowdown float64) (*Report, error) {
-	ncfg, err := cfg.normalized()
-	if err != nil {
-		return nil, err
-	}
-	se, err := NewSensitivityEngine(ncfg)
-	if err != nil {
-		return nil, err
-	}
-	baselines, err := se.Baselines(ctx, w)
-	if err != nil {
-		return nil, err
-	}
-	ee, err := NewEstimateEngine(ncfg.PriceFactor)
-	if err != nil {
-		return nil, err
-	}
-	ee.SetSizeAware(ncfg.SizeAwareEstimate)
-	curve, err := ee.Curve(w, baselines, ord)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{
-		Workload:  w.Spec.Name,
-		Engine:    ncfg.Server.Engine.String(),
-		Mode:      mode,
-		Baselines: baselines,
-		Ordering:  ord,
-		Curve:     curve,
-		Degraded:  baselines.Fast.Degraded || baselines.Slow.Degraded,
-	}
-	if maxSlowdown > 0 {
-		advice, err := Advise(curve, maxSlowdown)
-		if err != nil {
-			return nil, err
-		}
-		rep.Advice = &advice
-	}
-	return rep, nil
+	return Profile(ctx, cfg, w, fixedPolicy{ord: ord}, maxSlowdown)
 }

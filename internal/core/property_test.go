@@ -42,13 +42,13 @@ func TestPipelineInvariantsOnRandomWorkloads(t *testing.T) {
 		spec := randomSpec(rng)
 		w := ycsb.MustGenerate(spec)
 		engine := server.Engines()[rng.Intn(3)]
-		mode := StandAlone
+		pol := Touch
 		if rng.Intn(2) == 1 {
-			mode = MnemoT
+			pol = MnemoT
 		}
 		cfg := DefaultConfig(engine, rng.Int63())
 		cfg.SizeAwareEstimate = rng.Intn(2) == 1
-		rep, err := Profile(context.Background(), cfg, w, mode, 0.10)
+		rep, err := Profile(context.Background(), cfg, w, pol, 0.10)
 		if err != nil {
 			t.Fatalf("trial %d (%+v): %v", trial, spec, err)
 		}
@@ -116,7 +116,7 @@ func TestEstimateBracketsBaselines(t *testing.T) {
 		spec := randomSpec(rng)
 		spec.ReadRatio = 1.0
 		w := ycsb.MustGenerate(spec)
-		rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, rng.Int63()), w, StandAlone, 0)
+		rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, rng.Int63()), w, Touch, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -22,7 +22,7 @@ func TestProfileCancelled(t *testing.T) {
 	w := resilienceWorkload()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := Profile(ctx, DefaultConfig(server.RedisLike, 61), w, StandAlone, 0)
+	_, err := Profile(ctx, DefaultConfig(server.RedisLike, 61), w, Touch, 0)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -34,7 +34,7 @@ func TestProfileDegradedReport(t *testing.T) {
 	cfg.Runs = 6
 	cfg.Server.Fault = server.FaultSpec{Seed: 7, FailProb: 0.4}
 	cfg.Resilience = client.Policy{MinRuns: 1}
-	rep, err := Profile(context.Background(), cfg, w, StandAlone, 0)
+	rep, err := Profile(context.Background(), cfg, w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestProfileStrictModeSurfacesFault(t *testing.T) {
 	w := resilienceWorkload()
 	cfg := DefaultConfig(server.RedisLike, 63)
 	cfg.Server.Fault = server.FaultSpec{Seed: 7, FailProb: 1}
-	_, err := Profile(context.Background(), cfg, w, StandAlone, 0)
+	_, err := Profile(context.Background(), cfg, w, Touch, 0)
 	var ferr *server.FaultError
 	if !errors.As(err, &ferr) {
 		t.Fatalf("err = %v, want wrapped *server.FaultError", err)
@@ -66,24 +66,24 @@ func TestConfigRejectsBadResilience(t *testing.T) {
 	w := resilienceWorkload()
 	bad := DefaultConfig(server.RedisLike, 64)
 	bad.Resilience = client.Policy{Retries: -1}
-	if _, err := Profile(context.Background(), bad, w, StandAlone, 0); err == nil {
+	if _, err := Profile(context.Background(), bad, w, Touch, 0); err == nil {
 		t.Error("negative retries accepted")
 	}
 	bad2 := DefaultConfig(server.RedisLike, 64)
 	bad2.Server.Fault = server.FaultSpec{FailProb: 2}
-	if _, err := Profile(context.Background(), bad2, w, StandAlone, 0); err == nil {
+	if _, err := Profile(context.Background(), bad2, w, Touch, 0); err == nil {
 		t.Error("invalid fault spec accepted")
 	}
 	bad3 := DefaultConfig(server.RedisLike, 64)
 	bad3.Server.RunTimeout = -1
-	if _, err := Profile(context.Background(), bad3, w, StandAlone, 0); err == nil {
+	if _, err := Profile(context.Background(), bad3, w, Touch, 0); err == nil {
 		t.Error("negative run timeout accepted")
 	}
 	// PriceFactor 1 is now legal: R(1) = 1 everywhere, a valid (if
 	// pointless) price ratio.
 	ok := DefaultConfig(server.RedisLike, 64)
 	ok.PriceFactor = 1
-	if _, err := Profile(context.Background(), ok, w, StandAlone, 0); err != nil {
+	if _, err := Profile(context.Background(), ok, w, Touch, 0); err != nil {
 		t.Errorf("price factor 1 rejected: %v", err)
 	}
 }

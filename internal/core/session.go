@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// Session is the staged profiling pipeline: Measure → Analyze →
+// Estimate → Place. Each stage's artifact (the measured Baselines, a
+// policy's Ordering, its Curve) is cached inside the session, so later
+// stages — and later policies — reuse earlier work instead of re-running
+// it. In particular Compare profiles any number of tiering policies
+// against a single Fast+Slow baseline measurement, and Advise re-reads a
+// cached curve without touching the testbed at all.
+//
+// A session is bound to one workload and one engine configuration; the
+// zero value is not usable, construct with NewSession. Methods are safe
+// for concurrent use.
+type Session struct {
+	cfg Config // normalized
+	w   *ycsb.Workload
+
+	mu        sync.Mutex
+	baselines *Baselines
+	measures  int // completed Measure executions (see MeasureCount)
+	orderings map[string]Ordering
+	curves    map[string]*Curve
+}
+
+// NewSession validates the config and binds the staged pipeline to the
+// workload. No measurement happens until Measure (or a stage that needs
+// it) is called.
+func NewSession(cfg Config, w *ycsb.Workload) (*Session, error) {
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if w == nil {
+		return nil, fmt.Errorf("core: nil workload")
+	}
+	return &Session{
+		cfg:       ncfg,
+		w:         w,
+		orderings: map[string]Ordering{},
+		curves:    map[string]*Curve{},
+	}, nil
+}
+
+// Workload returns the session's workload descriptor.
+func (s *Session) Workload() *ycsb.Workload { return s.w }
+
+// Config returns the session's normalized profiling config.
+func (s *Session) Config() Config { return s.cfg }
+
+// Measure is stage 1 (Sensitivity Engine): execute the workload in the
+// all-FastMem and all-SlowMem extremes. The measurement runs once per
+// session; every later call — and every policy profiled through this
+// session — returns the cached artifact.
+func (s *Session) Measure(ctx context.Context) (Baselines, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.measureLocked(ctx)
+}
+
+func (s *Session) measureLocked(ctx context.Context) (Baselines, error) {
+	if s.baselines != nil {
+		return *s.baselines, nil
+	}
+	se, err := NewSensitivityEngine(s.cfg)
+	if err != nil {
+		return Baselines{}, err
+	}
+	b, err := se.Baselines(ctx, s.w)
+	if err != nil {
+		return Baselines{}, err
+	}
+	s.baselines = &b
+	s.measures++
+	return b, nil
+}
+
+// MeasureCount reports how many baseline measurements this session has
+// actually executed — 1 after any number of policies have been profiled,
+// 0 if nothing forced a measurement yet.
+func (s *Session) MeasureCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.measures
+}
+
+// Analyze is stage 2 (Pattern Engine): run the policy's orderer over the
+// workload. The ordering is cached under the policy's name, so repeated
+// Analyze/Estimate calls for the same policy re-use it.
+func (s *Session) Analyze(ctx context.Context, p TieringPolicy) (Ordering, error) {
+	if p == nil {
+		return Ordering{}, fmt.Errorf("core: nil tiering policy")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.analyzeLocked(ctx, p)
+}
+
+func (s *Session) analyzeLocked(ctx context.Context, p TieringPolicy) (Ordering, error) {
+	if ord, ok := s.orderings[p.Name()]; ok {
+		return ord, nil
+	}
+	ord, err := p.Order(ctx, s.w)
+	if err != nil {
+		return Ordering{}, fmt.Errorf("core: policy %q: %w", p.Name(), err)
+	}
+	if len(ord.Keys) != len(s.w.Dataset.Records) {
+		return Ordering{}, fmt.Errorf("core: policy %q ordered %d of %d keys",
+			p.Name(), len(ord.Keys), len(s.w.Dataset.Records))
+	}
+	s.orderings[p.Name()] = ord
+	return ord, nil
+}
+
+// Estimate is stage 3 (Estimate Engine): combine the cached baselines
+// with the policy's ordering into the cost/performance curve, measuring
+// and analyzing first if those artifacts are missing. The curve is
+// cached under the policy's name.
+func (s *Session) Estimate(ctx context.Context, p TieringPolicy) (*Curve, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil tiering policy")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.estimateLocked(ctx, p)
+}
+
+func (s *Session) estimateLocked(ctx context.Context, p TieringPolicy) (*Curve, error) {
+	if c, ok := s.curves[p.Name()]; ok {
+		return c, nil
+	}
+	b, err := s.measureLocked(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ord, err := s.analyzeLocked(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	ee, err := NewEstimateEngine(s.cfg.PriceFactor)
+	if err != nil {
+		return nil, err
+	}
+	ee.SetSizeAware(s.cfg.SizeAwareEstimate)
+	c, err := ee.Curve(s.w, b, ord)
+	if err != nil {
+		return nil, err
+	}
+	s.curves[p.Name()] = c
+	return c, nil
+}
+
+// Advise is stage 4 (Placement Engine, advisory half): pick the cheapest
+// SLO-satisfying point off the policy's cached curve. Re-running with a
+// different SLO reuses every cached artifact — no new measurement.
+func (s *Session) Advise(ctx context.Context, p TieringPolicy, maxSlowdown float64) (Advice, error) {
+	c, err := s.Estimate(ctx, p)
+	if err != nil {
+		return Advice{}, err
+	}
+	return Advise(c, maxSlowdown)
+}
+
+// Place is stage 4 (Placement Engine, materializing half): turn a chosen
+// curve point into the static Fast/Slow placement for the policy's
+// ordering.
+func (s *Session) Place(ctx context.Context, p TieringPolicy, point CurvePoint) (server.Placement, error) {
+	ord, err := s.Analyze(ctx, p)
+	if err != nil {
+		return server.Placement{}, err
+	}
+	var pe PlacementEngine
+	return pe.PlacementFor(ord, point)
+}
+
+// Run assembles the full report for one policy: cached baselines, the
+// policy's ordering and curve, and — when maxSlowdown > 0 — the advised
+// sizing. Equivalent to the one-shot Profile, but reusing the session's
+// artifacts.
+func (s *Session) Run(ctx context.Context, p TieringPolicy, maxSlowdown float64) (*Report, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil tiering policy")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.measureLocked(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ord, err := s.analyzeLocked(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	curve, err := s.estimateLocked(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Workload:  s.w.Spec.Name,
+		Engine:    s.cfg.Server.Engine.String(),
+		Policy:    p.Name(),
+		Baselines: b,
+		Ordering:  ord,
+		Curve:     curve,
+		Degraded:  b.Fast.Degraded || b.Slow.Degraded,
+	}
+	if maxSlowdown > 0 {
+		advice, err := Advise(curve, maxSlowdown)
+		if err != nil {
+			return nil, err
+		}
+		rep.Advice = &advice
+	}
+	return rep, nil
+}
+
+// Compare profiles every policy against the session's single baseline
+// measurement and returns one report per policy, input order preserved.
+// Policies must have distinct names — the caches are name-keyed, and a
+// silent collision would hand one policy another's curve.
+func (s *Session) Compare(ctx context.Context, maxSlowdown float64, policies ...TieringPolicy) ([]*Report, error) {
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("core: Compare needs at least one policy")
+	}
+	seen := make(map[string]bool, len(policies))
+	for _, p := range policies {
+		if p == nil {
+			return nil, fmt.Errorf("core: nil tiering policy")
+		}
+		if seen[p.Name()] {
+			return nil, fmt.Errorf("core: policy %q listed twice", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	out := make([]*Report, len(policies))
+	for i, p := range policies {
+		rep, err := s.Run(ctx, p, maxSlowdown)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rep
+	}
+	return out, nil
+}

@@ -6,7 +6,12 @@ package core
 type Summary struct {
 	Workload string `json:"workload"`
 	Engine   string `json:"engine"`
-	Mode     string `json:"mode"`
+	// Mode is the legacy deployment-mode label kept for downstream
+	// consumers ("standalone" | "mnemot" | "external", or the policy name
+	// for policies outside the original three).
+	Mode string `json:"mode"`
+	// Policy is the tiering policy's registry name.
+	Policy   string `json:"policy"`
 	Ordering string `json:"ordering"`
 
 	Keys         int   `json:"keys"`
@@ -50,6 +55,16 @@ type PointSummary struct {
 	EstOpsPerSec float64 `json:"est_ops_per_sec"`
 }
 
+// legacyMode maps a policy name onto the deployment-mode vocabulary the
+// pre-registry JSON schema used (Fig 2's three scenarios). Policies
+// beyond the original three report their own name.
+func legacyMode(policy string) string {
+	if policy == "touch" {
+		return "standalone"
+	}
+	return policy
+}
+
 // Summary digests the report, sampling the curve down to at most
 // curveSamples evenly spaced interior points plus both endpoints.
 // curveSamples ≤ 0 omits the curve entirely.
@@ -57,7 +72,8 @@ func (r *Report) Summary(curveSamples int) Summary {
 	s := Summary{
 		Workload:     r.Workload,
 		Engine:       r.Engine,
-		Mode:         r.Mode.String(),
+		Mode:         legacyMode(r.Policy),
+		Policy:       r.Policy,
 		Ordering:     r.Ordering.Name,
 		Keys:         len(r.Ordering.Keys),
 		Requests:     r.Curve.Requests,

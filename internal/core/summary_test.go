@@ -10,7 +10,7 @@ import (
 
 func TestReportSummary(t *testing.T) {
 	w := testWorkload(41)
-	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 41), w, StandAlone, 0.10)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 41), w, Touch, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestReportSummary(t *testing.T) {
 
 func TestReportSummaryNoAdviceNoCurve(t *testing.T) {
 	w := testWorkload(42)
-	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 42), w, StandAlone, 0)
+	rep, err := Profile(context.Background(), DefaultConfig(server.RedisLike, 42), w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

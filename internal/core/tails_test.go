@@ -10,7 +10,7 @@ import (
 func TestTailEstimatorEndpointsMatchBaselines(t *testing.T) {
 	w := testWorkload(31)
 	cfg := DefaultConfig(server.RedisLike, 31)
-	rep, err := Profile(context.Background(), cfg, w, StandAlone, 0)
+	rep, err := Profile(context.Background(), cfg, w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestTailEstimatorMonotoneInFastKeys(t *testing.T) {
 	// More FastMem never raises the predicted tails (read-only trending).
 	w := testWorkload(32)
 	cfg := DefaultConfig(server.RedisLike, 32)
-	rep, err := Profile(context.Background(), cfg, w, StandAlone, 0)
+	rep, err := Profile(context.Background(), cfg, w, Touch, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

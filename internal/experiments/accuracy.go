@@ -39,7 +39,7 @@ func Fig8a(scale Scale, seed int64) (*Fig8aResult, error) {
 				return nil, err
 			}
 			cfg := scale.coreConfig(e, seed)
-			rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, 0)
+			rep, err := core.Profile(context.Background(), cfg, w, core.Touch, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -91,7 +91,7 @@ func Fig8b(scale Scale, seed int64) (*Fig8bResult, error) {
 	}
 	res := &Fig8bResult{Slowdowns: map[string]float64{}}
 	for _, e := range server.Engines() {
-		cc, rep, err := measuredCurve(scale, e, ycsb.Trending(seed), seed, core.StandAlone)
+		cc, rep, err := measuredCurve(scale, e, ycsb.Trending(seed), seed, core.Touch)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +144,7 @@ func Fig8cde(scale Scale, e server.Engine, seed int64) (*Fig8cdeResult, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
 	}
-	cc, rep, err := measuredCurve(scale, e, ycsb.Trending(seed), seed, core.StandAlone)
+	cc, rep, err := measuredCurve(scale, e, ycsb.Trending(seed), seed, core.Touch)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +231,7 @@ func Fig8f(scale Scale, seed int64) (*Fig8fResult, error) {
 		return nil, err
 	}
 	spec := ycsb.Timeline(seed)
-	touch, _, err := measuredCurve(scale, server.RedisLike, spec, seed, core.StandAlone)
+	touch, _, err := measuredCurve(scale, server.RedisLike, spec, seed, core.Touch)
 	if err != nil {
 		return nil, err
 	}

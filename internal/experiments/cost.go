@@ -41,7 +41,7 @@ func Fig9(scale Scale, seed int64) (*Fig9Result, error) {
 			return nil, err
 		}
 		for _, e := range server.Engines() {
-			rep, err := core.Profile(context.Background(), scale.coreConfig(e, seed), w, core.StandAlone, SLO)
+			rep, err := core.Profile(context.Background(), scale.coreConfig(e, seed), w, core.Touch, SLO)
 			if err != nil {
 				return nil, err
 			}

@@ -124,13 +124,13 @@ type CurveComparison struct {
 }
 
 // measuredCurve profiles a workload and measures it at sampled tierings.
-func measuredCurve(scale Scale, e server.Engine, spec ycsb.Spec, seed int64, mode core.Mode) (*CurveComparison, *core.Report, error) {
+func measuredCurve(scale Scale, e server.Engine, spec ycsb.Spec, seed int64, pol core.TieringPolicy) (*CurveComparison, *core.Report, error) {
 	w, err := scale.workload(spec)
 	if err != nil {
 		return nil, nil, err
 	}
 	cfg := scale.coreConfig(e, seed)
-	rep, err := core.Profile(context.Background(), cfg, w, mode, 0)
+	rep, err := core.Profile(context.Background(), cfg, w, pol, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -203,7 +203,7 @@ func fig5(scale Scale, seed int64, title string, specs []ycsb.Spec) (*Fig5Result
 	}
 	res := &Fig5Result{Title: title}
 	for _, spec := range specs {
-		cc, _, err := measuredCurve(scale, server.RedisLike, spec, seed, core.StandAlone)
+		cc, _, err := measuredCurve(scale, server.RedisLike, spec, seed, core.Touch)
 		if err != nil {
 			return nil, err
 		}

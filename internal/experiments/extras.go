@@ -48,7 +48,7 @@ func Downsample(scale Scale, seed int64, factors []int) (*DownsampleResult, erro
 		return nil, err
 	}
 	cfg := scale.coreConfig(server.RedisLike, seed)
-	fullRep, err := core.Profile(context.Background(), cfg, full, core.StandAlone, SLO)
+	fullRep, err := core.Profile(context.Background(), cfg, full, core.Touch, SLO)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +60,7 @@ func Downsample(scale Scale, seed int64, factors []int) (*DownsampleResult, erro
 			return nil, fmt.Errorf("experiments: bad downsampling factor %d", f)
 		}
 		sampled := full.Downsample(f, seed+int64(f))
-		rep, err := core.Profile(context.Background(), cfg, sampled, core.StandAlone, SLO)
+		rep, err := core.Profile(context.Background(), cfg, sampled, core.Touch, SLO)
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +147,7 @@ func AblationLLC(scale Scale, seed int64) (*AblationLLCResult, error) {
 		if !withLLC {
 			cfg.Server.Machine.LLCBytes = 0
 		}
-		rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, 0)
+		rep, err := core.Profile(context.Background(), cfg, w, core.Touch, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -202,7 +202,7 @@ func AblationNoise(scale Scale, seed int64, sigmas []float64) (*AblationNoiseRes
 	for _, sigma := range sigmas {
 		cfg := scale.coreConfig(server.RedisLike, seed)
 		cfg.Server.NoiseSigma = sigma
-		rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, 0)
+		rep, err := core.Profile(context.Background(), cfg, w, core.Touch, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -318,7 +318,7 @@ func AblationAnchor(scale Scale, seed int64) (*AblationAnchorResult, error) {
 		return nil, err
 	}
 	cfg := scale.coreConfig(server.RedisLike, seed)
-	rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, 0)
+	rep, err := core.Profile(context.Background(), cfg, w, core.Touch, 0)
 	if err != nil {
 		return nil, err
 	}

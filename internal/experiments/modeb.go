@@ -6,9 +6,9 @@ import (
 	"io"
 
 	"mnemo/internal/core"
+	"mnemo/internal/registry"
 	"mnemo/internal/report"
 	"mnemo/internal/server"
-	"mnemo/internal/tiering"
 	"mnemo/internal/ycsb"
 )
 
@@ -38,8 +38,10 @@ type ModeBResult struct {
 	Rows                 []ModeBRow
 }
 
-// ModeB profiles Trending on Redis-like through external orderings
-// produced by the page-sampling profiler at several sampling rates.
+// ModeB profiles Trending on Redis-like through the page-sampling
+// tiering policy at several sampling rates. The reference and every rate
+// run through one profiling session, so the Fast/Slow baselines are
+// measured once and only the orderings differ.
 func ModeB(scale Scale, seed int64, rates []int) (*ModeBResult, error) {
 	if err := scale.Validate(); err != nil {
 		return nil, err
@@ -48,9 +50,12 @@ func ModeB(scale Scale, seed int64, rates []int) (*ModeBResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := scale.coreConfig(server.RedisLike, seed)
+	session, err := core.NewSession(scale.coreConfig(server.RedisLike, seed), w)
+	if err != nil {
+		return nil, err
+	}
 
-	ref, err := core.Profile(context.Background(), cfg, w, core.MnemoT, SLO)
+	ref, err := session.Run(context.Background(), core.MnemoT, SLO)
 	if err != nil {
 		return nil, err
 	}
@@ -60,24 +65,18 @@ func ModeB(scale Scale, seed int64, rates []int) (*ModeBResult, error) {
 		MnemoTAdvisedCost:    ref.Advice.Point.CostFactor,
 	}
 
-	space := tiering.NewAddressSpace(w.Dataset)
 	for _, rate := range rates {
 		if rate <= 0 {
 			return nil, fmt.Errorf("experiments: sampling rate %d must be positive", rate)
 		}
-		prof := tiering.NewProfiler(space, rate, seed)
-		prof.Observe(w)
-		ord, err := core.ExternalOrdering(w, prof.KeyOrdering(w.Dataset))
-		if err != nil {
-			return nil, err
-		}
-		rep, err := core.ProfileWithOrdering(context.Background(), cfg, w, ord, SLO)
+		pol := registry.PageSample(rate, seed)
+		rep, err := session.Run(context.Background(), pol, SLO)
 		if err != nil {
 			return nil, err
 		}
 		res.Rows = append(res.Rows, ModeBRow{
 			Rate:              rate,
-			Samples:           prof.Samples(),
+			Samples:           pol.Samples(),
 			EstTputAtHalfCost: rep.Curve.PointAtCost(0.5).EstThroughputOps,
 			AdvisedCost:       rep.Advice.Point.CostFactor,
 		})

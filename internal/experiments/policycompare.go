@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"mnemo/internal/core"
+	"mnemo/internal/registry"
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// PolicyCompareRow is one tiering policy's outcome on the shared
+// baseline measurement.
+type PolicyCompareRow struct {
+	Policy string
+	// EstTputAtHalfCost is the estimated throughput at cost factor 0.5.
+	EstTputAtHalfCost float64
+	// AdvisedCost is the 10%-SLO sizing's cost factor.
+	AdvisedCost float64
+	// AdvisedSavings is 1 − AdvisedCost.
+	AdvisedSavings float64
+}
+
+// PolicyCompareResult pits every registered tiering policy against the
+// same workload, engine and baseline measurement — the comparison the
+// policy registry exists for.
+type PolicyCompareResult struct {
+	Workload string
+	Engine   server.Engine
+	// Measurements is how many baseline measurements the comparison ran;
+	// the session pipeline guarantees 1.
+	Measurements int
+	Rows         []PolicyCompareRow
+}
+
+// PolicyCompare profiles Trending on Redis-like under every cataloged
+// policy through a single session, so the Fast/Slow baselines are
+// measured exactly once however many policies are registered.
+func PolicyCompare(scale Scale, seed int64) (*PolicyCompareResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := scale.workload(ycsb.Trending(seed))
+	if err != nil {
+		return nil, err
+	}
+	session, err := core.NewSession(scale.coreConfig(server.RedisLike, seed), w)
+	if err != nil {
+		return nil, err
+	}
+	var policies []core.TieringPolicy
+	for _, e := range registry.Entries() {
+		policies = append(policies, e.New(seed))
+	}
+	reps, err := session.Compare(context.Background(), SLO, policies...)
+	if err != nil {
+		return nil, err
+	}
+	res := &PolicyCompareResult{
+		Workload:     w.Spec.Name,
+		Engine:       server.RedisLike,
+		Measurements: session.MeasureCount(),
+	}
+	for _, rep := range reps {
+		res.Rows = append(res.Rows, PolicyCompareRow{
+			Policy:            rep.Policy,
+			EstTputAtHalfCost: rep.Curve.PointAtCost(0.5).EstThroughputOps,
+			AdvisedCost:       rep.Advice.Point.CostFactor,
+			AdvisedSavings:    1 - rep.Advice.Point.CostFactor,
+		})
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *PolicyCompareResult) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("Tiering-policy comparison on one baseline measurement (%s, %s; %d measurement)",
+			r.Workload, engineLabel(r.Engine), r.Measurements),
+		"policy", "est ops/s @ cost 0.5", "advised cost (10% SLO)", "savings")
+	for _, row := range r.Rows {
+		t.AddRow(row.Policy, fmt.Sprintf("%.0f", row.EstTputAtHalfCost),
+			fmt.Sprintf("%.3f", row.AdvisedCost), fmt.Sprintf("%.1f%%", row.AdvisedSavings*100))
+	}
+	return t.Render(w)
+}

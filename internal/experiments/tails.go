@@ -47,7 +47,7 @@ func ExtTails(scale Scale, e server.Engine, seed int64) (*ExtTailsResult, error)
 		return nil, err
 	}
 	cfg := scale.coreConfig(e, seed)
-	rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, 0)
+	rep, err := core.Profile(context.Background(), cfg, w, core.Touch, 0)
 	if err != nil {
 		return nil, err
 	}

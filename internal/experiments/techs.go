@@ -48,7 +48,7 @@ func ExtTech(scale Scale, seed int64) (*ExtTechResult, error) {
 		cfg := scale.coreConfig(server.RedisLike, seed)
 		cfg.Server.Machine.SlowParams = tier.Params
 		cfg.PriceFactor = tier.PriceFactor
-		rep, err := core.Profile(context.Background(), cfg, w, core.StandAlone, SLO)
+		rep, err := core.Profile(context.Background(), cfg, w, core.Touch, SLO)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: tech %s: %w", tier.Params.Name, err)
 		}

@@ -39,7 +39,7 @@ func YCSBCore(scale Scale, seed int64) (*YCSBCoreResult, error) {
 			return nil, err
 		}
 		for _, e := range server.Engines() {
-			rep, err := core.Profile(context.Background(), scale.coreConfig(e, seed), w, core.StandAlone, SLO)
+			rep, err := core.Profile(context.Background(), scale.coreConfig(e, seed), w, core.Touch, SLO)
 			if err != nil {
 				return nil, err
 			}

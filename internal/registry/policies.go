@@ -1,0 +1,285 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mnemo/internal/core"
+	"mnemo/internal/knapsack"
+	"mnemo/internal/tiering"
+	"mnemo/internal/ycsb"
+)
+
+// Defaults for the parameterized policies, used by the registry entries.
+const (
+	// DefaultSampleRate approximates PEBS-style hardware sampling (one
+	// observation per 4000 page touches), the rate the ModeB experiment
+	// centres on.
+	DefaultSampleRate = 4000
+	// DefaultEpochs / DefaultDecay are the decayed-frequency policy's
+	// window count and per-epoch retention factor.
+	DefaultEpochs = 8
+	DefaultDecay  = 0.5
+)
+
+// keyStats tallies the per-key access pattern, mirroring what the core
+// pattern engines compute internally.
+func keyStats(w *ycsb.Workload) []core.KeyStat {
+	reads, writes := w.AccessCounts()
+	out := make([]core.KeyStat, len(w.Dataset.Records))
+	for i, rec := range w.Dataset.Records {
+		out[i] = core.KeyStat{Index: i, Key: rec.Key, Size: rec.Size, Reads: reads[i], Writes: writes[i]}
+	}
+	return out
+}
+
+// orderingOf assembles an Ordering from record indices in priority order.
+func orderingOf(name string, stats []core.KeyStat, order []int) core.Ordering {
+	keys := make([]core.KeyStat, len(order))
+	for i, idx := range order {
+		keys[i] = stats[idx]
+	}
+	return core.Ordering{Name: name, Keys: keys}
+}
+
+// Tahoe orders keys by raw access frequency, descending — the
+// structure-heat heuristic of Tahoe-class tiering systems, which track
+// how often an object is reached without normalizing by its size. On
+// workloads with uniform record sizes it coincides with MnemoT's density
+// order; with mixed sizes it over-prioritizes hot large objects, which
+// is exactly the gap the comparison experiments surface.
+var Tahoe core.TieringPolicy = tahoePolicy{}
+
+type tahoePolicy struct{}
+
+func (tahoePolicy) Name() string { return "tahoe" }
+
+func (tahoePolicy) Order(_ context.Context, w *ycsb.Workload) (core.Ordering, error) {
+	stats := keyStats(w)
+	order := make([]int, len(stats))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		fa, fb := stats[order[a]].Accesses(), stats[order[b]].Accesses()
+		if fa != fb {
+			return fa > fb
+		}
+		return order[a] < order[b]
+	})
+	return orderingOf("tahoe", stats, order), nil
+}
+
+// FreqDecay builds the HybridTier-style decayed-frequency policy: the
+// trace is split into epochs, every key's score is multiplied by decay at
+// each epoch boundary and incremented per access, so recent activity
+// dominates and long-cold keys age out of the FastMem front. epochs must
+// be positive and decay in (0, 1]; decay = 1 degrades to plain frequency
+// counting over the whole trace.
+func FreqDecay(epochs int, decay float64) core.TieringPolicy {
+	return freqDecayPolicy{epochs: epochs, decay: decay}
+}
+
+type freqDecayPolicy struct {
+	epochs int
+	decay  float64
+}
+
+func (freqDecayPolicy) Name() string { return "freqdecay" }
+
+func (p freqDecayPolicy) Order(_ context.Context, w *ycsb.Workload) (core.Ordering, error) {
+	if p.epochs <= 0 {
+		return core.Ordering{}, fmt.Errorf("freqdecay: epochs %d must be positive", p.epochs)
+	}
+	if p.decay <= 0 || p.decay > 1 {
+		return core.Ordering{}, fmt.Errorf("freqdecay: decay %v outside (0,1]", p.decay)
+	}
+	stats := keyStats(w)
+	score := make([]float64, len(stats))
+	per := (len(w.Ops) + p.epochs - 1) / p.epochs
+	if per == 0 {
+		per = 1
+	}
+	for start := 0; start < len(w.Ops); start += per {
+		if start > 0 {
+			for i := range score {
+				score[i] *= p.decay
+			}
+		}
+		end := start + per
+		if end > len(w.Ops) {
+			end = len(w.Ops)
+		}
+		for _, op := range w.Ops[start:end] {
+			score[op.Key]++
+		}
+	}
+	order := make([]int, len(stats))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if score[order[a]] != score[order[b]] {
+			return score[order[a]] > score[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return orderingOf("freqdecay", stats, order), nil
+}
+
+// PageSample wraps the generic page-granularity sampling profiler
+// (internal/tiering) as a policy: the workload is replayed through a
+// simulated address space, page touches are observed with probability
+// 1/rate, and page heat is aggregated back to a key ordering — the
+// deployment-mode-2b pipeline where an existing tiering solution feeds
+// Mnemo. The policy is stateful: Samples reports the observation count
+// of the last Order call, the profiler's data-collection cost.
+//
+// The default rate profiles as "pagesample"; other rates get a
+// rate-qualified name ("pagesample-1", "pagesample-16000", …) so that
+// several rates can be compared within one Session without their cached
+// artifacts colliding.
+func PageSample(rate int, seed int64) *PageSamplePolicy {
+	name := "pagesample"
+	if rate != DefaultSampleRate {
+		name = fmt.Sprintf("pagesample-%d", rate)
+	}
+	return &PageSamplePolicy{name: name, rate: rate, seed: seed}
+}
+
+// PageSamplePolicy is the stateful page-sampling policy; construct with
+// PageSample.
+type PageSamplePolicy struct {
+	name string
+	rate int
+	seed int64
+
+	mu      sync.Mutex
+	samples int64
+}
+
+// Name implements core.TieringPolicy.
+func (p *PageSamplePolicy) Name() string { return p.name }
+
+// Samples reports how many page observations the last Order collected.
+func (p *PageSamplePolicy) Samples() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.samples
+}
+
+// Order implements core.TieringPolicy by profiling the replay and
+// translating the resulting key priority into an Ordering.
+func (p *PageSamplePolicy) Order(_ context.Context, w *ycsb.Workload) (core.Ordering, error) {
+	if p.rate <= 0 {
+		return core.Ordering{}, fmt.Errorf("pagesample: sampling rate %d must be positive", p.rate)
+	}
+	space := tiering.NewAddressSpace(w.Dataset)
+	prof := tiering.NewProfiler(space, p.rate, p.seed)
+	prof.Observe(w)
+	p.mu.Lock()
+	p.samples = prof.Samples()
+	p.mu.Unlock()
+
+	stats := keyStats(w)
+	byKey := make(map[string]int, len(stats))
+	for i, k := range stats {
+		byKey[k.Key] = i
+	}
+	keyOrder := prof.KeyOrdering(w.Dataset)
+	order := make([]int, len(keyOrder))
+	for i, key := range keyOrder {
+		idx, ok := byKey[key]
+		if !ok {
+			return core.Ordering{}, fmt.Errorf("pagesample: profiler emitted unknown key %q", key)
+		}
+		order[i] = idx
+	}
+	return orderingOf(p.name, stats, order), nil
+}
+
+// KnapsackExact orders keys by solving the 0/1 knapsack exactly at a
+// ladder of FastMem capacities (1/8, 1/4, 1/2 and 3/4 of the dataset):
+// a key's priority is the smallest capacity whose optimal packing
+// includes it, with MnemoT's density order inside each rung. Weights are
+// coarsened to page units — doubling the unit until the DP table fits —
+// the same trick the knapsack ablation uses, so the policy stays usable
+// on full-size workloads.
+var KnapsackExact core.TieringPolicy = knapsackPolicy{}
+
+type knapsackPolicy struct{}
+
+func (knapsackPolicy) Name() string { return "knapsack" }
+
+// dpBudget caps the DP table at n·capacity cells; capacities beyond it
+// are coarsened.
+const dpBudget = 20_000_000
+
+func (knapsackPolicy) Order(ctx context.Context, w *ycsb.Workload) (core.Ordering, error) {
+	stats := keyStats(w)
+	const pageUnit = int64(4096)
+	items := make([]knapsack.Item, len(stats))
+	var totalUnits int64
+	for i, k := range stats {
+		units := (int64(k.Size) + pageUnit - 1) / pageUnit
+		if units == 0 {
+			units = 1
+		}
+		items[i] = knapsack.Item{Weight: units, Profit: float64(k.Accesses())}
+		totalUnits += units
+	}
+	fractions := []int64{8, 4, 2} // denominators for 1/8, 1/4, 1/2
+	tiers := make([]int, len(stats))
+	for i := range tiers {
+		tiers[i] = len(fractions) + 1 // never optimal at any rung
+	}
+	for tier, den := range fractions {
+		if err := ctx.Err(); err != nil {
+			return core.Ordering{}, err
+		}
+		capUnits := totalUnits / den
+		// Coarsen until the DP table fits the budget.
+		unit := int64(1)
+		for int64(len(items)+1)*(capUnits/unit+1) > dpBudget {
+			unit *= 2
+		}
+		scaled := items
+		if unit > 1 {
+			scaled = make([]knapsack.Item, len(items))
+			for i, it := range items {
+				scaled[i] = knapsack.Item{Weight: (it.Weight + unit - 1) / unit, Profit: it.Profit}
+			}
+		}
+		picked, _ := knapsack.Exact(scaled, capUnits/unit)
+		for i, in := range picked {
+			if in && tier < tiers[i] {
+				tiers[i] = tier
+			}
+		}
+	}
+	// Last explicit rung: everything "picked at 3/4 capacity" is
+	// approximated by density to keep the DP ladder short.
+	order := make([]int, len(stats))
+	for i := range order {
+		order[i] = i
+	}
+	density := func(i int) float64 {
+		if items[i].Weight <= 0 {
+			return items[i].Profit
+		}
+		return items[i].Profit / float64(items[i].Weight)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if tiers[order[a]] != tiers[order[b]] {
+			return tiers[order[a]] < tiers[order[b]]
+		}
+		da, db := density(order[a]), density(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	return orderingOf("knapsack", stats, order), nil
+}

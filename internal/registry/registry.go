@@ -1,0 +1,149 @@
+// Package registry is the catalog of tiering policies Mnemo can profile
+// a workload under. Every orderer in the tree — the stand-alone
+// first-touch order, MnemoT's weighted order, the generic page-sampling
+// profiler, the exact knapsack ablation, the Tahoe-class frequency
+// heuristic and the HybridTier-style decayed-frequency policy — is
+// registered here behind the core.TieringPolicy seam, so commands,
+// experiments and library callers resolve policies by name instead of
+// hard-wiring a mode enum.
+//
+// The package also owns workload-name resolution (ResolveWorkload), the
+// one other piece of lookup logic the commands used to duplicate.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mnemo/internal/core"
+)
+
+// Entry describes one registered policy. New constructs a fresh policy
+// instance; seed feeds policies with internal randomness (the sampling
+// profiler) and is ignored by deterministic ones.
+type Entry struct {
+	Name        string
+	Description string
+	New         func(seed int64) core.TieringPolicy
+}
+
+var (
+	mu      sync.RWMutex
+	entries = map[string]Entry{}
+	// aliases maps historical spellings to registered names. "standalone"
+	// is the pre-registry name of the first-touch policy (the old Mode
+	// enum's StandAlone).
+	aliases = map[string]string{"standalone": "touch"}
+)
+
+// Register adds a policy to the catalog. It errors on empty or duplicate
+// names, including collisions with an alias.
+func Register(e Entry) error {
+	if e.Name == "" {
+		return fmt.Errorf("registry: empty policy name")
+	}
+	if e.New == nil {
+		return fmt.Errorf("registry: policy %q has no constructor", e.Name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := entries[e.Name]; ok {
+		return fmt.Errorf("registry: policy %q already registered", e.Name)
+	}
+	if _, ok := aliases[e.Name]; ok {
+		return fmt.Errorf("registry: policy name %q shadows an alias", e.Name)
+	}
+	entries[e.Name] = e
+	return nil
+}
+
+// MustRegister is Register for init-time use.
+func MustRegister(e Entry) {
+	if err := Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// resolve canonicalizes a name through the alias table.
+func resolve(name string) string {
+	if canonical, ok := aliases[name]; ok {
+		return canonical
+	}
+	return name
+}
+
+// ByName looks a policy entry up by registered name or alias.
+func ByName(name string) (Entry, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	e, ok := entries[resolve(name)]
+	return e, ok
+}
+
+// New constructs the named policy, resolving aliases. The error lists
+// the available names.
+func New(name string, seed int64) (core.TieringPolicy, error) {
+	e, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown policy %q (want one of %v)", name, Names())
+	}
+	return e.New(seed), nil
+}
+
+// Names lists the registered policy names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(entries))
+	for n := range entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries lists the full catalog, sorted by name.
+func Entries() []Entry {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func init() {
+	MustRegister(Entry{
+		Name:        "touch",
+		Description: "stand-alone Mnemo: keys in workload first-touch order (alias: standalone)",
+		New:         func(int64) core.TieringPolicy { return core.Touch },
+	})
+	MustRegister(Entry{
+		Name:        "mnemot",
+		Description: "MnemoT: keys by descending accesses/size placement weight",
+		New:         func(int64) core.TieringPolicy { return core.MnemoT },
+	})
+	MustRegister(Entry{
+		Name:        "tahoe",
+		Description: "Tahoe-class heuristic: keys by raw access frequency",
+		New:         func(int64) core.TieringPolicy { return Tahoe },
+	})
+	MustRegister(Entry{
+		Name:        "freqdecay",
+		Description: "HybridTier-style exponentially decayed access frequency",
+		New:         func(int64) core.TieringPolicy { return FreqDecay(DefaultEpochs, DefaultDecay) },
+	})
+	MustRegister(Entry{
+		Name:        "pagesample",
+		Description: "generic page-granularity sampling profiler (mode 2b)",
+		New:         func(seed int64) core.TieringPolicy { return PageSample(DefaultSampleRate, seed) },
+	})
+	MustRegister(Entry{
+		Name:        "knapsack",
+		Description: "exact 0/1-knapsack DP over staged FastMem capacities",
+		New:         func(int64) core.TieringPolicy { return KnapsackExact },
+	})
+}

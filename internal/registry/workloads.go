@@ -1,0 +1,44 @@
+package registry
+
+import (
+	"fmt"
+
+	"mnemo/internal/ycsb"
+)
+
+// ResolveWorkload generates a built-in workload by name: a Table III
+// preset, a YCSB core workload, or the special trace-structured "ycsb_f".
+// keys/requests override the preset sizes when positive; zero keeps the
+// defaults. This is the one workload-name resolver — the mnemo and
+// workloadgen commands and the public API all route through it.
+func ResolveWorkload(name string, seed int64, keys, requests int) (*ycsb.Workload, error) {
+	if keys < 0 {
+		return nil, fmt.Errorf("registry: keys %d must be non-negative", keys)
+	}
+	if requests < 0 {
+		return nil, fmt.Errorf("registry: requests %d must be non-negative", requests)
+	}
+	if name == "ycsb_f" {
+		// YCSB-F's read-modify-write pairing needs trace-level structure a
+		// Spec cannot express, so it has a dedicated generator.
+		k, r := ycsb.DefaultKeys, ycsb.DefaultRequests
+		if keys > 0 {
+			k = keys
+		}
+		if requests > 0 {
+			r = requests
+		}
+		return ycsb.GenerateF(seed, k, r)
+	}
+	spec, ok := ycsb.AnySpecByName(name, seed)
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown workload %q (want one of %v)", name, ycsb.AllWorkloadNames())
+	}
+	if keys > 0 {
+		spec.Keys = keys
+	}
+	if requests > 0 {
+		spec.Requests = requests
+	}
+	return ycsb.Generate(spec)
+}

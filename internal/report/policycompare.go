@@ -1,0 +1,48 @@
+package report
+
+import "fmt"
+
+// PolicySeries is one tiering policy's estimate curve plus its advised
+// sizing, prepared by the caller for comparison rendering. X/Y follow
+// the estimate chart convention: memory cost factor against estimated
+// throughput. AdvisedCost/AdvisedSavings describe the SLO sizing; a
+// negative AdvisedCost marks "no advice" (the SLO was disabled).
+type PolicySeries struct {
+	Policy         string
+	X, Y           []float64
+	AdvisedCost    float64
+	AdvisedSavings float64
+}
+
+// PolicyComparisonSection builds the per-policy comparison block of the
+// HTML report: every policy's cost/throughput curve overlaid in one
+// chart, plus a table of the advised sizings. All curves come from the
+// same baseline measurement, so differences are purely ordering quality.
+func PolicyComparisonSection(series []PolicySeries) HTMLSection {
+	sec := HTMLSection{
+		Heading: "Policy comparison",
+		Paragraphs: []string{
+			"Each curve estimates the same measured baselines under a different " +
+				"tiering policy's key ordering; a higher curve reaches the same " +
+				"throughput at lower memory cost.",
+		},
+	}
+	if len(series) == 0 {
+		sec.Paragraphs = append(sec.Paragraphs, "No policies to compare.")
+		return sec
+	}
+	chart := &Chart{XLabel: "memory cost factor R(p)", YLabel: "estimated throughput (ops/s)"}
+	table := NewTable("", "policy", "advised cost", "savings")
+	for _, s := range series {
+		chart.Series = append(chart.Series, Series{Label: s.Policy, X: s.X, Y: s.Y})
+		if s.AdvisedCost < 0 {
+			table.AddRow(s.Policy, "-", "-")
+			continue
+		}
+		table.AddRow(s.Policy, fmt.Sprintf("%.3f", s.AdvisedCost),
+			fmt.Sprintf("%.1f%%", s.AdvisedSavings*100))
+	}
+	sec.Chart = chart
+	sec.Table = table
+	return sec
+}

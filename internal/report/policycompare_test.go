@@ -1,0 +1,42 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPolicyComparisonSection(t *testing.T) {
+	sec := PolicyComparisonSection([]PolicySeries{
+		{Policy: "touch", X: []float64{0.2, 1}, Y: []float64{100, 200}, AdvisedCost: 0.5, AdvisedSavings: 0.5},
+		{Policy: "mnemot", X: []float64{0.2, 1}, Y: []float64{150, 200}, AdvisedCost: 0.4, AdvisedSavings: 0.6},
+		{Policy: "noslo", X: []float64{0.2, 1}, Y: []float64{120, 200}, AdvisedCost: -1},
+	})
+	if sec.Chart == nil || len(sec.Chart.Series) != 3 {
+		t.Fatal("comparison chart missing series")
+	}
+	doc := &HTMLReport{Title: "t", Sections: []HTMLSection{sec}}
+	var sb strings.Builder
+	if err := doc.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Policy comparison", "touch", "mnemot", "0.400", "60.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered comparison lacks %q", want)
+		}
+	}
+	// The no-advice row renders dashes, not a bogus cost.
+	if !strings.Contains(out, "noslo") {
+		t.Error("no-advice policy row missing")
+	}
+
+	empty := PolicyComparisonSection(nil)
+	if empty.Chart != nil {
+		t.Error("empty comparison grew a chart")
+	}
+	doc = &HTMLReport{Title: "t", Sections: []HTMLSection{empty}}
+	sb.Reset()
+	if err := doc.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

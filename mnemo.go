@@ -30,6 +30,7 @@ import (
 	"mnemo/internal/client"
 	"mnemo/internal/core"
 	"mnemo/internal/costmodel"
+	"mnemo/internal/registry"
 	"mnemo/internal/server"
 	"mnemo/internal/simclock"
 	"mnemo/internal/ycsb"
@@ -145,8 +146,17 @@ type Options struct {
 	// estimated slowdown from FastMem-only stays within it (the paper
 	// uses 0.10).
 	SLO float64
-	// UseMnemoT switches the Pattern Engine to MnemoT's weighted tiering
-	// ordering (Fig 2c) instead of stand-alone touch order (Fig 2a).
+	// Policy names the tiering policy that orders keys for FastMem: any
+	// name from Policies(), e.g. "touch" (stand-alone Mnemo, the
+	// default), "mnemot", "tahoe", "freqdecay", "pagesample" or
+	// "knapsack". Empty means "touch".
+	Policy string
+	// UseMnemoT is the pre-registry switch to MnemoT's weighted tiering
+	// ordering.
+	//
+	// Deprecated: set Policy to "mnemot" instead. UseMnemoT remains an
+	// alias for exactly that; combining it with a conflicting Policy is
+	// an error.
 	UseMnemoT bool
 	// NoiseSigma overrides the per-request measurement noise; negative
 	// disables noise entirely.
@@ -194,6 +204,9 @@ func (o Options) validate() error {
 	if o.SLO < 0 {
 		return fmt.Errorf("mnemo: SLO %v must be non-negative (0 disables the advisor)", o.SLO)
 	}
+	if _, err := o.policy(); err != nil {
+		return err
+	}
 	if err := o.Fault.Validate(); err != nil {
 		return fmt.Errorf("mnemo: %w", err)
 	}
@@ -213,6 +226,26 @@ func (o Options) validate() error {
 		return fmt.Errorf("mnemo: OutlierMAD %v requires MinRuns ≥ 1 (strict mode cannot drop runs)", o.OutlierMAD)
 	}
 	return nil
+}
+
+// policy resolves the options' tiering policy: Policy by name through
+// the registry, the deprecated UseMnemoT alias, or the "touch" default.
+func (o Options) policy() (core.TieringPolicy, error) {
+	name := o.Policy
+	if o.UseMnemoT {
+		if name != "" && name != "mnemot" {
+			return nil, fmt.Errorf("mnemo: UseMnemoT conflicts with Policy %q", name)
+		}
+		name = "mnemot"
+	}
+	if name == "" {
+		return core.Touch, nil
+	}
+	p, err := registry.New(name, o.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("mnemo: %w", err)
+	}
+	return p, nil
 }
 
 func (o Options) coreConfig() (core.Config, error) {
@@ -258,11 +291,11 @@ func ProfileContext(ctx context.Context, w *Workload, opts Options) (*Report, er
 	if err != nil {
 		return nil, err
 	}
-	mode := core.StandAlone
-	if opts.UseMnemoT {
-		mode = core.MnemoT
+	pol, err := opts.policy()
+	if err != nil {
+		return nil, err
 	}
-	return core.Profile(ctx, cfg, w, mode, opts.SLO)
+	return core.Profile(ctx, cfg, w, pol, opts.SLO)
 }
 
 // ProfileWithTiering runs the pipeline following an external tiering
@@ -285,6 +318,62 @@ func ProfileWithTieringContext(ctx context.Context, w *Workload, tieredKeys []st
 	}
 	return core.ProfileWithOrdering(ctx, cfg, w, ord, opts.SLO)
 }
+
+// TieringPolicy orders a workload's keys by FastMem priority — the seam
+// every orderer (built-in or user-supplied) plugs into. Implementations
+// must return an ordering covering each workload key exactly once.
+type TieringPolicy = core.TieringPolicy
+
+// Session is the staged profiling pipeline (Measure → Analyze →
+// Estimate → Place) with cached, individually re-runnable artifacts:
+// baselines are measured once per session however many policies are
+// profiled, orderings and curves are cached per policy, and Advise
+// re-reads a cached curve without touching the testbed. Construct with
+// NewSession.
+type Session = core.Session
+
+// NewSession opens a staged profiling session on the workload. Use
+// Session.Compare to profile several policies against one baseline
+// measurement, or drive the stages individually.
+func NewSession(w *Workload, opts Options) (*Session, error) {
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSession(cfg, w)
+}
+
+// PolicyInfo describes one registered tiering policy.
+type PolicyInfo struct {
+	Name        string
+	Description string
+}
+
+// Policies lists the registered tiering policies, sorted by name.
+func Policies() []PolicyInfo {
+	entries := registry.Entries()
+	out := make([]PolicyInfo, len(entries))
+	for i, e := range entries {
+		out[i] = PolicyInfo{Name: e.Name, Description: e.Description}
+	}
+	return out
+}
+
+// PolicyByName constructs a registered tiering policy ("standalone" is
+// accepted as an alias for "touch"). The seed feeds policies with
+// internal randomness, e.g. the page-sampling profiler.
+func PolicyByName(name string, seed int64) (TieringPolicy, error) {
+	p, err := registry.New(name, seed)
+	if err != nil {
+		return nil, fmt.Errorf("mnemo: %w", err)
+	}
+	return p, nil
+}
+
+// ExternalPolicy wraps an existing tiering solution's key priority list
+// as a policy (deployment mode of Fig 2b), for use with Session.Compare
+// alongside registered policies.
+func ExternalPolicy(tieredKeys []string) TieringPolicy { return core.External(tieredKeys) }
 
 // Advise re-runs the advisor on an existing curve with a different SLO,
 // without re-profiling.
@@ -341,16 +430,21 @@ func PriceFactorFromHardware(slowPerGB, fastPerGB float64) (float64, error) {
 // "edit_thumbnail", "trending_preview") or a stock YCSB core workload
 // ("ycsb_a", "ycsb_b", "ycsb_c", "ycsb_d", "ycsb_f").
 func WorkloadByName(name string, seed int64) (*Workload, error) {
-	if name == "ycsb_f" {
-		// F carries true read-modify-write pairs, which need their own
-		// trace builder.
-		return ycsb.GenerateF(seed, ycsb.DefaultKeys, ycsb.DefaultRequests)
+	w, err := registry.ResolveWorkload(name, seed, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("mnemo: %w", err)
 	}
-	spec, ok := ycsb.AnySpecByName(name, seed)
-	if !ok {
-		return nil, fmt.Errorf("mnemo: unknown workload %q (want one of %v)", name, AllWorkloadNames())
+	return w, nil
+}
+
+// WorkloadByNameSized is WorkloadByName with key-space and trace-length
+// overrides; zero keeps the preset's defaults.
+func WorkloadByNameSized(name string, seed int64, keys, requests int) (*Workload, error) {
+	w, err := registry.ResolveWorkload(name, seed, keys, requests)
+	if err != nil {
+		return nil, fmt.Errorf("mnemo: %w", err)
 	}
-	return ycsb.Generate(spec)
+	return w, nil
 }
 
 // WorkloadNames lists the Table III workload names.
