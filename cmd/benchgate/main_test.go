@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGatePassesOnCurrentTree(t *testing.T) {
+	// testdata/current.txt is a real -count 5 run of the tracked
+	// benchmarks on this tree; the gate must accept it.
+	var out bytes.Buffer
+	err := run([]string{"-baseline", "../../BENCH_baseline.json", "testdata/current.txt"}, &out)
+	if err != nil {
+		t.Fatalf("gate failed on current-tree fixture: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"BenchmarkReplay", "BenchmarkDeploymentDo", "ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "FAIL") {
+		t.Errorf("report contains FAIL:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnSyntheticSlowdown(t *testing.T) {
+	// testdata/slowdown.txt is current.txt with the shipped-path timings
+	// (Indexed ns/req, Index ns/op) doubled: a 2x regression must trip
+	// both gates.
+	var out bytes.Buffer
+	err := run([]string{"-baseline", "../../BENCH_baseline.json", "testdata/slowdown.txt"}, &out)
+	if err == nil {
+		t.Fatalf("gate accepted a 2x slowdown:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "2 of 2 speedup gates failed") {
+		t.Errorf("error = %v, want both gates failing", err)
+	}
+	if got := strings.Count(out.String(), "FAIL"); got != 2 {
+		t.Errorf("report shows %d FAIL verdicts, want 2:\n%s", got, out.String())
+	}
+}
+
+func TestGateMultipleFilesAndZeroTolerance(t *testing.T) {
+	// Samples may be split across files (one per package in CI); with
+	// -tolerance 0 the floor equals the recorded baseline, which the
+	// current fixture does not reach — deliberately strict.
+	var out bytes.Buffer
+	err := run([]string{"-baseline", "../../BENCH_baseline.json", "-tolerance", "0",
+		"testdata/current.txt", "testdata/current.txt"}, &out)
+	if err == nil {
+		t.Fatalf("zero tolerance accepted sub-baseline speedups:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "n=10") {
+		t.Errorf("samples from both files not pooled:\n%s", out.String())
+	}
+}
+
+func TestGateRejectsBadInvocation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                          // no bench files
+		{"-tolerance", "1", "x"},    // tolerance outside [0,1)
+		{"-tolerance", "-0.1", "x"}, // negative tolerance
+		{"testdata/missing.txt"},    // unreadable bench file
+		{"-baseline", "testdata/missing.json", "testdata/current.txt"}, // unreadable baseline
+	} {
+		var out bytes.Buffer
+		if err := run(append([]string{}, args...), &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestGateRejectsMissingSamples(t *testing.T) {
+	// A truncated run (benchmark panicked, -bench regex too narrow) must
+	// fail loudly rather than pass vacuously.
+	var out bytes.Buffer
+	err := run([]string{"-baseline", "../../BENCH_baseline.json", "testdata/empty.txt"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("empty bench output not rejected: %v", err)
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	input := `goos: linux
+BenchmarkReplay/StringKeyed-8   	     500	   3717369 ns/op	       371.7 ns/req
+BenchmarkReplay/StringKeyed     	     600	   3500000 ns/op	       350.0 ns/req
+some unrelated line
+PASS
+`
+	samples := map[string][]float64{}
+	if err := parseBench(strings.NewReader(input), samples); err != nil {
+		t.Fatal(err)
+	}
+	// The -8 CPU suffix is stripped, so both lines pool under one key.
+	got := samples["BenchmarkReplay/StringKeyed ns/req"]
+	if len(got) != 2 || got[0] != 371.7 || got[1] != 350.0 {
+		t.Errorf("ns/req samples = %v", got)
+	}
+	if ops := samples["BenchmarkReplay/StringKeyed ns/op"]; len(ops) != 2 {
+		t.Errorf("ns/op samples = %v", ops)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("even median = %v", got)
+	}
+}

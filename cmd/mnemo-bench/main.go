@@ -22,12 +22,18 @@
 //	                stalls, or returns outlier latencies with probability p
 //	                per class (deterministic per -seed/-fault-seed);
 //	                measurements then retry and degrade instead of aborting
+//	-fault-fail p   per-class probability overrides: set just one fault
+//	-fault-stall p  class, or reshape the mix -fault applies to all three
+//	-fault-outlier p
 //	-fault-seed n   decorrelates the fault schedule from -seed
 //	-timeout s      per-run budget in simulated seconds; a run whose
 //	                simulated clock exceeds it (e.g. an injected stall) is
 //	                cut off and retried (0 = unbounded)
 //	-cpuprofile f   write a pprof CPU profile of the run to f
 //	-memprofile f   write a pprof heap profile (taken after the run) to f
+//	-metrics f      dump run metrics (Prometheus text format) to f
+//	                ("-" = stderr) — written even when a sweep fails, so a
+//	                timed-out or fault-killed run stays observable
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"time"
 
 	"mnemo/internal/experiments"
+	"mnemo/internal/obs"
 	"mnemo/internal/registry"
 	"mnemo/internal/server"
 	"mnemo/internal/simclock"
@@ -188,16 +195,41 @@ func main() {
 	}
 }
 
+// dumpMetrics writes the sink's registry in Prometheus text format to
+// path ("-" = stderr).
+func dumpMetrics(path string, sink *obs.Sink, stderr io.Writer) error {
+	var out io.Writer = stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := sink.Registry().WritePrometheus(out); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Fprintf(stderr, "metrics written to %s\n", path)
+	}
+	return nil
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("mnemo-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run at 10x-reduced scale")
 	seed := fs.Int64("seed", 42, "deterministic seed")
 	fault := fs.Float64("fault", 0, "inject faults with probability `p` per class (fail/stall/outlier)")
+	faultFail := fs.Float64("fault-fail", -1, "fail-fault probability `p` (overrides -fault for this class)")
+	faultStall := fs.Float64("fault-stall", -1, "stall-fault probability `p` (overrides -fault for this class)")
+	faultOutlier := fs.Float64("fault-outlier", -1, "outlier-fault probability `p` (overrides -fault for this class)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault schedule")
 	timeout := fs.Float64("timeout", 0, "per-run budget in simulated `seconds` (0 = unbounded)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write heap profile to `file`")
+	metrics := fs.String("metrics", "", "dump run metrics (Prometheus text format) to `file` ('-' = stderr), even on failure")
 	listPolicies := fs.Bool("list-policies", false, "print the tiering-policy catalog and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -218,15 +250,49 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *timeout < 0 {
 		return fmt.Errorf("-timeout %v must be non-negative", *timeout)
 	}
-	if *fault > 0 {
+	// Per-class probabilities: -fault sets all three, -fault-<class>
+	// overrides one (≥ 0 wins over the shared default).
+	classProb := func(name string, class float64) (float64, error) {
+		if class < 0 {
+			return *fault, nil
+		}
+		if class > 1 {
+			return 0, fmt.Errorf("-fault-%s %v outside [0,1]", name, class)
+		}
+		return class, nil
+	}
+	failP, err := classProb("fail", *faultFail)
+	if err != nil {
+		return err
+	}
+	stallP, err := classProb("stall", *faultStall)
+	if err != nil {
+		return err
+	}
+	outlierP, err := classProb("outlier", *faultOutlier)
+	if err != nil {
+		return err
+	}
+	if failP > 0 || stallP > 0 || outlierP > 0 {
 		scale.Fault = server.FaultSpec{
 			Seed:        *faultSeed,
-			FailProb:    *fault,
-			StallProb:   *fault,
-			OutlierProb: *fault,
+			FailProb:    failP,
+			StallProb:   stallP,
+			OutlierProb: outlierP,
 		}
 	}
 	scale.RunTimeout = simclock.Duration(*timeout * float64(simclock.Second))
+	if *metrics != "" {
+		sink := obs.NewSink()
+		scale.Obs = sink
+		// The dump runs on every exit path: a sweep that dies mid-run
+		// (an injected fault, a timeout) still reports what it observed.
+		defer func() {
+			if err := dumpMetrics(*metrics, sink, stderr); err != nil {
+				fmt.Fprintln(stderr, "mnemo-bench: -metrics:", err)
+			}
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -2,8 +2,15 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+
+	"mnemo/internal/client"
 )
 
 func TestRunSelectedExperiments(t *testing.T) {
@@ -94,5 +101,73 @@ func TestRunBadFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunMetricsDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "3", "-metrics", path, "fig5a"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE mnemo_client_runs_total counter",
+		"mnemo_server_ops_total",
+		"mnemo_pool_jobs_total",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+	if !strings.Contains(stderr.String(), "metrics written to") {
+		t.Error("metrics write not reported on stderr")
+	}
+}
+
+func TestRunMetricsSurviveTimeout(t *testing.T) {
+	// Every run stalls (probability 1) past a 1-simulated-second budget:
+	// the sweep fails with ErrRunTimeout, and the -metrics dump must
+	// still happen, carrying the timeout counters of the partial run.
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-quick", "-seed", "7", "-fault-stall", "1", "-timeout", "1",
+		"-metrics", path, "fig9"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("all-stall schedule did not fail the sweep")
+	}
+	if !errors.Is(err, client.ErrRunTimeout) {
+		t.Fatalf("error does not wrap ErrRunTimeout: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics not dumped after failure: %v", err)
+	}
+	re := regexp.MustCompile(`(?m)^mnemo_client_run_timeouts_total (\d+)$`)
+	m := re.FindStringSubmatch(string(data))
+	if m == nil {
+		t.Fatalf("mnemo_client_run_timeouts_total missing from dump:\n%s", data)
+	}
+	if n, _ := strconv.Atoi(m[1]); n == 0 {
+		t.Error("timeout counter is zero after an all-stall run")
+	}
+	if !strings.Contains(string(data), `mnemo_server_faults_total{kind="stall"}`) {
+		t.Error("stall fault counter missing")
+	}
+}
+
+func TestRunRejectsBadClassFaultFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fault-fail", "1.5", "table1"},
+		{"-fault-stall", "2", "table1"},
+		{"-fault-outlier", "9", "table1"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

@@ -12,7 +12,7 @@ import (
 // profile, measured baselines, the advised sizing, the estimate curve as
 // an SVG chart, and — when -compare profiled several policies — the
 // per-policy comparison overlay.
-func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report) *report.HTMLReport {
+func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report, sink *mnemo.Sink) *report.HTMLReport {
 	doc := &report.HTMLReport{
 		Title: fmt.Sprintf("Mnemo sizing report — %s on %s", rep.Workload, rep.Engine),
 	}
@@ -89,6 +89,12 @@ func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Rep
 		},
 	})
 
+	// Observability: when the run was instrumented (-metrics), append the
+	// metric snapshot and journal summary.
+	if sec, ok := report.ObsHTMLSection(sink); ok {
+		doc.Sections = append(doc.Sections, sec)
+	}
+
 	// Policy comparison overlay.
 	if len(compared) > 1 {
 		series := make([]report.PolicySeries, len(compared))
@@ -123,6 +129,6 @@ func curveSamples(c *mnemo.Curve) []mnemo.CurvePoint {
 }
 
 // writeHTMLReport renders the document to w.
-func writeHTMLReport(out io.Writer, rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report) error {
-	return buildHTMLReport(rep, w, compared).Render(out)
+func writeHTMLReport(out io.Writer, rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report, sink *mnemo.Sink) error {
+	return buildHTMLReport(rep, w, compared, sink).Render(out)
 }

@@ -28,6 +28,8 @@
 //	-html file        also write a standalone HTML report (SVG charts)
 //	-monitor          parse stdin as a Redis MONITOR capture (-workload -)
 //	-default-size n   record size for keys a capture never writes
+//	-metrics file     dump run metrics (Prometheus text format) to file
+//	                  ("-" = stderr), plus the run timeline on stderr
 //
 // Example:
 //
@@ -76,6 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		htmlOut  = fs.String("html", "", "also write a standalone HTML report to this file")
 		monitor  = fs.Bool("monitor", false, "with -workload -, parse stdin as a Redis MONITOR capture")
 		defSize  = fs.Int("default-size", 1024, "record size for keys a MONITOR capture never writes")
+		metrics  = fs.String("metrics", "", "dump run metrics (Prometheus text format) to this file ('-' = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +118,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		SLO:         *slo,
 		Policy:      policyName,
 	}
+	var sink *mnemo.Sink
+	if *metrics != "" {
+		sink = mnemo.NewSink()
+		opts.Obs = sink
+		// Dump whatever was collected even when profiling fails partway —
+		// a failed run's metrics are the interesting ones.
+		defer func() {
+			if err := dumpMetrics(*metrics, sink, stderr); err != nil {
+				fmt.Fprintln(stderr, "mnemo: -metrics:", err)
+			}
+		}()
+	}
 
 	var rep *mnemo.Report
 	var compared []*mnemo.Report
@@ -153,7 +168,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := writeHTMLReport(f, rep, w, compared); err != nil {
+		if err := writeHTMLReport(f, rep, w, compared, sink); err != nil {
 			f.Close()
 			return err
 		}
@@ -186,6 +201,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "curve written to %s\n", *outPath)
 		return nil
 	}
+}
+
+// dumpMetrics writes the sink's registry in Prometheus text format to
+// path ("-" = stderr), then the run timeline on stderr.
+func dumpMetrics(path string, sink *mnemo.Sink, stderr io.Writer) error {
+	var out io.Writer = stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := sink.Registry().WritePrometheus(out); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Fprintf(stderr, "metrics written to %s\n", path)
+	}
+	return report.ObsTimeline(stderr, sink)
 }
 
 // resolvePolicyName folds the deprecated -mode spelling into -policy.

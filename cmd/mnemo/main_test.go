@@ -195,3 +195,54 @@ func TestRunBadStdinWorkload(t *testing.T) {
 		t.Fatal("garbage stdin accepted")
 	}
 }
+
+func TestRunMetricsDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	html := filepath.Join(t.TempDir(), "report.html")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "trending", "-store", "redislike",
+		"-keys", "300", "-requests", "3000", "-o", "",
+		"-metrics", path, "-html", html,
+	}, strings.NewReader(""), &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := osReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE mnemo_client_runs_total counter",
+		`mnemo_server_ops_total{engine="redislike"}`,
+		`mnemo_stage_runs_total{stage="measure"} 1`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics dump missing %q", want)
+		}
+	}
+	if !strings.Contains(stderr.String(), "== run timeline ==") {
+		t.Error("run timeline missing from stderr")
+	}
+	page, err := osReadFile(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(page), "Observability") {
+		t.Error("html report missing observability section")
+	}
+}
+
+func TestRunMetricsToStderr(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "trending", "-store", "redislike",
+		"-keys", "200", "-requests", "2000", "-o", "", "-metrics", "-",
+	}, strings.NewReader(""), &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "mnemo_client_runs_total") {
+		t.Error("metrics missing from stderr with -metrics -")
+	}
+}

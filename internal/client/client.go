@@ -8,10 +8,12 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"mnemo/internal/kvstore"
+	"mnemo/internal/obs"
 	"mnemo/internal/server"
 	"mnemo/internal/simclock"
 	"mnemo/internal/stats"
@@ -322,6 +324,11 @@ func Execute(cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats,
 // hardening knobs: a deployment fated to fail by cfg.Fault returns its
 // *server.FaultError before loading (a dead server is noticed at connect
 // time), and cfg.RunTimeout bounds the replay in simulated time.
+//
+// When cfg.Obs is set, each execution journals measurement start/finish
+// (or timeout) events and publishes run/op counters; the deployment's
+// own counters are flushed even when the replay is cut off mid-run, so
+// partial runs stay observable.
 func ExecuteCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -329,14 +336,37 @@ func ExecuteCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p serv
 	if err := ctx.Err(); err != nil {
 		return RunStats{}, err
 	}
+	sink := cfg.Obs
+	sink.Eventf(obs.EventMeasureStart, "client", 0, "%s on %s (seed %d)",
+		w.Spec.Name, cfg.Engine, cfg.Seed)
 	d := server.NewDeployment(cfg)
 	if err := d.InjectedFailure(); err != nil {
+		sink.Counter("mnemo_client_run_failures_total").Inc()
 		return RunStats{}, err
 	}
 	if err := d.Load(w.Dataset, p); err != nil {
+		sink.Counter("mnemo_client_run_failures_total").Inc()
 		return RunStats{}, err
 	}
-	return RunCtx(ctx, d, w, cfg.RunTimeout)
+	st, err := RunCtx(ctx, d, w, cfg.RunTimeout)
+	d.FlushObs() // publish op/LLC counts of complete AND cut-off replays
+	if err != nil {
+		if errors.Is(err, ErrRunTimeout) {
+			sink.Counter("mnemo_client_run_timeouts_total").Inc()
+			sink.Eventf(obs.EventTimeout, "client", d.Clock(), "%s on %s: %v",
+				w.Spec.Name, cfg.Engine, err)
+		} else {
+			sink.Counter("mnemo_client_run_failures_total").Inc()
+		}
+		return st, err
+	}
+	sink.Counter("mnemo_client_runs_total").Inc()
+	sink.Counter("mnemo_client_ops_total").Add(int64(st.Requests))
+	sink.Counter("mnemo_client_reads_total").Add(int64(st.Reads))
+	sink.Counter("mnemo_client_writes_total").Add(int64(st.Writes))
+	sink.Eventf(obs.EventMeasureEnd, "client", st.Runtime, "%s on %s: %d ops, %.0f ops/s",
+		w.Spec.Name, cfg.Engine, st.Requests, st.ThroughputOpsSec)
+	return st, err
 }
 
 // ExecuteMean runs the workload `runs` times with distinct noise seeds

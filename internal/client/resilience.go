@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"time"
 
+	"mnemo/internal/obs"
 	"mnemo/internal/pool"
 	"mnemo/internal/server"
 	"mnemo/internal/simclock"
@@ -144,6 +145,8 @@ func executeRepetition(ctx context.Context, cfg server.Config, w *ycsb.Workload,
 			return out
 		}
 		out.retries++
+		cfg.Obs.Counter("mnemo_client_run_retries_total").Inc()
+		cfg.Obs.Eventf(obs.EventRetry, "client", 0, "repetition %d attempt %d failed: %v", i, attempt, err)
 		if serr := sleepBackoff(ctx, pol.backoffDelay(attempt, jitter)); serr != nil {
 			return out
 		}
@@ -198,7 +201,7 @@ func ExecuteMeanCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p 
 		ctx = context.Background()
 	}
 	out := make([]repOutcome, runs)
-	if err := pool.RunCtx(ctx, runs, workers, func(i int) {
+	if err := pool.RunObs(ctx, runs, workers, cfg.Obs, func(i int) {
 		out[i] = executeRepetition(ctx, cfg, w, p, i, pol)
 	}); err != nil {
 		return RunStats{}, err
@@ -224,7 +227,21 @@ func ExecuteMeanCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p 
 			return RunStats{}, firstErr
 		}
 	} else if pol.OutlierMAD > 0 {
-		survivors = rejectOutliers(out, survivors, pol.OutlierMAD)
+		kept := rejectOutliers(out, survivors, pol.OutlierMAD)
+		if sink := cfg.Obs; sink.Enabled() && len(kept) < len(survivors) {
+			keptSet := make(map[int]bool, len(kept))
+			for _, i := range kept {
+				keptSet[i] = true
+			}
+			for _, i := range survivors {
+				if !keptSet[i] {
+					sink.Counter("mnemo_client_outliers_rejected_total").Inc()
+					sink.Eventf(obs.EventOutlierRejected, "client", out[i].stats.Runtime,
+						"repetition %d runtime %v strayed beyond %.1f MADs", i, out[i].stats.Runtime, pol.OutlierMAD)
+				}
+			}
+		}
+		survivors = kept
 	}
 	minRuns := pol.MinRuns
 	if strict {

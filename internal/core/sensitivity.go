@@ -56,7 +56,7 @@ func (s *SensitivityEngine) Baselines(ctx context.Context, w *ycsb.Workload) (Ba
 	}
 	var results [2]client.RunStats
 	var errs [2]error
-	if err := pool.RunCtx(ctx, len(jobs), len(jobs), func(i int) {
+	if err := pool.RunObs(ctx, len(jobs), len(jobs), s.cfg.Server.Obs, func(i int) {
 		results[i], errs[i] = client.ExecuteMeanCtx(ctx, jobs[i].cfg, w, jobs[i].p, s.cfg.Runs, 0, s.cfg.Resilience)
 	}); err != nil {
 		return Baselines{}, err

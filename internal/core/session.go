@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mnemo/internal/obs"
 	"mnemo/internal/server"
 	"mnemo/internal/ycsb"
 )
@@ -50,6 +51,21 @@ func NewSession(cfg Config, w *ycsb.Workload) (*Session, error) {
 	}, nil
 }
 
+// sink returns the session's observability sink (nil when the config
+// carries none; every use below is nil-safe).
+func (s *Session) sink() *obs.Sink { return s.cfg.Server.Obs }
+
+// cacheHit records an artifact served from the session cache instead of
+// re-running its stage.
+func (s *Session) cacheHit(artifact, detail string) {
+	sink := s.sink()
+	if !sink.Enabled() {
+		return
+	}
+	sink.Counter(obs.Name("mnemo_session_cache_hits_total", "artifact", artifact)).Inc()
+	sink.Eventf(obs.EventCacheHit, "session", 0, "%s served from cache (%s)", artifact, detail)
+}
+
 // Workload returns the session's workload descriptor.
 func (s *Session) Workload() *ycsb.Workload { return s.w }
 
@@ -68,8 +84,10 @@ func (s *Session) Measure(ctx context.Context) (Baselines, error) {
 
 func (s *Session) measureLocked(ctx context.Context) (Baselines, error) {
 	if s.baselines != nil {
+		s.cacheHit("baselines", "Fast+Slow baselines")
 		return *s.baselines, nil
 	}
+	span := s.sink().StartSpan("measure")
 	se, err := NewSensitivityEngine(s.cfg)
 	if err != nil {
 		return Baselines{}, err
@@ -78,6 +96,7 @@ func (s *Session) measureLocked(ctx context.Context) (Baselines, error) {
 	if err != nil {
 		return Baselines{}, err
 	}
+	span.End(b.Fast.Runtime + b.Slow.Runtime)
 	s.baselines = &b
 	s.measures++
 	return b, nil
@@ -106,8 +125,10 @@ func (s *Session) Analyze(ctx context.Context, p TieringPolicy) (Ordering, error
 
 func (s *Session) analyzeLocked(ctx context.Context, p TieringPolicy) (Ordering, error) {
 	if ord, ok := s.orderings[p.Name()]; ok {
+		s.cacheHit("ordering", "policy "+p.Name())
 		return ord, nil
 	}
+	span := s.sink().StartSpan("analyze")
 	ord, err := p.Order(ctx, s.w)
 	if err != nil {
 		return Ordering{}, fmt.Errorf("core: policy %q: %w", p.Name(), err)
@@ -116,6 +137,7 @@ func (s *Session) analyzeLocked(ctx context.Context, p TieringPolicy) (Ordering,
 		return Ordering{}, fmt.Errorf("core: policy %q ordered %d of %d keys",
 			p.Name(), len(ord.Keys), len(s.w.Dataset.Records))
 	}
+	span.End(0)
 	s.orderings[p.Name()] = ord
 	return ord, nil
 }
@@ -135,6 +157,7 @@ func (s *Session) Estimate(ctx context.Context, p TieringPolicy) (*Curve, error)
 
 func (s *Session) estimateLocked(ctx context.Context, p TieringPolicy) (*Curve, error) {
 	if c, ok := s.curves[p.Name()]; ok {
+		s.cacheHit("curve", "policy "+p.Name())
 		return c, nil
 	}
 	b, err := s.measureLocked(ctx)
@@ -145,6 +168,9 @@ func (s *Session) estimateLocked(ctx context.Context, p TieringPolicy) (*Curve, 
 	if err != nil {
 		return nil, err
 	}
+	// The estimate span covers only the curve construction itself; the
+	// measure and analyze stages it may trigger record their own spans.
+	span := s.sink().StartSpan("estimate")
 	ee, err := NewEstimateEngine(s.cfg.PriceFactor)
 	if err != nil {
 		return nil, err
@@ -154,6 +180,8 @@ func (s *Session) estimateLocked(ctx context.Context, p TieringPolicy) (*Curve, 
 	if err != nil {
 		return nil, err
 	}
+	span.End(0)
+	s.sink().Eventf(obs.EventCurveBuilt, "estimate", 0, "policy %s: %d curve points", p.Name(), len(c.Points))
 	s.curves[p.Name()] = c
 	return c, nil
 }
@@ -177,8 +205,16 @@ func (s *Session) Place(ctx context.Context, p TieringPolicy, point CurvePoint) 
 	if err != nil {
 		return server.Placement{}, err
 	}
+	span := s.sink().StartSpan("place")
 	var pe PlacementEngine
-	return pe.PlacementFor(ord, point)
+	pl, err := pe.PlacementFor(ord, point)
+	if err != nil {
+		return server.Placement{}, err
+	}
+	span.End(0)
+	s.sink().Eventf(obs.EventPlacement, "place", 0,
+		"policy %s: placement at %d fast keys", p.Name(), point.KeysInFast)
+	return pl, nil
 }
 
 // Run assembles the full report for one policy: cached baselines, the
@@ -191,18 +227,14 @@ func (s *Session) Run(ctx context.Context, p TieringPolicy, maxSlowdown float64)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	b, err := s.measureLocked(ctx)
-	if err != nil {
-		return nil, err
-	}
-	ord, err := s.analyzeLocked(ctx, p)
-	if err != nil {
-		return nil, err
-	}
+	// Estimate drives the earlier stages as needed; read their cached
+	// artifacts directly afterwards so the intra-call reuse does not
+	// count as a session cache hit.
 	curve, err := s.estimateLocked(ctx, p)
 	if err != nil {
 		return nil, err
 	}
+	b, ord := *s.baselines, s.orderings[p.Name()]
 	rep := &Report{
 		Workload:  s.w.Spec.Name,
 		Engine:    s.cfg.Server.Engine.String(),

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"mnemo/internal/obs"
+	"mnemo/internal/server"
+)
+
+// countSpans tallies span start/end journal events per stage.
+func countSpans(events []obs.Event) (starts, ends map[string]int) {
+	starts, ends = map[string]int{}, map[string]int{}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EventSpanStart:
+			starts[e.Stage]++
+		case obs.EventSpanEnd:
+			ends[e.Stage]++
+		}
+	}
+	return starts, ends
+}
+
+// TestSessionStageSpans asserts the staged pipeline traces each stage
+// exactly once per actual execution, and that repeat calls hit the
+// artifact caches (journaled cache_hit events, no extra spans).
+func TestSessionStageSpans(t *testing.T) {
+	sink := obs.NewSink()
+	cfg := DefaultConfig(server.RedisLike, 7)
+	cfg.Server.Obs = sink
+	s, err := NewSession(cfg, testWorkload(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rep, err := s.Run(ctx, Touch, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	starts, ends := countSpans(sink.Journal().Events())
+	for _, stage := range []string{"measure", "analyze", "estimate"} {
+		if starts[stage] != 1 || ends[stage] != 1 {
+			t.Errorf("stage %s: %d starts, %d ends, want 1/1", stage, starts[stage], ends[stage])
+		}
+		runs := sink.Registry().Counter(obs.Name("mnemo_stage_runs_total", "stage", stage)).Value()
+		if runs != 1 {
+			t.Errorf("mnemo_stage_runs_total{stage=%q} = %d, want 1", stage, runs)
+		}
+	}
+	if got := sink.Registry().Counter(obs.Name("mnemo_session_cache_hits_total", "artifact", "baselines")).Value(); got != 0 {
+		t.Errorf("baselines cache hits after first run = %d, want 0", got)
+	}
+
+	// Re-reading stages reuses every artifact: cache hits, no new spans.
+	if _, err := s.Measure(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx, Touch, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	starts, ends = countSpans(sink.Journal().Events())
+	for _, stage := range []string{"measure", "analyze", "estimate"} {
+		if starts[stage] != 1 || ends[stage] != 1 {
+			t.Errorf("after rerun, stage %s: %d starts, %d ends, want 1/1", stage, starts[stage], ends[stage])
+		}
+	}
+	for _, artifact := range []string{"baselines", "curve"} {
+		hits := sink.Registry().Counter(obs.Name("mnemo_session_cache_hits_total", "artifact", artifact)).Value()
+		if hits < 1 {
+			t.Errorf("cache hits for %s after rerun = %d, want ≥ 1", artifact, hits)
+		}
+	}
+	var sawHit bool
+	for _, e := range sink.Journal().Events() {
+		if e.Kind == obs.EventCacheHit {
+			sawHit = true
+		}
+	}
+	if !sawHit {
+		t.Error("no cache_hit events journaled on rerun")
+	}
+
+	// Place traces its own stage and journals the emitted placement.
+	if _, err := s.Place(ctx, Touch, rep.Curve.Points[len(rep.Curve.Points)/2]); err != nil {
+		t.Fatal(err)
+	}
+	starts, ends = countSpans(sink.Journal().Events())
+	if starts["place"] != 1 || ends["place"] != 1 {
+		t.Errorf("stage place: %d starts, %d ends, want 1/1", starts["place"], ends["place"])
+	}
+	var sawPlacement, sawCurve bool
+	for _, e := range sink.Journal().Events() {
+		switch e.Kind {
+		case obs.EventPlacement:
+			sawPlacement = true
+		case obs.EventCurveBuilt:
+			sawCurve = true
+		}
+	}
+	if !sawPlacement {
+		t.Error("no placement_emitted event journaled")
+	}
+	if !sawCurve {
+		t.Error("no curve_built event journaled")
+	}
+}
+
+// TestSessionNilSinkUntraced pins the zero-config behavior: a session
+// without a sink runs the full pipeline and journals nothing anywhere.
+func TestSessionNilSinkUntraced(t *testing.T) {
+	cfg := DefaultConfig(server.RedisLike, 7)
+	s, err := NewSession(cfg, testWorkload(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), Touch, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	if s.sink().Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+	if got := s.sink().Journal().Events(); got != nil {
+		t.Fatalf("nil sink journaled %d events", len(got))
+	}
+}

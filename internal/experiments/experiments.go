@@ -14,6 +14,7 @@ import (
 
 	"mnemo/internal/client"
 	"mnemo/internal/core"
+	"mnemo/internal/obs"
 	"mnemo/internal/server"
 	"mnemo/internal/simclock"
 	"mnemo/internal/ycsb"
@@ -36,6 +37,10 @@ type Scale struct {
 	// RunTimeout bounds each measurement run in simulated time (cuts off
 	// injected stalls); 0 disables the bound.
 	RunTimeout simclock.Duration
+	// Obs, when non-nil, receives every measurement's observability
+	// stream (metrics and the run journal); nil keeps the experiment
+	// uninstrumented.
+	Obs *obs.Sink
 }
 
 // Full is the paper's scale.
@@ -76,6 +81,7 @@ func (s Scale) coreConfig(e server.Engine, seed int64) core.Config {
 	cfg.Server.Machine.LLCBytes = int64(12<<20) * int64(s.Keys) / int64(Full.Keys)
 	cfg.Server.Fault = s.Fault
 	cfg.Server.RunTimeout = s.RunTimeout
+	cfg.Server.Obs = s.Obs
 	if s.Fault.Enabled() {
 		cfg.Resilience = defaultResilience
 	}

@@ -1,0 +1,312 @@
+// Package obs is the reproduction's observability layer: a
+// dependency-free metrics registry (counters, gauges, fixed-boundary
+// histograms), lightweight stage tracing (spans carrying both wall-clock
+// and simulated durations), and a structured run journal (the ordered
+// event log of a profiling session).
+//
+// Everything is threaded through a *Sink, and every method on every
+// type in this package is nil-safe: a nil *Sink, a nil *Counter, a nil
+// *Histogram all no-op, so instrumented code calls them unconditionally
+// and the uninstrumented configuration costs exactly one predictable
+// nil-check branch per call site. The replay fast path relies on this —
+// with no sink configured it must stay allocation-free
+// (TestReplaySteadyStateZeroAllocs), and with a live sink the simulated
+// measurements must stay bit-identical, which holds because nothing in
+// this package ever touches the simulation's clock, RNG streams or
+// accumulators.
+//
+// Metric names follow the Prometheus convention (snake_case, _total
+// suffix on counters); a single optional label is encoded into the name
+// with Name, e.g. Name("mnemo_server_ops_total", "engine", "redislike")
+// → `mnemo_server_ops_total{engine="redislike"}`. DESIGN.md §11 has the
+// full metric catalog.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil counter is a
+// valid no-op, so callers hold pre-resolved *Counter fields and Add
+// unconditionally.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down, stored as a float64.
+// The nil gauge is a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d to the gauge (no-op on nil).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-boundary cumulative histogram in the Prometheus
+// mold: Observe(v) increments every bucket whose upper bound is ≥ v
+// lazily at exposition time (counts are stored per-bucket and summed
+// cumulatively when read). The nil histogram is a valid no-op.
+//
+// Boundaries are fixed at construction; ExponentialBoundaries derives
+// them from the same geometric bucketing internal/stats uses for its
+// latency histograms, so observability and measurement histograms share
+// one geometry.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1, last is the overflow bucket
+	sum    float64
+	n      int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. It panics on unsorted or empty boundaries.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one boundary")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram boundaries not ascending at %d: %v ≤ %v",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// ExponentialBoundaries returns n geometric bucket upper bounds starting
+// at min and growing by the given factor — the boundary rule of
+// internal/stats.NewHistogram(min, growth), truncated to a fixed bucket
+// count as Prometheus exposition requires.
+func ExponentialBoundaries(min, growth float64, n int) []float64 {
+	if min <= 0 || growth <= 1 || n <= 0 {
+		panic("obs: exponential boundaries need min > 0, growth > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := min
+	for i := range out {
+		out[i] = v
+		v *= growth
+	}
+	return out
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound ≥ v; the overflow bucket is
+	// len(bounds).
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Snapshot returns the histogram's cumulative bucket counts (one per
+// boundary, plus the +Inf total), sum and count.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]int64, len(h.counts))
+	var running int64
+	for i, c := range h.counts {
+		running += c
+		cum[i] = running
+	}
+	return HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: cum,
+		Sum:        h.sum,
+		Count:      h.n,
+	}
+}
+
+// HistogramSnapshot is a point-in-time view of a Histogram.
+// Cumulative[i] counts observations ≤ Bounds[i]; the final entry is the
+// total (the +Inf bucket).
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []int64
+	Sum        float64
+	Count      int64
+}
+
+// Name encodes one optional label pair into a metric name,
+// Prometheus-style: Name("x_total", "engine", "redislike") is
+// `x_total{engine="redislike"}`. The registry keys metrics by this full
+// string; the exposition writer groups families by the base name.
+func Name(base, label, value string) string {
+	if label == "" {
+		return base
+	}
+	return base + `{` + label + `="` + value + `"}`
+}
+
+// baseName strips the label portion of a metric name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Registry is a concurrency-safe name-keyed metric store. Metrics are
+// created on first use and live for the registry's lifetime; get-or-
+// create is idempotent, so call sites simply ask for the name they want.
+// The nil registry hands out nil metrics, which are themselves no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use
+// (nil on a nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use
+// (nil on a nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named fixed-boundary histogram, creating it with
+// the given boundaries on first use (nil on a nil registry). Boundaries
+// of an existing histogram are not rechecked; first creation wins.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Metric is one name/value pair of a registry snapshot.
+type Metric struct {
+	Name  string
+	Kind  string // "counter", "gauge" or "histogram"
+	Value float64
+	Hist  *HistogramSnapshot // set for histograms only
+}
+
+// Snapshot returns every registered metric sorted by name — the stable
+// order the exposition writer and the report tables render in.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		snap := h.Snapshot()
+		out = append(out, Metric{Name: name, Kind: "histogram", Value: float64(snap.Count), Hist: &snap})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the exposition format byte for byte: a
+// mixed registry (labeled counters of one family, a gauge, a histogram)
+// must render exactly the checked-in golden file, so any formatting
+// drift that would break a Prometheus scraper shows up as a diff.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("mnemo_server_ops_total", "engine", "redislike")).Add(120)
+	r.Counter(Name("mnemo_server_ops_total", "engine", "dynamolike")).Add(30)
+	r.Counter("mnemo_client_runs_total").Add(4)
+	r.Gauge("mnemo_pool_workers_busy").Set(2.5)
+	h := r.Histogram(Name("mnemo_stage_wall_seconds", "stage", "measure"), []float64{0.5, 1, 2})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusTypeOncePerFamily checks labeled series of one
+// family share a single # TYPE line.
+func TestWritePrometheusTypeOncePerFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("x_total", "engine", "a")).Inc()
+	r.Counter(Name("x_total", "engine", "b")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "# TYPE x_total counter"); got != 1 {
+		t.Fatalf("TYPE line appears %d times:\n%s", got, buf.String())
+	}
+}
+
+func TestExpvarPublishAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mnemo_client_runs_total").Add(7)
+	r.PublishExpvar("mnemo_test_metrics")
+	r.PublishExpvar("mnemo_test_metrics") // second publish must not panic
+
+	v := expvar.Get("mnemo_test_metrics")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &decoded); err != nil {
+		t.Fatalf("expvar JSON invalid: %v", err)
+	}
+	if decoded["mnemo_client_runs_total"] != 7.0 {
+		t.Fatalf("expvar value = %v", decoded["mnemo_client_runs_total"])
+	}
+
+	raw, err := r.ExpvarJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"mnemo_client_runs_total": 7`) {
+		t.Fatalf("ExpvarJSON = %s", raw)
+	}
+}

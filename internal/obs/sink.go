@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"mnemo/internal/simclock"
+)
+
+// Sink bundles the three observability facilities — metric registry,
+// stage tracer, run journal — behind one handle the pipeline threads
+// through its configs. The nil *Sink is the uninstrumented
+// configuration: every method no-ops, hands out nil metrics (themselves
+// no-ops) and zero-cost spans, so instrumented code never branches on
+// "is observability on" beyond the nil checks the types do internally.
+type Sink struct {
+	reg     *Registry
+	journal *Journal
+}
+
+// NewSink creates a live sink with an empty registry and journal.
+func NewSink() *Sink {
+	return &Sink{reg: NewRegistry(), journal: NewJournal()}
+}
+
+// Registry returns the sink's metric registry (nil on a nil sink).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Journal returns the sink's event journal (nil on a nil sink).
+func (s *Sink) Journal() *Journal {
+	if s == nil {
+		return nil
+	}
+	return s.journal
+}
+
+// Counter resolves a counter by name (nil on a nil sink).
+func (s *Sink) Counter(name string) *Counter { return s.Registry().Counter(name) }
+
+// Gauge resolves a gauge by name (nil on a nil sink).
+func (s *Sink) Gauge(name string) *Gauge { return s.Registry().Gauge(name) }
+
+// Histogram resolves a fixed-boundary histogram by name
+// (nil on a nil sink).
+func (s *Sink) Histogram(name string, bounds []float64) *Histogram {
+	return s.Registry().Histogram(name, bounds)
+}
+
+// Event appends a journal event (no-op on a nil sink). Callers on hot
+// paths must pre-format detail strings only after checking Enabled, or
+// emit events at run/stage granularity — this method is not meant for
+// per-request use.
+func (s *Sink) Event(kind EventKind, stage, detail string, sim simclock.Duration) {
+	if s == nil {
+		return
+	}
+	s.journal.Append(kind, stage, detail, sim)
+}
+
+// Eventf is Event with lazy formatting: the format arguments are only
+// evaluated into a string when the sink is live.
+func (s *Sink) Eventf(kind EventKind, stage string, sim simclock.Duration, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.journal.Append(kind, stage, fmt.Sprintf(format, args...), sim)
+}
+
+// Enabled reports whether the sink records anything. Use it to skip
+// expensive argument preparation in instrumented code.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// stageDurationBounds are the wall-clock bucket upper bounds (seconds)
+// of the per-stage duration histograms: 1ms to ~2min, geometric — the
+// same bucketing rule internal/stats uses, at a coarser growth suited to
+// stage granularity.
+var stageDurationBounds = ExponentialBoundaries(0.001, 2, 18)
+
+// Span is an in-flight stage trace. The zero Span (from a nil sink) is
+// inert: End is a no-op.
+type Span struct {
+	sink      *Sink
+	stage     string
+	wallStart time.Time
+}
+
+// StartSpan opens a stage span, journaling the start event
+// (inert on a nil sink).
+func (s *Sink) StartSpan(stage string) Span {
+	if s == nil {
+		return Span{}
+	}
+	s.journal.Append(EventSpanStart, stage, "", 0)
+	return Span{sink: s, stage: stage, wallStart: time.Now()}
+}
+
+// End closes the span: it journals the end event carrying the simulated
+// duration the stage reports (0 when the stage consumed no simulated
+// time) and feeds the wall-clock duration into the stage's histogram and
+// counters. No-op on an inert span.
+func (e Span) End(sim simclock.Duration) {
+	s := e.sink
+	if s == nil {
+		return
+	}
+	wall := time.Since(e.wallStart)
+	s.journal.Append(EventSpanEnd, e.stage, fmt.Sprintf("wall %v", wall.Round(time.Microsecond)), sim)
+	s.reg.Counter(Name("mnemo_stage_runs_total", "stage", e.stage)).Inc()
+	s.reg.Histogram(Name("mnemo_stage_wall_seconds", "stage", e.stage), stageDurationBounds).
+		Observe(wall.Seconds())
+	if sim != 0 {
+		s.reg.Gauge(Name("mnemo_stage_sim_seconds", "stage", e.stage)).Add(sim.Seconds())
+	}
+}

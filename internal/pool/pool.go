@@ -19,6 +19,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"mnemo/internal/obs"
 )
 
 // Workers clamps a requested worker count to [1, n] jobs, defaulting to
@@ -102,19 +104,28 @@ func Run(n, workers int, fn func(i int)) {
 // every worker goroutine exits before RunCtx returns. A panic takes
 // precedence over a concurrent cancellation in the returned error.
 func RunCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return RunObs(ctx, n, workers, nil, fn)
+}
+
+// RunObs is RunCtx with observability: the sink's pool metrics count
+// completed jobs and contained panics, and a busy-worker gauge tracks
+// occupancy while jobs execute. A nil sink records nothing and changes
+// no behavior — RunCtx is exactly RunObs with a nil sink.
+func RunObs(ctx context.Context, n, workers int, sink *obs.Sink, fn func(i int)) error {
 	if n <= 0 {
 		return nil
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tel := newPoolTelemetry(sink)
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if perr := Guard(i, func() { fn(i) }); perr != nil {
+			if perr := tel.guard(i, fn); perr != nil {
 				return perr
 			}
 		}
@@ -134,7 +145,7 @@ func RunCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 				if failed.Load() {
 					continue // drain: keep the feeder unblocked, run nothing
 				}
-				if perr := Guard(i, func() { fn(i) }); perr != nil {
+				if perr := tel.guard(i, fn); perr != nil {
 					mu.Lock()
 					if first == nil {
 						first = perr
@@ -165,4 +176,41 @@ feed:
 		return perr
 	}
 	return ctx.Err()
+}
+
+// poolTelemetry pre-resolves the pool's metric handles once per Run so
+// the per-job cost with a live sink is two atomic adds and a gauge
+// swing; with a nil sink every handle is nil and each call degrades to
+// an inert branch.
+type poolTelemetry struct {
+	sink *obs.Sink
+	jobs *obs.Counter // mnemo_pool_jobs_total
+	pan  *obs.Counter // mnemo_pool_panics_total
+	busy *obs.Gauge   // mnemo_pool_workers_busy
+}
+
+func newPoolTelemetry(s *obs.Sink) poolTelemetry {
+	if s == nil {
+		return poolTelemetry{}
+	}
+	return poolTelemetry{
+		sink: s,
+		jobs: s.Counter("mnemo_pool_jobs_total"),
+		pan:  s.Counter("mnemo_pool_panics_total"),
+		busy: s.Gauge("mnemo_pool_workers_busy"),
+	}
+}
+
+// guard wraps one job in Guard plus occupancy accounting and panic
+// telemetry.
+func (t *poolTelemetry) guard(i int, fn func(int)) *PanicError {
+	t.busy.Add(1)
+	perr := Guard(i, func() { fn(i) })
+	t.busy.Add(-1)
+	t.jobs.Inc()
+	if perr != nil {
+		t.pan.Inc()
+		t.sink.Eventf(obs.EventPanic, "pool", 0, "job %d panicked: %v", perr.Job, perr.Value)
+	}
+	return perr
 }

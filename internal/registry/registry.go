@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"mnemo/internal/core"
+	"mnemo/internal/obs"
 )
 
 // Entry describes one registered policy. New constructs a fresh policy
@@ -84,10 +85,18 @@ func ByName(name string) (Entry, bool) {
 // New constructs the named policy, resolving aliases. The error lists
 // the available names.
 func New(name string, seed int64) (core.TieringPolicy, error) {
+	return NewObs(name, seed, nil)
+}
+
+// NewObs is New with observability: each successful resolution counts
+// toward the sink's mnemo_registry_policy_resolutions_total{policy=…},
+// keyed by the canonical (post-alias) name. A nil sink records nothing.
+func NewObs(name string, seed int64, sink *obs.Sink) (core.TieringPolicy, error) {
 	e, ok := ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("registry: unknown policy %q (want one of %v)", name, Names())
 	}
+	sink.Counter(obs.Name("mnemo_registry_policy_resolutions_total", "policy", e.Name)).Inc()
 	return e.New(seed), nil
 }
 

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"mnemo/internal/obs"
+)
+
+// maxTimelineEvents bounds the timeline rendering; a chaotic sweep can
+// journal thousands of events, and a report wants the shape, not the log.
+const maxTimelineEvents = 64
+
+// ObsMetricsTable tabulates a sink's metric snapshot (counters and
+// gauges by name; histograms as count/mean). Returns nil when the sink
+// is nil or has recorded nothing.
+func ObsMetricsTable(sink *obs.Sink) *Table {
+	snap := sink.Registry().Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	t := NewTable("metrics", "metric", "kind", "value")
+	for _, m := range snap {
+		val := trimFloat(m.Value)
+		if m.Kind == "histogram" && m.Hist != nil && m.Hist.Count > 0 {
+			val = fmt.Sprintf("n=%d mean=%s", m.Hist.Count, trimFloat(m.Hist.Sum/float64(m.Hist.Count)))
+		}
+		t.AddRow(m.Name, m.Kind, val)
+	}
+	return t
+}
+
+// ObsTimeline renders the sink's run journal as a text timeline, wall
+// time relative to the first retained event. Events beyond
+// maxTimelineEvents are elided with a summary line, as are any the
+// journal's retention cap already dropped.
+func ObsTimeline(w io.Writer, sink *obs.Sink) error {
+	events := sink.Journal().Events()
+	if len(events) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("== run timeline ==\n")
+	start := events[0].Wall
+	shown := events
+	if len(shown) > maxTimelineEvents {
+		shown = shown[:maxTimelineEvents]
+	}
+	for _, e := range shown {
+		fmt.Fprintf(&b, "%+12v  %-9s %-20s %s", e.Wall.Sub(start), e.Stage, e.Kind, e.Detail)
+		if e.Sim != 0 {
+			fmt.Fprintf(&b, " (sim %v)", e.Sim)
+		}
+		b.WriteByte('\n')
+	}
+	if hidden := int64(len(events)-len(shown)) + sink.Journal().Dropped(); hidden > 0 {
+		fmt.Fprintf(&b, "  … %d more events elided\n", hidden)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteObsSection renders the full observability section — timeline
+// followed by the metrics table. A nil or empty sink writes nothing.
+func WriteObsSection(w io.Writer, sink *obs.Sink) error {
+	if !sink.Enabled() {
+		return nil
+	}
+	if err := ObsTimeline(w, sink); err != nil {
+		return err
+	}
+	if t := ObsMetricsTable(sink); t != nil {
+		return t.Render(w)
+	}
+	return nil
+}
+
+// ObsHTMLSection packages the observability data as a section of the
+// HTML report. ok is false when there is nothing to show.
+func ObsHTMLSection(sink *obs.Sink) (HTMLSection, bool) {
+	t := ObsMetricsTable(sink)
+	if t == nil {
+		return HTMLSection{}, false
+	}
+	sec := HTMLSection{Heading: "Observability", Table: t}
+	events := sink.Journal().Events()
+	n := len(events)
+	if n > 0 {
+		first, last := events[0], events[n-1]
+		sec.Paragraphs = append(sec.Paragraphs, fmt.Sprintf(
+			"%d journal events over %v of wall time (first: %s %s, last: %s %s).",
+			n, last.Wall.Sub(first.Wall).Round(time.Millisecond),
+			first.Stage, first.Kind, last.Stage, last.Kind))
+	}
+	return sec, true
+}

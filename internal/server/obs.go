@@ -1,0 +1,83 @@
+package server
+
+import (
+	"mnemo/internal/obs"
+)
+
+// deployTelemetry is a deployment's pre-resolved observability state.
+// With no sink configured every field is nil and each hook degrades to a
+// single inert branch, keeping the request path allocation-free and the
+// simulated measurements bit-identical: nothing here touches the clock,
+// the noise stream or the accumulators.
+//
+// Op and LLC counts are flushed at run granularity (FlushObs) rather
+// than per request, so a live sink adds no atomics to the replay loop
+// either — the only mid-run emissions are fault events, which fire at
+// most once per deployment.
+type deployTelemetry struct {
+	sink *obs.Sink
+	ops  *obs.Counter // mnemo_server_ops_total{engine=…}
+	hits *obs.Counter // mnemo_server_llc_hits_total
+	miss *obs.Counter // mnemo_server_llc_misses_total
+
+	// Flush cursors: FlushObs publishes only the delta since the last
+	// flush, so calling it more than once per deployment is harmless.
+	flushedOps          int
+	flushedHits, flMiss int64
+}
+
+// initTelemetry resolves the deployment's metric handles once, at
+// construction; an outlier fate (which inflates the whole run rather
+// than firing at one request) is journaled here.
+func (d *Deployment) initTelemetry() {
+	s := d.cfg.Obs
+	if s == nil {
+		return
+	}
+	engine := d.cfg.Engine.String()
+	d.telem = deployTelemetry{
+		sink: s,
+		ops:  s.Counter(obs.Name("mnemo_server_ops_total", "engine", engine)),
+		hits: s.Counter("mnemo_server_llc_hits_total"),
+		miss: s.Counter("mnemo_server_llc_misses_total"),
+	}
+	s.Counter(obs.Name("mnemo_server_deployments_total", "engine", engine)).Inc()
+	if d.fault.factor != 1 {
+		d.telem.faultFired(d, FaultOutlier)
+	}
+}
+
+// faultFired counts and journals one injected fault.
+func (t *deployTelemetry) faultFired(d *Deployment, kind FaultKind) {
+	if t.sink == nil {
+		return
+	}
+	t.sink.Counter(obs.Name("mnemo_server_faults_total", "kind", kind.String())).Inc()
+	t.sink.Eventf(obs.EventFault, "server", 0, "%s fault on %s (run seed %d)",
+		kind, d.cfg.Engine, d.cfg.Seed)
+}
+
+// FlushObs publishes the deployment's accumulated op and LLC hit/miss
+// counts to the configured sink — the run-granularity flush the client
+// calls after a replay (including a replay cut off mid-run, so partial
+// runs stay observable). It is a no-op without a sink and idempotent
+// per served request: repeated flushes publish only new deltas.
+func (d *Deployment) FlushObs() {
+	t := &d.telem
+	if t.sink == nil {
+		return
+	}
+	t.ops.Add(int64(d.ops - t.flushedOps))
+	t.flushedOps = d.ops
+	if llc := d.machine.LLC(); llc != nil {
+		h, m := llc.Hits(), llc.Misses()
+		if h < t.flushedHits || m < t.flMiss {
+			// The LLC stats were reset (a reload between runs); restart
+			// the cursors rather than publish a negative delta.
+			t.flushedHits, t.flMiss = 0, 0
+		}
+		t.hits.Add(h - t.flushedHits)
+		t.miss.Add(m - t.flMiss)
+		t.flushedHits, t.flMiss = h, m
+	}
+}

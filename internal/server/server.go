@@ -22,6 +22,7 @@ import (
 	"mnemo/internal/kvstore/slabkv"
 	"mnemo/internal/kvstore/treekv"
 	"mnemo/internal/memsim"
+	"mnemo/internal/obs"
 	"mnemo/internal/simclock"
 	"mnemo/internal/ycsb"
 )
@@ -105,6 +106,11 @@ type Config struct {
 	// client aborts a replay whose clock exceeds it (cutting off
 	// injected stalls). 0 disables the bound.
 	RunTimeout simclock.Duration
+	// Obs receives the deployment's telemetry (per-engine op counters,
+	// fault events, LLC hit/miss). nil — the zero value — records
+	// nothing and adds no per-request work beyond an inert branch, so
+	// the replay fast path stays allocation-free.
+	Obs *obs.Sink
 }
 
 // DefaultConfig returns the Table I machine with default noise.
@@ -135,6 +141,10 @@ type Deployment struct {
 	// predictable branches per request.
 	fault faultPlan
 	ops   int
+
+	// telem carries the deployment's pre-resolved observability handles
+	// (all nil without a configured sink; see obs.go).
+	telem deployTelemetry
 }
 
 // NewDeployment builds an empty deployment with an AllFast placement.
@@ -149,6 +159,7 @@ func NewDeployment(cfg Config) *Deployment {
 	}
 	d.instances[memsim.Fast] = cfg.Engine.newStore()
 	d.instances[memsim.Slow] = cfg.Engine.newStore()
+	d.initTelemetry()
 	return d
 }
 
@@ -174,6 +185,7 @@ func (d *Deployment) Instance(t memsim.Tier) kvstore.Store { return d.instances[
 // time.
 func (d *Deployment) InjectedFailure() error {
 	if d.fault.fail {
+		d.telem.faultFired(d, FaultFail)
 		return &FaultError{Kind: FaultFail, Seed: d.cfg.Seed}
 	}
 	return nil
@@ -296,6 +308,7 @@ func (d *Deployment) price(tier memsim.Tier, st kvstore.Store, kind kvstore.OpKi
 	}
 	if d.fault.stallAt >= 0 && d.ops == d.fault.stallAt {
 		serviceNs += float64(d.cfg.Fault.stall())
+		d.telem.faultFired(d, FaultStall) // fires once per run; off the steady-state path
 	}
 	d.ops++
 

@@ -30,6 +30,7 @@ import (
 	"mnemo/internal/client"
 	"mnemo/internal/core"
 	"mnemo/internal/costmodel"
+	"mnemo/internal/obs"
 	"mnemo/internal/registry"
 	"mnemo/internal/server"
 	"mnemo/internal/simclock"
@@ -128,6 +129,21 @@ type FaultError = server.FaultError
 // errors.Is.
 var ErrRunTimeout = client.ErrRunTimeout
 
+// Sink collects a profiling session's observability stream: counters,
+// gauges and stage-latency histograms in a metrics registry, plus an
+// ordered run journal of lifecycle events (measurements, retries,
+// faults, timeouts, cache hits, placements). A nil *Sink — the zero
+// state of Options.Obs — records nothing and adds no measurable cost;
+// simulation results are bit-identical with and without one attached.
+//
+// Read the collected state via Sink.Registry (WritePrometheus,
+// Snapshot) and Sink.Journal (Events).
+type Sink = obs.Sink
+
+// NewSink builds a live observability sink with a fresh metrics
+// registry and a bounded run journal.
+func NewSink() *Sink { return obs.NewSink() }
+
 // Options configures a profiling session. The zero value plus a Store is
 // valid: one run per baseline, p = 0.2, the Table I machine, and default
 // measurement noise.
@@ -186,6 +202,10 @@ type Options struct {
 	// from the median by more than OutlierMAD× the median absolute
 	// deviation (3.5 is conventional). Requires MinRuns ≥ 1.
 	OutlierMAD float64
+	// Obs, when non-nil, receives the session's observability stream —
+	// metrics, stage spans and the run journal (see NewSink). nil keeps
+	// profiling completely uninstrumented.
+	Obs *Sink
 }
 
 // validate rejects malformed options with descriptive errors before any
@@ -230,7 +250,15 @@ func (o Options) validate() error {
 
 // policy resolves the options' tiering policy: Policy by name through
 // the registry, the deprecated UseMnemoT alias, or the "touch" default.
+// Validation uses this uncounted form; resolvePolicy is the counting
+// variant the profiling entry points call.
 func (o Options) policy() (core.TieringPolicy, error) {
+	return o.resolvePolicy(nil)
+}
+
+// resolvePolicy is policy with the resolution counted against the sink
+// (mnemo_registry_policy_resolutions_total{policy=…}).
+func (o Options) resolvePolicy(sink *Sink) (core.TieringPolicy, error) {
 	name := o.Policy
 	if o.UseMnemoT {
 		if name != "" && name != "mnemot" {
@@ -239,9 +267,9 @@ func (o Options) policy() (core.TieringPolicy, error) {
 		name = "mnemot"
 	}
 	if name == "" {
-		return core.Touch, nil
+		name = "touch"
 	}
-	p, err := registry.New(name, o.Seed)
+	p, err := registry.NewObs(name, o.Seed, sink)
 	if err != nil {
 		return nil, fmt.Errorf("mnemo: %w", err)
 	}
@@ -267,6 +295,7 @@ func (o Options) coreConfig() (core.Config, error) {
 	cfg.SizeAwareEstimate = o.SizeAwareEstimate
 	cfg.Server.Fault = o.Fault
 	cfg.Server.RunTimeout = o.RunTimeout
+	cfg.Server.Obs = o.Obs
 	cfg.Resilience = client.Policy{
 		Retries:    o.Retries,
 		MinRuns:    o.MinRuns,
@@ -291,7 +320,7 @@ func ProfileContext(ctx context.Context, w *Workload, opts Options) (*Report, er
 	if err != nil {
 		return nil, err
 	}
-	pol, err := opts.policy()
+	pol, err := opts.resolvePolicy(opts.Obs)
 	if err != nil {
 		return nil, err
 	}

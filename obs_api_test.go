@@ -1,0 +1,82 @@
+package mnemo
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mnemo/internal/obs"
+)
+
+// TestObsGoldenEquivalence pins the observability layer's cardinal rule:
+// attaching a live sink changes nothing about the simulation. The same
+// options with and without Options.Obs must produce bit-identical
+// baseline RunStats and byte-identical curve CSV output.
+func TestObsGoldenEquivalence(t *testing.T) {
+	w := smallWorkload(t)
+	opts := Options{Store: DynamoLike, Seed: 11, Runs: 2, SLO: 0.10, Policy: "mnemot"}
+
+	plain, err := Profile(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewSink()
+	opts.Obs = sink
+	observed, err := Profile(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Baselines, observed.Baselines) {
+		t.Errorf("baselines differ with a live sink:\nnil sink:  %+v\nlive sink: %+v",
+			plain.Baselines, observed.Baselines)
+	}
+	var want, got bytes.Buffer
+	if err := plain.Curve.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := observed.Curve.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Error("curve CSV bytes differ with a live sink")
+	}
+
+	// And the sink actually observed the run.
+	if n := sink.Counter("mnemo_client_runs_total").Value(); n != 4 {
+		t.Errorf("mnemo_client_runs_total = %d, want 4 (2 runs × 2 baselines)", n)
+	}
+	if ops := sink.Counter(obs.Name("mnemo_server_ops_total", "engine", "dynamolike")).Value(); ops == 0 {
+		t.Error("no server ops recorded")
+	}
+	if res := sink.Counter(obs.Name("mnemo_registry_policy_resolutions_total", "policy", "mnemot")).Value(); res != 1 {
+		t.Errorf("policy resolutions = %d, want 1", res)
+	}
+	if sink.Journal().Len() == 0 {
+		t.Error("journal empty after an observed profile")
+	}
+}
+
+// TestObsSinkExposition smoke-tests the public sink surface: metrics
+// collected through Options.Obs render as Prometheus exposition text.
+func TestObsSinkExposition(t *testing.T) {
+	w := smallWorkload(t)
+	sink := NewSink()
+	if _, err := Profile(w, Options{Store: RedisLike, Seed: 3, Obs: sink}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sink.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE mnemo_client_runs_total counter",
+		`mnemo_server_ops_total{engine="redislike"}`,
+		`mnemo_stage_wall_seconds_bucket{stage="measure",le="+Inf"}`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
