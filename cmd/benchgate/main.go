@@ -50,10 +50,15 @@ type gate struct {
 	Metric  string // which column to read: "ns/op" or "ns/req"
 }
 
-// gates lists the tracked legacy/current pairs.
+// gates lists the tracked legacy/current pairs. Note the chain:
+// BenchmarkReplay's current path (Indexed) is BenchmarkReplayBatched's
+// legacy side — each optimization generation is gated against the one it
+// superseded.
 var gates = []gate{
 	{Bench: "BenchmarkReplay", Legacy: "StringKeyed", Current: "Indexed", Metric: "ns/req"},
+	{Bench: "BenchmarkReplayBatched", Legacy: "Indexed", Current: "Batched", Metric: "ns/req"},
 	{Bench: "BenchmarkDeploymentDo", Legacy: "String", Current: "Index", Metric: "ns/op"},
+	{Bench: "BenchmarkValidateParallel", Legacy: "Sequential", Current: "Parallel", Metric: "ns/op"},
 }
 
 func main() {

@@ -29,6 +29,8 @@
 //	-timeout s      per-run budget in simulated seconds; a run whose
 //	                simulated clock exceeds it (e.g. an injected stall) is
 //	                cut off and retried (0 = unbounded)
+//	-no-batch       force the per-op replay path instead of the batched
+//	                kernel (bit-identical results; a comparison knob)
 //	-cpuprofile f   write a pprof CPU profile of the run to f
 //	-memprofile f   write a pprof heap profile (taken after the run) to f
 //	-metrics f      dump run metrics (Prometheus text format) to f
@@ -227,6 +229,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	faultOutlier := fs.Float64("fault-outlier", -1, "outlier-fault probability `p` (overrides -fault for this class)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault schedule")
 	timeout := fs.Float64("timeout", 0, "per-run budget in simulated `seconds` (0 = unbounded)")
+	noBatch := fs.Bool("no-batch", false, "force the per-op replay path (disable the batched kernel)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write heap profile to `file`")
 	metrics := fs.String("metrics", "", "dump run metrics (Prometheus text format) to `file` ('-' = stderr), even on failure")
@@ -282,6 +285,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	scale.RunTimeout = simclock.Duration(*timeout * float64(simclock.Second))
+	scale.DisableBatchReplay = *noBatch
 	if *metrics != "" {
 		sink := obs.NewSink()
 		scale.Obs = sink

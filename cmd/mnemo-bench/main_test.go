@@ -47,6 +47,22 @@ func TestRunMeasuredExperimentQuick(t *testing.T) {
 	}
 }
 
+func TestRunNoBatchBitIdentical(t *testing.T) {
+	// -no-batch swaps the batched kernel for the per-op replay path; the
+	// rendered experiment output must not change by a single byte.
+	var batched, perOp bytes.Buffer
+	var stderr bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "7", "fig9"}, &batched, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-seed", "7", "-no-batch", "fig9"}, &perOp, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if batched.String() != perOp.String() {
+		t.Errorf("-no-batch changed fig9 output:\nbatched:\n%s\nper-op:\n%s", batched.String(), perOp.String())
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run([]string{"bogus"}, &stdout, &stderr); err == nil {

@@ -1,0 +1,241 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"mnemo/internal/server"
+	"mnemo/internal/simclock"
+	"mnemo/internal/ycsb"
+)
+
+// engines under golden-equivalence test: every engine must price
+// identically through the batched kernel and the per-op path.
+var goldenEngines = []server.Engine{server.RedisLike, server.MemcachedLike, server.DynamoLike}
+
+// executeBoth runs one config through the batched path (as given) and
+// the per-op reference path (DisableBatchReplay) and returns both
+// outcomes for comparison.
+func executeBoth(t *testing.T, cfg server.Config, w *ycsb.Workload, p server.Placement) (batched, perOp RunStats, errB, errP error) {
+	t.Helper()
+	batched, errB = Execute(cfg, w, p)
+	ref := cfg
+	ref.DisableBatchReplay = true
+	perOp, errP = Execute(ref, w, p)
+	return
+}
+
+// requireSameOutcome asserts bit-identical stats and identical error
+// text between the two replay paths.
+func requireSameOutcome(t *testing.T, label string, batched, perOp RunStats, errB, errP error) {
+	t.Helper()
+	if (errB == nil) != (errP == nil) {
+		t.Fatalf("%s: batched err %v, per-op err %v", label, errB, errP)
+	}
+	if errB != nil && errB.Error() != errP.Error() {
+		t.Fatalf("%s: error text diverged:\n  batched: %v\n  per-op:  %v", label, errB, errP)
+	}
+	if !reflect.DeepEqual(batched, perOp) {
+		t.Fatalf("%s: stats diverged:\n  batched: %+v\n  per-op:  %+v", label, batched, perOp)
+	}
+}
+
+// TestBatchedReplayEngages pins that the default config actually takes
+// the kernel path on every engine — the golden tests below would pass
+// vacuously if BatchTable quietly returned nil everywhere.
+func TestBatchedReplayEngages(t *testing.T) {
+	w := testWorkload(0.9)
+	for _, e := range goldenEngines {
+		d := server.NewDeployment(server.DefaultConfig(e, 1))
+		if err := d.Load(w.Dataset, server.AllFast()); err != nil {
+			t.Fatal(err)
+		}
+		if d.BatchTable() == nil {
+			t.Errorf("%v: BatchTable nil on a loaded default deployment", e)
+		}
+	}
+	if !w.Packed().Batchable() {
+		t.Error("read/write trace not batchable")
+	}
+	d := server.NewDeployment(server.Config{Engine: server.RedisLike, DisableBatchReplay: true})
+	if err := d.Load(w.Dataset, server.AllFast()); err != nil {
+		t.Fatal(err)
+	}
+	if d.BatchTable() != nil {
+		t.Error("DisableBatchReplay did not force the per-op path")
+	}
+}
+
+// TestBatchedReplayBitIdentical is the golden equivalence test of the
+// kernel: for every engine, placement split and noise setting, the
+// batched path must reproduce the per-op path's RunStats bit for bit.
+func TestBatchedReplayBitIdentical(t *testing.T) {
+	for _, ratio := range []float64{1.0, 0.7} {
+		w := testWorkload(ratio)
+		for _, e := range goldenEngines {
+			half := make([]int, 500)
+			for i := range half {
+				half[i] = i
+			}
+			for _, p := range []server.Placement{server.AllFast(), server.AllSlow(), server.FastIndices(half, len(w.Dataset.Records))} {
+				cfg := server.DefaultConfig(e, 42)
+				b, r, eb, ep := executeBoth(t, cfg, w, p)
+				requireSameOutcome(t, e.String(), b, r, eb, ep)
+			}
+			// Noise disabled: the zero-sigma fast path must agree too.
+			cfg := server.DefaultConfig(e, 42)
+			cfg.NoiseSigma = 0
+			b, r, eb, ep := executeBoth(t, cfg, w, server.AllSlow())
+			requireSameOutcome(t, e.String()+"/nonoise", b, r, eb, ep)
+		}
+	}
+}
+
+// TestBatchedReplayBitIdenticalWithFaults drives both paths through
+// every fault fate — fail, stall (cut off by the run timeout), and
+// outlier inflation — across enough seeds to roll each at least once.
+func TestBatchedReplayBitIdenticalWithFaults(t *testing.T) {
+	w := testWorkload(0.9)
+	for _, e := range goldenEngines {
+		sawErr := false
+		for seed := int64(0); seed < 12; seed++ {
+			cfg := server.DefaultConfig(e, seed)
+			cfg.Fault = server.FaultSpec{Seed: 99, FailProb: 0.2, StallProb: 0.3, OutlierProb: 0.3}
+			cfg.RunTimeout = 2 * simclock.Second
+			b, r, eb, ep := executeBoth(t, cfg, w, server.AllFast())
+			requireSameOutcome(t, e.String(), b, r, eb, ep)
+			if eb != nil {
+				sawErr = true
+			}
+		}
+		if !sawErr {
+			t.Errorf("%v: no fault fired across seeds; coverage vacuous", e)
+		}
+	}
+}
+
+// TestBatchedReplayTimeoutParity pins the timeout error's request index
+// and clock reading: a budget-tripping batched run must cut off at the
+// same request, with the same message, as the per-op path.
+func TestBatchedReplayTimeoutParity(t *testing.T) {
+	w := testWorkload(0.9)
+	cfg := server.DefaultConfig(server.RedisLike, 7)
+	cfg.RunTimeout = 20 * simclock.Millisecond // trips mid-trace
+	b, r, eb, ep := executeBoth(t, cfg, w, server.AllSlow())
+	if eb == nil || ep == nil {
+		t.Fatalf("budget did not trip (batched %v, per-op %v)", eb, ep)
+	}
+	if !errors.Is(eb, ErrRunTimeout) || !errors.Is(ep, ErrRunTimeout) {
+		t.Fatalf("wrong error types: %v / %v", eb, ep)
+	}
+	requireSameOutcome(t, "timeout", b, r, eb, ep)
+}
+
+// TestBatchedReplayCancellation verifies the block-granularity ctx poll:
+// a pre-cancelled context aborts the batched replay with the context's
+// error before any request is served.
+func TestBatchedReplayCancellation(t *testing.T) {
+	w := testWorkload(1.0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteCtx(ctx, server.DefaultConfig(server.RedisLike, 1), w, server.AllFast()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestResetRunMatchesFreshDeployment is the snapshot/reset golden test:
+// running seed B on a deployment rewound from a seed-A run must equal
+// running seed B on a freshly populated deployment.
+func TestResetRunMatchesFreshDeployment(t *testing.T) {
+	w := testWorkload(0.8)
+	for _, e := range goldenEngines {
+		cfgA := server.DefaultConfig(e, 1000)
+		d := server.NewDeployment(cfgA)
+		if err := d.Load(w.Dataset, server.AllSlow()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunCtx(context.Background(), d, w, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !d.ResetRun(2000) {
+			t.Fatalf("%v: ResetRun refused a batch-capable deployment", e)
+		}
+		reused, err := RunCtx(context.Background(), d, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		fresh := server.NewDeployment(server.DefaultConfig(e, 2000))
+		if err := fresh.Load(w.Dataset, server.AllSlow()); err != nil {
+			t.Fatal(err)
+		}
+		want, err := RunCtx(context.Background(), fresh, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(reused, want) {
+			t.Fatalf("%v: reused run diverged from fresh:\n  reused: %+v\n  fresh:  %+v", e, reused, want)
+		}
+	}
+}
+
+// TestExecuteMeanReuseBitIdentical pins the aggregate built on rewound
+// deployments (the default) against the per-op reference, which
+// repopulates per repetition — covering Session.Compare's repeated-runs
+// savings end to end.
+func TestExecuteMeanReuseBitIdentical(t *testing.T) {
+	w := testWorkload(0.9)
+	for _, workers := range []int{1, 4} {
+		cfg := server.DefaultConfig(server.MemcachedLike, 31)
+		got, err := ExecuteMeanWorkers(cfg, w, server.AllFast(), 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := cfg
+		ref.DisableBatchReplay = true
+		want, err := ExecuteMeanWorkers(ref, w, server.AllFast(), 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: reuse aggregate diverged:\n  got:  %+v\n  want: %+v", workers, got, want)
+		}
+	}
+}
+
+// TestBatchedReplaySteadyStateZeroAllocs extends the zero-alloc pin to
+// the kernel path: after warmup, a full batched pass must not allocate.
+func TestBatchedReplaySteadyStateZeroAllocs(t *testing.T) {
+	w := ycsb.MustGenerate(ycsb.Spec{
+		Name: "alloc", Keys: 512, Requests: 4096,
+		Dist:      ycsb.DistSpec{Kind: ycsb.Uniform},
+		ReadRatio: 1.0, Sizes: ycsb.SizeFixed1KB, Seed: 9,
+	})
+	cfg := server.DefaultConfig(server.RedisLike, 3)
+	cfg.NoiseSigma = 0 // keep the latency set closed across passes
+	d := server.NewDeployment(cfg)
+	if err := d.Load(w.Dataset, server.AllFast()); err != nil {
+		t.Fatal(err)
+	}
+	tab := d.BatchTable()
+	if tab == nil {
+		t.Fatal("no batch table")
+	}
+	pt := w.Packed()
+	classes := sizeClasses(w.Dataset.Records)
+	a := newReplayAccum()
+	ctx := context.Background()
+	if err := replayBatched(ctx, d, tab, pt, classes, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := replayBatched(ctx, d, tab, pt, classes, a, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batched replay allocates %.1f times per pass, want 0", allocs)
+	}
+}

@@ -11,6 +11,7 @@ package client
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -362,6 +363,58 @@ func BenchmarkReplay(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			a := newReplayAccum()
 			replay(d, w, classes, a)
+		}
+		perOp(b)
+	})
+}
+
+// BenchmarkReplayBatched measures the batched replay kernel against the
+// shipped per-op indexed path it supersedes: same deployment layout,
+// same trace, identical simulated results (TestBatchedReplayBitIdentical)
+// — only the per-request machinery differs. Indexed drives every request
+// through DoIndex (engine interface call, trace pricing, pause polling);
+// Batched streams the packed trace through the precomputed cost table.
+func BenchmarkReplayBatched(b *testing.B) {
+	w := benchWorkload(b)
+	recs := w.Dataset.Records
+	half := len(recs) / 2
+	fastIdx := make([]int, half)
+	for i := 0; i < half; i++ {
+		fastIdx[i] = i
+	}
+	p := server.FastIndices(fastIdx, len(recs))
+	perOp := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(w.Ops)), "ns/req")
+	}
+
+	b.Run("Indexed", func(b *testing.B) {
+		d := benchDeployment(b, w, p)
+		classes := sizeClasses(recs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := newReplayAccum()
+			replay(d, w, classes, a)
+		}
+		perOp(b)
+	})
+	b.Run("Batched", func(b *testing.B) {
+		d := benchDeployment(b, w, p)
+		tab := d.BatchTable()
+		if tab == nil {
+			b.Fatal("no batch table")
+		}
+		pt := w.Packed()
+		if !pt.Batchable() {
+			b.Fatal("trace not batchable")
+		}
+		classes := sizeClasses(recs)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := newReplayAccum()
+			if err := replayBatched(ctx, d, tab, pt, classes, a, 0); err != nil {
+				b.Fatal(err)
+			}
 		}
 		perOp(b)
 	})

@@ -211,6 +211,16 @@ func sizeClasses(recs []ycsb.Record) []uint8 {
 	return classes
 }
 
+// replayBlockOps is the replay block size shared by both replay paths,
+// equal to the batched kernel's server.ReplayBlockOps. It replaces the
+// per-op `i&4095 == 4095` cancellation poll of the original loop: one
+// ctx check per 4096-request block bounds wall-clock cancellation
+// latency to microseconds (replay advances only simulated time) while
+// keeping every block-granularity branch — cancellation, and the choice
+// between the budget-checking and unbudgeted inner loops — off the
+// steady-state per-op path.
+const replayBlockOps = server.ReplayBlockOps
+
 // replay drives the workload trace through the deployment's
 // index-addressed request path, folding every response into the
 // accumulators. The loop body does no string work: requests address
@@ -220,26 +230,76 @@ func replay(d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAc
 	_ = replayBounded(context.Background(), d, w, classes, a, 0)
 }
 
-// replayBounded is replay under a watchdog: a per-run budget in
-// simulated time (0 = unbounded, checked every request so an injected
-// stall is caught at the op where the clock jumped) and a cancellable
-// context (checked every 4096 requests — replay advances only simulated
-// time, so wall-clock cancellation latency stays microseconds). Both
-// checks cost a predictable branch and keep the steady-state loop
-// allocation-free.
+// replayBounded is the per-operation replay path under a watchdog: a
+// per-run budget in simulated time (0 = unbounded, checked every request
+// so an injected stall is caught at the op where the clock jumped) and a
+// cancellable context, polled once per replayBlockOps-request block. The
+// common unbudgeted case runs an inner loop with no per-op checks at
+// all; both variants stay allocation-free.
 func replayBounded(ctx context.Context, d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAccum, budget simclock.Duration) error {
 	start := d.Clock()
-	for i, op := range w.Ops {
-		res := d.DoIndex(op.Key, op.Kind)
-		a.observe(op.Kind, int(classes[op.Key]), float64(res.Latency.Nanoseconds()))
-		if budget > 0 && d.Clock()-start > budget {
-			return fmt.Errorf("%w after %d/%d requests (simulated %v > budget %v)",
-				ErrRunTimeout, i+1, len(w.Ops), d.Clock()-start, budget)
+	ops := w.Ops
+	for blk := 0; blk < len(ops); blk += replayBlockOps {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		if i&4095 == 4095 {
-			if err := ctx.Err(); err != nil {
-				return err
+		end := blk + replayBlockOps
+		if end > len(ops) {
+			end = len(ops)
+		}
+		if budget <= 0 {
+			for _, op := range ops[blk:end] {
+				res := d.DoIndex(op.Key, op.Kind)
+				a.observe(op.Kind, int(classes[op.Key]), float64(res.Latency.Nanoseconds()))
 			}
+			continue
+		}
+		for i := blk; i < end; i++ {
+			op := ops[i]
+			res := d.DoIndex(op.Key, op.Kind)
+			a.observe(op.Kind, int(classes[op.Key]), float64(res.Latency.Nanoseconds()))
+			if d.Clock()-start > budget {
+				return fmt.Errorf("%w after %d/%d requests (simulated %v > budget %v)",
+					ErrRunTimeout, i+1, len(ops), d.Clock()-start, budget)
+			}
+		}
+	}
+	return nil
+}
+
+// replayBatched drives the workload through the deployment's batched
+// replay kernel: the packed struct-of-arrays trace is served one
+// replayBlockOps block at a time by ReplayTable.Serve, and the returned
+// per-request latencies are folded into the accumulators afterwards.
+// Cancellation is polled per block, like replayBounded; the simulated
+// budget becomes an absolute clock bound the kernel checks after each
+// request, so a budget-tripping run reports the same request index, the
+// same clock reading — and, being built from the same pricing constants
+// and the same noise draws, the same latencies — as the per-op path.
+func replayBatched(ctx context.Context, d *server.Deployment, t *server.ReplayTable, pt *ycsb.PackedTrace, classes []uint8, a *replayAccum, budget simclock.Duration) error {
+	start := d.Clock()
+	var maxClock simclock.Duration
+	if budget > 0 {
+		maxClock = start + budget
+	}
+	lat := t.Block()
+	keys, kinds := pt.Keys, pt.Kinds
+	for blk := 0; blk < len(keys); blk += replayBlockOps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := blk + replayBlockOps
+		if end > len(keys) {
+			end = len(keys)
+		}
+		bkeys, bkinds := keys[blk:end], kinds[blk:end]
+		served := t.Serve(bkeys, bkinds, maxClock, lat)
+		for i := 0; i < served; i++ {
+			a.observe(kvstore.OpKind(bkinds[i]), int(classes[bkeys[i]]), float64(lat[i].Nanoseconds()))
+		}
+		if served < len(bkeys) {
+			return fmt.Errorf("%w after %d/%d requests (simulated %v > budget %v)",
+				ErrRunTimeout, blk+served, len(keys), d.Clock()-start, budget)
 		}
 	}
 	return nil
@@ -275,7 +335,14 @@ func Run(d *server.Deployment, w *ycsb.Workload) RunStats {
 func RunCtx(ctx context.Context, d *server.Deployment, w *ycsb.Workload, budget simclock.Duration) (RunStats, error) {
 	start := d.Clock()
 	a := newReplayAccum()
-	if err := replayBounded(ctx, d, w, sizeClasses(w.Dataset.Records), a, budget); err != nil {
+	classes := sizeClasses(w.Dataset.Records)
+	var err error
+	if t := d.BatchTable(); t != nil && w.Packed().Batchable() {
+		err = replayBatched(ctx, d, t, w.Packed(), classes, a, budget)
+	} else {
+		err = replayBounded(ctx, d, w, classes, a, budget)
+	}
+	if err != nil {
 		return RunStats{}, err
 	}
 	runtime := d.Clock() - start
@@ -330,11 +397,22 @@ func Execute(cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats,
 // own counters are flushed even when the replay is cut off mid-run, so
 // partial runs stay observable.
 func ExecuteCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats, error) {
+	st, _, err := executeFresh(ctx, cfg, w, p)
+	return st, err
+}
+
+// executeFresh is ExecuteCtx returning the deployment it built, so
+// callers that run the workload repeatedly (ExecuteMean's repetitions)
+// can keep a batch-capable deployment and rewind it with executeReused
+// instead of re-populating the store per run. The deployment is non-nil
+// exactly when Load succeeded — including runs that then timed out,
+// which leave the deployment reusable.
+func executeFresh(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats, *server.Deployment, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
-		return RunStats{}, err
+		return RunStats{}, nil, err
 	}
 	sink := cfg.Obs
 	sink.Eventf(obs.EventMeasureStart, "client", 0, "%s on %s (seed %d)",
@@ -342,12 +420,53 @@ func ExecuteCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p serv
 	d := server.NewDeployment(cfg)
 	if err := d.InjectedFailure(); err != nil {
 		sink.Counter("mnemo_client_run_failures_total").Inc()
-		return RunStats{}, err
+		return RunStats{}, nil, err
 	}
 	if err := d.Load(w.Dataset, p); err != nil {
 		sink.Counter("mnemo_client_run_failures_total").Inc()
+		return RunStats{}, nil, err
+	}
+	st, err := runAndFlush(ctx, cfg, w, d)
+	return st, d, err
+}
+
+// executeReused is executeFresh against a deployment kept from an
+// earlier repetition: the populated store is rewound to its post-Load
+// snapshot under the new seed (server.Deployment.ResetRun) instead of
+// being rebuilt. The event and counter sequence — measurement start,
+// deployment counted, fault fates journaled, run counters — is emitted
+// in the fresh path's order, so an observer cannot tell the two paths
+// apart. Valid only for deployments cached via canReuse.
+func executeReused(ctx context.Context, cfg server.Config, w *ycsb.Workload, d *server.Deployment) (RunStats, error) {
+	if err := ctx.Err(); err != nil {
 		return RunStats{}, err
 	}
+	sink := cfg.Obs
+	sink.Eventf(obs.EventMeasureStart, "client", 0, "%s on %s (seed %d)",
+		w.Spec.Name, cfg.Engine, cfg.Seed)
+	if !d.ResetRun(cfg.Seed) {
+		return RunStats{}, fmt.Errorf("client: cached deployment lost its batch table")
+	}
+	if err := d.InjectedFailure(); err != nil {
+		sink.Counter("mnemo_client_run_failures_total").Inc()
+		return RunStats{}, err
+	}
+	return runAndFlush(ctx, cfg, w, d)
+}
+
+// canReuse reports whether a deployment that just executed this workload
+// can serve further repetitions via ResetRun: the replay must have gone
+// through the batched kernel (the per-op path mutates engine state the
+// snapshot does not cover).
+func canReuse(d *server.Deployment, w *ycsb.Workload) bool {
+	return d != nil && d.BatchTable() != nil && w.Packed().Batchable()
+}
+
+// runAndFlush is the shared back half of the execute paths: the bounded
+// replay, the post-run telemetry flush (covering complete and cut-off
+// replays alike) and the run-level counters and journal events.
+func runAndFlush(ctx context.Context, cfg server.Config, w *ycsb.Workload, d *server.Deployment) (RunStats, error) {
+	sink := cfg.Obs
 	st, err := RunCtx(ctx, d, w, cfg.RunTimeout)
 	d.FlushObs() // publish op/LLC counts of complete AND cut-off replays
 	if err != nil {

@@ -121,17 +121,43 @@ type repOutcome struct {
 	retries int
 }
 
+// meanRunner is one worker's reusable execution state across
+// repetitions: the first successfully loaded batch-capable deployment is
+// kept and rewound (ResetRun) for every later repetition the worker
+// picks up, so an N-run aggregate pays the populate-and-quiesce cost
+// once per worker instead of once per run. Deployments that cannot be
+// rewound (per-op replay path) are never cached, and each repetition
+// then builds a fresh one exactly as before.
+type meanRunner struct {
+	d *server.Deployment
+}
+
+// execute runs one measurement attempt through the cached deployment
+// when one is available, falling back to — and possibly caching — a
+// fresh deployment otherwise. Both paths produce bit-identical stats,
+// errors and telemetry; see executeReused.
+func (r *meanRunner) execute(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats, error) {
+	if r != nil && r.d != nil {
+		return executeReused(ctx, cfg, w, r.d)
+	}
+	st, d, err := executeFresh(ctx, cfg, w, p)
+	if r != nil && canReuse(d, w) {
+		r.d = d
+	}
+	return st, err
+}
+
 // executeRepetition runs repetition i, retrying per the policy. Attempt
 // a of repetition i measures with seed cfg.Seed + i·1009 + a·15485863,
 // so attempt 0 reproduces the legacy seed schedule exactly and every
 // retry is a fresh, deterministic re-measurement.
-func executeRepetition(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement, i int, pol Policy) repOutcome {
+func executeRepetition(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement, i int, pol Policy, r *meanRunner) repOutcome {
 	jitter := rand.New(rand.NewSource(cfg.Seed*2654435761 + int64(i)))
 	var out repOutcome
 	for attempt := 0; ; attempt++ {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*runSeedStride + int64(attempt)*attemptSeedStride
-		st, err := ExecuteCtx(ctx, c, w, p)
+		st, err := r.execute(ctx, c, w, p)
 		if err == nil {
 			out.stats, out.err = st, nil
 			return out
@@ -201,8 +227,21 @@ func ExecuteMeanCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p 
 		ctx = context.Background()
 	}
 	out := make([]repOutcome, runs)
+	// One reusable runner per pool worker, handed out through a free
+	// list: a worker grabs any idle runner, so a batch-capable deployment
+	// is populated once per worker and rewound for each further
+	// repetition that worker executes. Which runner serves which
+	// repetition is scheduling-dependent — and irrelevant, since fresh
+	// and rewound deployments measure bit-identically.
+	nrunners := pool.Workers(workers, runs)
+	runners := make(chan *meanRunner, nrunners)
+	for k := 0; k < nrunners; k++ {
+		runners <- new(meanRunner)
+	}
 	if err := pool.RunObs(ctx, runs, workers, cfg.Obs, func(i int) {
-		out[i] = executeRepetition(ctx, cfg, w, p, i, pol)
+		r := <-runners
+		out[i] = executeRepetition(ctx, cfg, w, p, i, pol, r)
+		runners <- r
 	}); err != nil {
 		return RunStats{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"mnemo/internal/client"
+	"mnemo/internal/pool"
 	"mnemo/internal/ycsb"
 )
 
@@ -25,7 +26,49 @@ type ValidationPoint struct {
 // Validate executes the workload at `samples` evenly spaced tierings of
 // the curve (excluding the endpoints, which were measured as baselines)
 // and reports the estimate errors — the raw material of Fig 8a/8c.
+// Points execute in parallel across GOMAXPROCS workers; see
+// ValidateWorkers for the determinism contract.
 func Validate(ctx context.Context, cfg Config, w *ycsb.Workload, c *Curve, ord Ordering, samples int) ([]ValidationPoint, error) {
+	return ValidateWorkers(ctx, cfg, w, c, ord, samples, 0)
+}
+
+// validateJob is one deduplicated sample point of a validation sweep:
+// the curve index k to measure and the sample index i whose seed stride
+// the measurement inherits.
+type validateJob struct {
+	i, k int
+}
+
+// validateJobs enumerates the sweep's sample points, skipping the
+// endpoints and collapsing duplicates: the integer sample spacing
+// k = i·keys/(samples+1) repeats curve indices whenever samples+1
+// exceeds keys, and re-measuring the same tiering would double-weight
+// it in the Fig 8a error distribution. Each surviving point keeps the
+// smallest sample index that produced it, so its derived seed — and
+// therefore every measured number — is unchanged from the sequential
+// sweep that simply skipped nothing.
+func validateJobs(samples, keys int) []validateJob {
+	var jobs []validateJob
+	lastK := -1
+	for i := 1; i <= samples; i++ {
+		k := i * keys / (samples + 1)
+		if k <= 0 || k >= keys || k == lastK {
+			continue
+		}
+		lastK = k
+		jobs = append(jobs, validateJob{i: i, k: k})
+	}
+	return jobs
+}
+
+// ValidateWorkers is Validate with an explicit worker bound (≤ 0 =
+// GOMAXPROCS). Every sample point is an independent measurement — its
+// own placement, deployments and noise streams, seeded only by the
+// point's sample index — so points fan out over a bounded pool and fold
+// in sample order, keeping the output bit-identical for every worker
+// count; workers=1 is the serial reference execution of the same code
+// path.
+func ValidateWorkers(ctx context.Context, cfg Config, w *ycsb.Workload, c *Curve, ord Ordering, samples, workers int) ([]ValidationPoint, error) {
 	ncfg, err := cfg.normalized()
 	if err != nil {
 		return nil, err
@@ -37,25 +80,26 @@ func Validate(ctx context.Context, cfg Config, w *ycsb.Workload, c *Curve, ord O
 	if keys+1 != len(c.Points) {
 		return nil, fmt.Errorf("core: curve/ordering mismatch (%d points, %d keys)", len(c.Points), keys)
 	}
-	var out []ValidationPoint
+	jobs := validateJobs(samples, keys)
 	var pe PlacementEngine
-	for i := 1; i <= samples; i++ {
-		k := i * keys / (samples + 1)
-		if k <= 0 || k >= keys {
-			continue
-		}
-		point := c.Points[k]
+	out := make([]ValidationPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	if perr := pool.RunObs(ctx, len(jobs), workers, ncfg.Server.Obs, func(j int) {
+		job := jobs[j]
+		point := c.Points[job.k]
 		placement, err := pe.PlacementFor(ord, point)
 		if err != nil {
-			return nil, err
+			errs[j] = err
+			return
 		}
 		// Each validation run is an independent execution with its own
 		// noise stream, like a fresh run on the testbed.
 		runCfg := ncfg.Server
-		runCfg.Seed += int64(i) * 104729
+		runCfg.Seed += int64(job.i) * 104729
 		measured, err := client.ExecuteMeanCtx(ctx, runCfg, w, placement, ncfg.Runs, 0, ncfg.Resilience)
 		if err != nil {
-			return nil, fmt.Errorf("core: validating point %d: %w", k, err)
+			errs[j] = fmt.Errorf("core: validating point %d: %w", job.k, err)
+			return
 		}
 		vp := ValidationPoint{Point: point, Measured: measured}
 		if measured.ThroughputOpsSec > 0 {
@@ -66,7 +110,16 @@ func Validate(ctx context.Context, cfg Config, w *ycsb.Workload, c *Curve, ord O
 			vp.AvgLatencyErrPct = (measured.AvgNs - point.EstAvgLatencyNs) /
 				measured.AvgNs * 100
 		}
-		out = append(out, vp)
+		out[j] = vp
+	}); perr != nil {
+		return nil, perr
+	}
+	// First error in sample order wins, matching the sequential sweep's
+	// abort-at-first-failure behavior.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

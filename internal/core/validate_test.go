@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mnemo/internal/server"
+)
+
+// TestValidateJobsDedupe pins the duplicate-sample fix: the integer
+// spacing k = i·keys/(samples+1) repeats curve indices when samples
+// crowd the key space, and each tiering must be measured exactly once,
+// under the seed of the first sample index that produced it.
+func TestValidateJobsDedupe(t *testing.T) {
+	jobs := validateJobs(10, 6) // k = 0,1,1,2,2,3,3,4,5,5 for i=1..10
+	seen := map[int]bool{}
+	lastK := 0
+	for _, j := range jobs {
+		if j.k <= 0 || j.k >= 6 {
+			t.Fatalf("job %+v outside (0,6)", j)
+		}
+		if seen[j.k] {
+			t.Fatalf("curve index %d sampled twice", j.k)
+		}
+		seen[j.k] = true
+		if j.k <= lastK {
+			t.Fatalf("jobs out of order: %+v", jobs)
+		}
+		lastK = j.k
+		if got := j.i * 6 / 11; got != j.k {
+			t.Fatalf("job %+v: seed index %d does not map to k", j, j.i)
+		}
+	}
+	if len(jobs) != 5 {
+		t.Fatalf("got %d jobs, want the 5 distinct interior tierings", len(jobs))
+	}
+	// Duplicates keep the FIRST sample index: k=1 must come from i=2
+	// (i=1 gives k=0, skipped), k=2 from i=4.
+	if jobs[0].i != 2 || jobs[1].i != 4 {
+		t.Fatalf("dedupe kept wrong sample indices: %+v", jobs)
+	}
+}
+
+// TestValidateWorkersBitIdentical pins the parallel sweep against its
+// serial reference: identical points for every worker count.
+func TestValidateWorkersBitIdentical(t *testing.T) {
+	w := testWorkload(21)
+	cfg := DefaultConfig(server.RedisLike, 21)
+	rep, err := Profile(context.Background(), cfg, w, Touch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ValidateWorkers(context.Background(), cfg, w, rep.Curve, rep.Ordering, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("no validation points")
+	}
+	for _, workers := range []int{3, 0} {
+		par, err := ValidateWorkers(context.Background(), cfg, w, rep.Curve, rep.Ordering, 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d diverged from serial sweep", workers)
+		}
+	}
+}

@@ -41,6 +41,10 @@ type Scale struct {
 	// stream (metrics and the run journal); nil keeps the experiment
 	// uninstrumented.
 	Obs *obs.Sink
+	// DisableBatchReplay forces every measurement run onto the per-op
+	// replay path instead of the batched kernel. The two paths are
+	// bit-identical; this is a debugging/comparison knob.
+	DisableBatchReplay bool
 }
 
 // Full is the paper's scale.
@@ -82,6 +86,7 @@ func (s Scale) coreConfig(e server.Engine, seed int64) core.Config {
 	cfg.Server.Fault = s.Fault
 	cfg.Server.RunTimeout = s.RunTimeout
 	cfg.Server.Obs = s.Obs
+	cfg.Server.DisableBatchReplay = s.DisableBatchReplay
 	if s.Fault.Enabled() {
 		cfg.Resilience = defaultResilience
 	}

@@ -1,0 +1,54 @@
+package hashkv
+
+import "mnemo/internal/kvstore"
+
+// Batched-replay capability (kvstore.BatchReplayer, DESIGN.md §12).
+//
+// The dict's only dynamic steady-state behaviour is incremental rehash:
+// while a rehash is in flight, find walks both tables and every
+// operation migrates a bucket, so chase counts drift from op to op.
+// Quiesce drains the rehash (and any follow-up expansion it uncovers),
+// after which a trace depends only on the resident chain layout — reads
+// and overwrites of resident keys never restructure the table.
+
+// Quiesce implements kvstore.BatchReplayer: it drains any in-flight
+// incremental rehash and keeps expanding until the load factor is below
+// 1, so no later Put can trigger a rehash. The allocation stalls of the
+// expansions accrue in pauseNs exactly as organic rehashes would.
+func (s *Store) Quiesce() {
+	for {
+		for s.rehashing() {
+			s.rehashStep()
+		}
+		if s.ht[0].used < len(s.ht[0].buckets) {
+			return
+		}
+		s.maybeExpand()
+	}
+}
+
+// ReplayReady implements kvstore.BatchReplayer. Volatile (TTL-bearing)
+// keys disqualify the store: lazy and active expiration mutate the
+// table mid-replay.
+func (s *Store) ReplayReady() bool {
+	return !s.rehashing() &&
+		len(s.volatileKeys) == 0 &&
+		s.ht[0].used < len(s.ht[0].buckets)
+}
+
+// StaticTrace implements kvstore.BatchReplayer. For a resident key both
+// Get and Put pay the find walk plus one extra dereference (the value
+// object for reads, the stored entry for writes).
+func (s *Store) StaticTrace(key string, id uint64) (getChases, putChases int, ok bool) {
+	e, chases := s.find(key, id)
+	if e == nil || s.lapsed(e) {
+		return 0, 0, false
+	}
+	return chases + 1, chases + 1, true
+}
+
+// ReplayPauses implements kvstore.BatchReplayer: the quiesced dict has
+// no steady-state stall source (rehash hiccups only fire on growth).
+func (s *Store) ReplayPauses() kvstore.PauseModel { return kvstore.PauseModel{} }
+
+var _ kvstore.BatchReplayer = (*Store)(nil)

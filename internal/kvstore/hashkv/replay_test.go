@@ -1,0 +1,100 @@
+package hashkv
+
+import (
+	"fmt"
+	"testing"
+
+	"mnemo/internal/kvstore"
+)
+
+// populate inserts n fixed-size records and returns their keys.
+func populate(s *Store, n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%04d", i)
+		s.Put(keys[i], kvstore.Sized(64))
+	}
+	return keys
+}
+
+func TestQuiesceDrainsRehash(t *testing.T) {
+	s := New()
+	keys := populate(s, 500) // well past the initial table, rehash in flight
+
+	s.Quiesce()
+	if s.rehashing() {
+		t.Fatal("Quiesce left a rehash in flight")
+	}
+	if !s.ReplayReady() {
+		t.Fatal("quiesced store not ReplayReady")
+	}
+	// Load factor is below 1, so no future Put of a resident key expands.
+	if s.ht[0].used >= len(s.ht[0].buckets) {
+		t.Fatalf("load factor ≥ 1 after Quiesce: %d/%d", s.ht[0].used, len(s.ht[0].buckets))
+	}
+	for _, k := range keys {
+		if _, tr := s.Get(k); !tr.Found {
+			t.Fatalf("key %q lost across Quiesce", k)
+		}
+	}
+}
+
+// TestStaticTraceMatchesLiveOps is the batched-replay contract: on a
+// quiesced store, StaticTrace must predict the exact Chases a live
+// GetID and PutID report, and those must be stable across repetition.
+func TestStaticTraceMatchesLiveOps(t *testing.T) {
+	s := New()
+	keys := populate(s, 300)
+	s.Quiesce()
+	s.TakePauseNs() // drain quiesce stalls, as Load does
+
+	for _, k := range keys {
+		id := kvstore.KeyID(k)
+		getChases, putChases, ok := s.StaticTrace(k, id)
+		if !ok {
+			t.Fatalf("StaticTrace(%q) not ok on resident key", k)
+		}
+		for rep := 0; rep < 2; rep++ {
+			if _, tr := s.GetID(k, id); tr.Chases != getChases {
+				t.Fatalf("key %q rep %d: live Get chases %d, static %d", k, rep, tr.Chases, getChases)
+			}
+			if tr := s.PutID(k, id, kvstore.Sized(64)); tr.Chases != putChases {
+				t.Fatalf("key %q rep %d: live Put chases %d, static %d", k, rep, tr.Chases, putChases)
+			}
+		}
+	}
+}
+
+func TestStaticTraceRejectsMissingAndMismatched(t *testing.T) {
+	s := New()
+	s.Put("here", kvstore.Sized(10))
+	s.Quiesce()
+	if _, _, ok := s.StaticTrace("gone", kvstore.KeyID("gone")); ok {
+		t.Error("StaticTrace ok on missing key")
+	}
+	if _, _, ok := s.StaticTrace("here", 12345); ok {
+		t.Error("StaticTrace ok on mismatched record ID")
+	}
+}
+
+func TestReplayReadyRejectsVolatileKeys(t *testing.T) {
+	s := New()
+	s.Put("k", kvstore.Sized(10))
+	s.Quiesce()
+	if !s.ReplayReady() {
+		t.Fatal("plain store not ReplayReady")
+	}
+	s.Expire("k", 100)
+	if s.ReplayReady() {
+		t.Error("store with TTL-bearing key reported ReplayReady")
+	}
+}
+
+func TestReplayPausesIsZero(t *testing.T) {
+	s := New()
+	populate(s, 100)
+	s.Quiesce()
+	if pm := s.ReplayPauses(); pm != (kvstore.PauseModel{}) {
+		t.Errorf("hashkv PauseModel = %+v, want zero", pm)
+	}
+}

@@ -128,6 +128,54 @@ type Store interface {
 	Profile() EngineProfile
 }
 
+// PauseModel describes an engine's deterministic steady-state stall
+// source as a linear allocation budget: every operation accrues the
+// record's payload bytes plus PerOpBytes of framing garbage, and when the
+// accumulator reaches BudgetBytes it resets to zero and the operation
+// absorbs PauseNs. Engines without steady-state pauses return the zero
+// model (BudgetBytes 0), which the replay kernel skips entirely.
+type PauseModel struct {
+	// BudgetBytes is the accrual threshold that triggers a pause; 0
+	// disables the model.
+	BudgetBytes int64
+	// PerOpBytes is the fixed per-operation accrual added on top of the
+	// record's payload size.
+	PerOpBytes int64
+	// PauseNs is the stall injected when the budget is crossed.
+	PauseNs float64
+	// Accum is the accumulator's current value — the starting point a
+	// batched replay must resume from to stay bit-identical with the
+	// store's own accounting.
+	Accum int64
+}
+
+// BatchReplayer is the optional capability behind the server's batched
+// replay kernel (DESIGN.md §12). An engine that implements it can promise
+// that, once quiesced, its per-operation traces for resident keys are
+// static: no rehash in flight, no TTL reaping, no structural mutation on
+// overwrite — so Get/Put traces can be precomputed once into a flat cost
+// table and replayed without touching the store at all.
+type BatchReplayer interface {
+	// Quiesce drives deferred background work (incremental rehash,
+	// pending node splits) to completion so subsequent operations on
+	// resident keys stop mutating structure. Stall time accrued while
+	// quiescing lands in TakePauseNs, letting the load phase drain it
+	// untimed. Quiesce is idempotent.
+	Quiesce()
+	// ReplayReady reports whether every resident key's Get/Put traces
+	// are static — typically true only after Quiesce on a store with no
+	// volatile (TTL-bearing) keys. A false return forces the caller back
+	// onto the per-operation path.
+	ReplayReady() bool
+	// StaticTrace returns the constant Get and Put pointer-chase counts
+	// of a resident key, without mutating the store. ok is false when the
+	// key is absent (its traces would then depend on dynamic state).
+	StaticTrace(key string, id uint64) (getChases, putChases int, ok bool)
+	// ReplayPauses exposes the engine's steady-state stall source so the
+	// batched kernel can reproduce TakePauseNs without calling it.
+	ReplayPauses() PauseModel
+}
+
 // EngineProfile captures how an engine converts memory traffic into
 // service time. These constants are the calibration described in
 // DESIGN.md §5; they are chosen so that the three engines reproduce the

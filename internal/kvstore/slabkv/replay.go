@@ -1,0 +1,44 @@
+package slabkv
+
+import "mnemo/internal/kvstore"
+
+// Batched-replay capability (kvstore.BatchReplayer, DESIGN.md §12).
+//
+// The slab store's traces are constant by construction — Get costs two
+// dependent loads, Put three — and a same-size overwrite stays in its
+// slab class, so no eviction can fire while replaying a fixed dataset.
+// The LRU bumps a replay would perform are behaviourally invisible at
+// constant residency (eviction order only matters when something is
+// evicted), so skipping them preserves every simulated quantity.
+
+// Quiesce implements kvstore.BatchReplayer; the slab store defers no
+// background work.
+func (s *Store) Quiesce() {}
+
+// ReplayReady implements kvstore.BatchReplayer. TTL-bearing items
+// disqualify the store: their lazy reaping depends on the store's
+// logical op clock, which a batched replay does not advance.
+func (s *Store) ReplayReady() bool {
+	for _, it := range s.index {
+		if it.expireAt != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StaticTrace implements kvstore.BatchReplayer.
+func (s *Store) StaticTrace(key string, id uint64) (getChases, putChases int, ok bool) {
+	it, found := s.index[key]
+	if !found || s.expired(it) || it.id != id {
+		return 0, 0, false
+	}
+	return 2, 3, true
+}
+
+// ReplayPauses implements kvstore.BatchReplayer: eviction stalls only
+// fire under a memory limit with residency growth, which a fixed-dataset
+// replay never causes.
+func (s *Store) ReplayPauses() kvstore.PauseModel { return kvstore.PauseModel{} }
+
+var _ kvstore.BatchReplayer = (*Store)(nil)

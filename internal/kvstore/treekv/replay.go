@@ -1,0 +1,117 @@
+package treekv
+
+import "mnemo/internal/kvstore"
+
+// Batched-replay capability (kvstore.BatchReplayer, DESIGN.md §12).
+//
+// Two treekv behaviours are dynamic in steady state. First, Put splits
+// any full node it descends through — even on a pure overwrite — so a
+// tree fresh off a bulk load keeps restructuring for a while and its
+// chase counts drift. Quiesce performs those preemptive splits up front,
+// after which reads and overwrites of resident keys leave the structure
+// untouched and every descent is static. Second, the GC budget (charge)
+// injects a pause every gcAllocBudget bytes of request garbage; that is
+// a pure function of the op sequence, exported to the kernel via
+// ReplayPauses as a linear PauseModel.
+
+// Quiesce implements kvstore.BatchReplayer: it splits every full node —
+// exactly the splits future Puts would perform on their way down — until
+// none remain. A pass may refill a parent (each child split pushes one
+// item up), so passes repeat to a fixpoint; splits are capped by the
+// final node count, which the fixed item population bounds. Only root
+// splits stall the tree (the per-op path charges no pause for interior
+// preemptive splits either); the stall accrues in pauseNs for the loader
+// to drain untimed.
+func (s *Store) Quiesce() {
+	for s.quiescePass() {
+	}
+}
+
+// quiescePass performs one top-down preemptive-split sweep, reporting
+// whether it split anything. Children of a currently-full parent are
+// skipped (splitChild needs room for the promoted median) and picked up
+// by the next pass, after the parent itself has been split.
+func (s *Store) quiescePass() bool {
+	split := false
+	if len(s.root.items) == 2*degree-1 {
+		old := s.root
+		s.root = &node{children: []*node{old}}
+		s.splitChild(s.root, 0)
+		s.pauseNs += 20_000 // root split: tree-wide latch, as in PutID
+		split = true
+	}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf() {
+			return
+		}
+		for i := 0; i < len(n.children); i++ {
+			if len(n.items) < 2*degree-1 && len(n.children[i].items) == 2*degree-1 {
+				s.splitChild(n, i)
+				split = true
+			}
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(s.root)
+	return split
+}
+
+// ReplayReady implements kvstore.BatchReplayer: true when no node is
+// full, so no Put descent can split.
+func (s *Store) ReplayReady() bool {
+	var full func(n *node) bool
+	full = func(n *node) bool {
+		if len(n.items) == 2*degree-1 {
+			return true
+		}
+		for _, c := range n.children {
+			if full(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return !full(s.root)
+}
+
+// StaticTrace implements kvstore.BatchReplayer. On a quiesced tree Get
+// and Put walk the identical descent (insertNonFull skips its split
+// checks when nothing is full) and both add the six marshalling-layer
+// dereferences on the found record.
+func (s *Store) StaticTrace(key string, id uint64) (getChases, putChases int, ok bool) {
+	chases := 0
+	n := s.root
+	for {
+		chases++ // node fetch
+		idx, found, cmps := n.findKey(key)
+		chases += cmps / 2
+		if found {
+			if n.items[idx].id != id {
+				return 0, 0, false
+			}
+			return chases + 6, chases + 6, true
+		}
+		if n.leaf() {
+			return 0, 0, false
+		}
+		n = n.children[idx]
+	}
+}
+
+// ReplayPauses implements kvstore.BatchReplayer, exporting the charge()
+// dynamics: every op accrues its record bytes plus the request framing
+// garbage, and crossing the GC budget resets the accumulator and injects
+// the young-gen pause.
+func (s *Store) ReplayPauses() kvstore.PauseModel {
+	return kvstore.PauseModel{
+		BudgetBytes: gcAllocBudget,
+		PerOpBytes:  requestGarbageB,
+		PauseNs:     gcPauseNs,
+		Accum:       s.allocBytes,
+	}
+}
+
+var _ kvstore.BatchReplayer = (*Store)(nil)

@@ -35,6 +35,9 @@ const degree = 16
 const (
 	gcAllocBudget = 48 << 20
 	gcPauseNs     = 2_500_000 // 2.5 ms young-gen pause
+	// requestGarbageB is the fixed per-request framing garbage charged on
+	// top of the record bytes.
+	requestGarbageB = 4096
 )
 
 type treeItem struct {
@@ -108,7 +111,7 @@ func (s *Store) TakePauseNs() float64 {
 // against the GC budget; DynamoDB-local allocates roughly the record size
 // per request in garbage.
 func (s *Store) charge(bytes int) {
-	s.allocBytes += int64(bytes) + 4096 // request framing garbage
+	s.allocBytes += int64(bytes) + requestGarbageB
 	if s.allocBytes >= gcAllocBudget {
 		s.allocBytes = 0
 		s.pauseNs += gcPauseNs

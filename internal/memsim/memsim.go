@@ -111,6 +111,17 @@ func (p NodeParams) AccessNs(chases, bytes int) float64 {
 	return p.ChaseNs(chases) + p.TransferNs(bytes)
 }
 
+// OpCost returns the two static components of one logical access against
+// this medium, unsummed: the chase cost of n dependent loads and the
+// streaming cost of the given bytes. This is the cost-table export used
+// by the server's batched replay kernel, which needs the components
+// separately (writes scale only the transfer term by the engine's
+// WritePenalty) yet must combine them in exactly the per-operation
+// order to stay bit-identical with the live pricing path.
+func (p NodeParams) OpCost(chases, bytes int) (chaseNs, transferNs float64) {
+	return p.ChaseNs(chases), p.TransferNs(bytes)
+}
+
 // Node is one memory component with capacity accounting.
 type Node struct {
 	Params   NodeParams

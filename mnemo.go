@@ -206,6 +206,11 @@ type Options struct {
 	// metrics, stage spans and the run journal (see NewSink). nil keeps
 	// profiling completely uninstrumented.
 	Obs *Sink
+	// DisableBatchReplay forces every measurement run through the per-op
+	// replay path instead of the batched table-driven kernel. The two
+	// paths are bit-identical, so this is a debugging/benchmarking knob,
+	// not a correctness one.
+	DisableBatchReplay bool
 }
 
 // validate rejects malformed options with descriptive errors before any
@@ -296,6 +301,7 @@ func (o Options) coreConfig() (core.Config, error) {
 	cfg.Server.Fault = o.Fault
 	cfg.Server.RunTimeout = o.RunTimeout
 	cfg.Server.Obs = o.Obs
+	cfg.Server.DisableBatchReplay = o.DisableBatchReplay
 	cfg.Resilience = client.Policy{
 		Retries:    o.Retries,
 		MinRuns:    o.MinRuns,
