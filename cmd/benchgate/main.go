@@ -59,6 +59,7 @@ var gates = []gate{
 	{Bench: "BenchmarkReplayBatched", Legacy: "Indexed", Current: "Batched", Metric: "ns/req"},
 	{Bench: "BenchmarkDeploymentDo", Legacy: "String", Current: "Index", Metric: "ns/op"},
 	{Bench: "BenchmarkValidateParallel", Legacy: "Sequential", Current: "Parallel", Metric: "ns/op"},
+	{Bench: "BenchmarkReplaySharded", Legacy: "Shards1", Current: "Shards4", Metric: "ns/req"},
 }
 
 func main() {

@@ -11,12 +11,20 @@
 //	fig8a fig8b fig8c fig8d fig8f fig9 table4 downsample
 //	ablation-llc ablation-noise ablation-knapsack ablation-anchor
 //	ablation-sizeaware modeb policy-compare ext-tails ext-tech ycsb-core
+//	cluster-sweep
 //
 // Flags:
 //
 //	-quick          run at 10×-reduced scale (default is the paper's full
 //	                scale: 10 000 keys × 100 000 requests per workload)
 //	-seed n         deterministic seed
+//	-shards n       replay every measurement across a consistent-hash
+//	                cluster of n deployments (0 = single deployment;
+//	                cluster-sweep defaults to 4 when unset)
+//	-keys n         override the per-workload key count (0 = scale default)
+//	-requests n     override the per-workload request count (0 = scale
+//	                default) — -keys 10000000 -requests 100000000 is the
+//	                README's 10M-key cluster recipe
 //	-list-policies  print the tiering-policy catalog and exit
 //	-fault p        chaos mode: each measurement run independently fails,
 //	                stalls, or returns outlier latencies with probability p
@@ -188,6 +196,10 @@ var all = []experiment{
 		}
 		return nil
 	}},
+	{"cluster-sweep", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.ClusterSweep(s, seed)
+		return renderTo(w, r, err)
+	}},
 }
 
 func main() {
@@ -223,6 +235,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run at 10x-reduced scale")
 	seed := fs.Int64("seed", 42, "deterministic seed")
+	shards := fs.Int("shards", 0, "replay across a consistent-hash cluster of `n` deployments (0 = single deployment)")
+	keys := fs.Int("keys", 0, "override the per-workload key count (0 = scale default)")
+	requests := fs.Int("requests", 0, "override the per-workload request count (0 = scale default)")
 	fault := fs.Float64("fault", 0, "inject faults with probability `p` per class (fail/stall/outlier)")
 	faultFail := fs.Float64("fault-fail", -1, "fail-fault probability `p` (overrides -fault for this class)")
 	faultStall := fs.Float64("fault-stall", -1, "stall-fault probability `p` (overrides -fault for this class)")
@@ -246,6 +261,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d must be non-negative", *shards)
+	}
+	scale.Shards = *shards
+	if *keys < 0 || *requests < 0 {
+		return fmt.Errorf("-keys/-requests must be non-negative")
+	}
+	if *keys > 0 {
+		scale.Keys = *keys
+	}
+	if *requests > 0 {
+		scale.Requests = *requests
 	}
 	if *fault < 0 || *fault > 1 {
 		return fmt.Errorf("-fault %v outside [0,1]", *fault)

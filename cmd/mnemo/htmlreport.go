@@ -6,13 +6,15 @@ import (
 
 	"mnemo"
 	"mnemo/internal/report"
+	"mnemo/internal/shard"
 )
 
 // buildHTMLReport assembles the shareable consulting artifact: workload
 // profile, measured baselines, the advised sizing, the estimate curve as
-// an SVG chart, and — when -compare profiled several policies — the
-// per-policy comparison overlay.
-func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report, sink *mnemo.Sink) *report.HTMLReport {
+// an SVG chart, the cluster shard layout (when -shards ≥ 2), and — when
+// -compare profiled several policies — the per-policy comparison
+// overlay.
+func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report, sink *mnemo.Sink, opts mnemo.Options) *report.HTMLReport {
 	doc := &report.HTMLReport{
 		Title: fmt.Sprintf("Mnemo sizing report — %s on %s", rep.Workload, rep.Engine),
 	}
@@ -89,6 +91,18 @@ func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Rep
 		},
 	})
 
+	// Cluster layout: with -shards ≥ 2, show how the ring distributes
+	// the dataset — and the advised FastMem slice — across shards.
+	if opts.Shards >= 2 {
+		if rows, err := shardLayoutRows(rep, w, opts.Shards); err == nil {
+			price := opts.PriceFactor
+			if price <= 0 || price > 1 {
+				price = mnemo.DefaultPriceFactor
+			}
+			doc.Sections = append(doc.Sections, report.ShardHTMLSection(rows, price))
+		}
+	}
+
 	// Observability: when the run was instrumented (-metrics), append the
 	// metric snapshot and journal summary.
 	if sec, ok := report.ObsHTMLSection(sink); ok {
@@ -128,7 +142,38 @@ func curveSamples(c *mnemo.Curve) []mnemo.CurvePoint {
 	return append(out, c.FastOnly())
 }
 
+// shardLayoutRows lays the report's advised placement (or, without
+// advice, just the dataset) out over the same consistent-hash partition
+// the sharded replay used.
+func shardLayoutRows(rep *mnemo.Report, w *mnemo.Workload, shards int) ([]report.ShardRow, error) {
+	part, err := shard.For(w, shards, 0, !w.Packed().Batchable())
+	if err != nil {
+		return nil, err
+	}
+	fast := make([]bool, len(w.Dataset.Records))
+	if rep.Advice != nil {
+		for _, k := range rep.Ordering.Keys[:rep.Advice.Point.KeysInFast] {
+			fast[k.Index] = true
+		}
+	}
+	rows := make([]report.ShardRow, shards)
+	for s := range rows {
+		rows[s].Shard = s
+		rows[s].Requests = part.Subs[s].Requests
+	}
+	for g, rec := range w.Dataset.Records {
+		row := &rows[part.Assign[g]]
+		row.Keys++
+		row.Bytes += int64(rec.Size)
+		if fast[g] {
+			row.FastKeys++
+			row.FastBytes += int64(rec.Size)
+		}
+	}
+	return rows, nil
+}
+
 // writeHTMLReport renders the document to w.
-func writeHTMLReport(out io.Writer, rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report, sink *mnemo.Sink) error {
-	return buildHTMLReport(rep, w, compared, sink).Render(out)
+func writeHTMLReport(out io.Writer, rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report, sink *mnemo.Sink, opts mnemo.Options) error {
+	return buildHTMLReport(rep, w, compared, sink, opts).Render(out)
 }

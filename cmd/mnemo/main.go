@@ -22,6 +22,9 @@
 //	-seed n           deterministic seed
 //	-keys n           key-space override (0 = Table III default)
 //	-requests n       trace-length override (0 = Table III default)
+//	-shards n         replay across a consistent-hash cluster of n
+//	                  deployments (0 = single deployment; -html gains a
+//	                  per-shard layout section when n ≥ 2)
 //	-o file           write the curve csv here (default stdout, "" = skip)
 //	-plot             also render the curve as an ASCII plot on stderr
 //	-json             emit a JSON report summary on stdout instead of csv
@@ -72,6 +75,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		seed     = fs.Int64("seed", 42, "deterministic seed")
 		keys     = fs.Int("keys", 0, "key-space size override")
 		requests = fs.Int("requests", 0, "request-count override")
+		shards   = fs.Int("shards", 0, "replay across a consistent-hash cluster of `n` deployments (0 = single deployment)")
 		outPath  = fs.String("o", "-", "curve csv destination ('-' = stdout, '' = skip)")
 		plot     = fs.Bool("plot", false, "render the curve as an ASCII plot on stderr")
 		jsonOut  = fs.Bool("json", false, "emit a JSON report summary on stdout instead of the csv")
@@ -117,6 +121,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		PriceFactor: *price,
 		SLO:         *slo,
 		Policy:      policyName,
+		Shards:      *shards,
 	}
 	var sink *mnemo.Sink
 	if *metrics != "" {
@@ -145,6 +150,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "workload %s on %s: %d keys, %d requests, dataset %s\n",
 		w.Spec.Name, *store, len(w.Dataset.Records), len(w.Ops),
 		report.FormatBytes(w.Dataset.TotalBytes))
+	if *shards >= 2 {
+		fmt.Fprintf(stderr, "cluster: %d consistent-hash shards, stats merged deterministically\n", *shards)
+	}
 	fmt.Fprintf(stderr, "baselines: FastMem %.0f ops/s, SlowMem %.0f ops/s (%.2fx slowdown)\n",
 		rep.Baselines.Fast.ThroughputOpsSec, rep.Baselines.Slow.ThroughputOpsSec,
 		rep.Baselines.SlowdownAllSlow())
@@ -168,7 +176,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := writeHTMLReport(f, rep, w, compared, sink); err != nil {
+		if err := writeHTMLReport(f, rep, w, compared, sink, opts); err != nil {
 			f.Close()
 			return err
 		}

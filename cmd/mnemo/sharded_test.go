@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunShardsOneGolden is the CLI end of the Shards=1 equivalence
+// contract: a one-shard cluster must reproduce the unsharded run's
+// curve csv and HTML report byte for byte.
+func TestRunShardsOneGolden(t *testing.T) {
+	render := func(shards string) (csv string, html []byte) {
+		out := filepath.Join(t.TempDir(), "report.html")
+		args := []string{
+			"-workload", "trending", "-store", "redislike",
+			"-keys", "200", "-requests", "2000", "-slo", "0.10",
+			"-html", out,
+		}
+		if shards != "" {
+			args = append(args, "-shards", shards)
+		}
+		var stdout, stderr bytes.Buffer
+		if err := run(args, strings.NewReader(""), &stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		data, err := osReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String(), data
+	}
+	baseCSV, baseHTML := render("")
+	oneCSV, oneHTML := render("1")
+	if baseCSV != oneCSV {
+		t.Error("-shards 1 curve csv differs from unsharded")
+	}
+	if !bytes.Equal(baseHTML, oneHTML) {
+		t.Error("-shards 1 HTML report differs from unsharded")
+	}
+}
+
+func TestRunShardsHTMLLayout(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.html")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "trending", "-keys", "200", "-requests", "2000",
+		"-shards", "4", "-html", out, "-o", "",
+	}, strings.NewReader(""), &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := osReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	for _, want := range []string{"Cluster shard layout", "cost R(p)", "shard"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	if !strings.Contains(stderr.String(), "cluster: 4 consistent-hash shards") {
+		t.Errorf("stderr missing cluster note: %s", stderr.String())
+	}
+}

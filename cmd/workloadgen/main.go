@@ -15,9 +15,12 @@
 //	-read r           custom: read ratio in [0,1] (default 1.0)
 //	-sizes name       custom: thumbnail|text_post|photo_caption|
 //	                  trending_preview_mix|fixed_1kb|fixed_10kb|fixed_100kb
-//	-keys n           key-space size (default 10000)
+//	-keys n           key-space size (default 10000; tested to 10M keys)
 //	-requests n       trace length (default 100000)
 //	-downsample k     keep 1 request per block of k (default 1 = all)
+//	-shards n         print the consistent-hash cluster layout of the
+//	                  trace across n shards on stderr (key/byte/request
+//	                  balance and hot-set spread; 0 = skip)
 //	-seed n           deterministic seed
 //	-o file           destination ('-' = stdout)
 package main
@@ -29,6 +32,8 @@ import (
 	"os"
 
 	"mnemo/internal/registry"
+	"mnemo/internal/report"
+	"mnemo/internal/shard"
 	"mnemo/internal/ycsb"
 )
 
@@ -53,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		keys       = fs.Int("keys", ycsb.DefaultKeys, "key space size")
 		requests   = fs.Int("requests", ycsb.DefaultRequests, "request count")
 		downsample = fs.Int("downsample", 1, "keep one request per block of this size")
+		shards     = fs.Int("shards", 0, "print the trace's consistent-hash layout across `n` shards on stderr (0 = skip)")
 		seed       = fs.Int64("seed", 42, "deterministic seed")
 		outPath    = fs.String("o", "-", "destination file ('-' = stdout)")
 		describe   = fs.Bool("describe", false, "print trace statistics on stderr (hot sets, skew)")
@@ -99,6 +105,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	if *shards < 0 {
+		return fmt.Errorf("shards %d must be non-negative", *shards)
+	}
+	if *shards >= 1 {
+		if err := renderShardLayout(stderr, w, *shards); err != nil {
+			return err
+		}
+	}
 
 	var out io.Writer = stdout
 	if *outPath != "-" {
@@ -114,6 +128,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "wrote %s: %d records, %d ops, dataset %d bytes\n",
 		w.Spec.Name, len(w.Dataset.Records), len(w.Ops), w.Dataset.TotalBytes)
+	return nil
+}
+
+// renderShardLayout prints how a consistent-hash ring of n shards would
+// partition the trace: per-shard key, byte and request balance, plus
+// how many distinct shards serve the hottest 64 keys — the sanity check
+// that a skewed hot set really spans shard boundaries before anyone
+// provisions a cluster for the trace.
+func renderShardLayout(stderr io.Writer, w *ycsb.Workload, n int) error {
+	part, err := shard.For(w, n, 0, !w.Packed().Batchable())
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("Cluster layout — %d consistent-hash shards", n),
+		"shard", "keys", "bytes", "requests", "req share")
+	total := len(w.Ops)
+	if total == 0 {
+		total = 1
+	}
+	for s := 0; s < n; s++ {
+		sub := part.Subs[s]
+		t.AddRow(s, len(sub.W.Dataset.Records), report.FormatBytes(sub.W.Dataset.TotalBytes),
+			sub.Requests, fmt.Sprintf("%.1f%%", float64(sub.Requests)/float64(total)*100))
+	}
+	if err := t.Render(stderr); err != nil {
+		return err
+	}
+	reads := make([]int, len(w.Dataset.Records))
+	for _, op := range w.Ops {
+		reads[op.Key]++
+	}
+	const hot = 64
+	spread := part.HotShardSpread(reads, make([]int, len(reads)), hot)
+	fmt.Fprintf(stderr, "hottest %d keys span %d of %d shards\n", hot, spread, n)
 	return nil
 }
 

@@ -126,3 +126,50 @@ func TestAllDistAndSizeNamesAccepted(t *testing.T) {
 		}
 	}
 }
+
+func TestShardLayoutFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "custom", "-dist", "zipfian",
+		"-keys", "2000", "-requests", "20000", "-shards", "8",
+		"-o", os.DevNull,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "Cluster layout — 8 consistent-hash shards") {
+		t.Errorf("layout table missing: %s", out)
+	}
+	if !strings.Contains(out, "hottest 64 keys span") {
+		t.Errorf("hot-spread line missing: %s", out)
+	}
+	if strings.Contains(out, "span 0 of") || strings.Contains(out, "span 1 of") {
+		t.Errorf("zipfian hot set collapsed onto one shard: %s", out)
+	}
+}
+
+// TestTenMillionKeySpace exercises the satellite scale contract: the
+// generator and the shard partitioner handle a 10M-key zipfian key
+// space, and its hot set still spans shard boundaries.
+func TestTenMillionKeySpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M-key generation in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "custom", "-dist", "zipfian", "-sizes", "fixed_1kb",
+		"-keys", "10000000", "-requests", "1000000", "-shards", "8",
+		"-o", os.DevNull,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "wrote custom_zipfian: 10000000 records") {
+		t.Errorf("10M-record summary missing: %s", out)
+	}
+	if strings.Contains(out, "span 0 of") || strings.Contains(out, "span 1 of") {
+		t.Errorf("hot set collapsed onto one shard: %s", out)
+	}
+}

@@ -339,25 +339,31 @@ func RunCtx(ctx context.Context, d *server.Deployment, w *ycsb.Workload, budget 
 	var err error
 	if t := d.BatchTable(); t != nil && w.Packed().Batchable() {
 		err = replayBatched(ctx, d, t, w.Packed(), classes, a, budget)
+	} else if w.Ops == nil && w.RequestCount() > 0 {
+		// A packed-only trace (a shard partitioner sub-workload) cannot
+		// drive the per-operation path; failing beats silently replaying
+		// zero requests.
+		return RunStats{}, fmt.Errorf("client: packed-only trace requires the batched replay path")
 	} else {
 		err = replayBounded(ctx, d, w, classes, a, budget)
 	}
 	if err != nil {
 		return RunStats{}, err
 	}
+	requests := w.RequestCount()
 	runtime := d.Clock() - start
 	reads, readSum := a.readHists.countAndSum()
 	writes, writeSum := a.writeHists.countAndSum()
 	out := RunStats{
 		Workload: w.Spec.Name,
 		Engine:   d.Engine().String(),
-		Requests: len(w.Ops),
+		Requests: requests,
 		Reads:    reads,
 		Writes:   writes,
 		Runtime:  runtime,
 	}
 	if runtime > 0 {
-		out.ThroughputOpsSec = float64(len(w.Ops)) / runtime.Seconds()
+		out.ThroughputOpsSec = float64(requests) / runtime.Seconds()
 	}
 	out.ReadBuckets = a.readHists.bucketStats()
 	out.WriteBuckets = a.writeHists.bucketStats()
@@ -396,7 +402,14 @@ func Execute(cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats,
 // (or timeout) events and publishes run/op counters; the deployment's
 // own counters are flushed even when the replay is cut off mid-run, so
 // partial runs stay observable.
+// With cfg.Shards ≥ 1 execution routes through the consistent-hash
+// cluster (sharded.go); Shards=1 is bit-identical to the unsharded
+// path, per the golden equivalence tests.
 func ExecuteCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats, error) {
+	if cfg.Shards >= 1 {
+		st, _, err := executeShardedFresh(ctx, cfg, w, p)
+		return st, err
+	}
 	st, _, err := executeFresh(ctx, cfg, w, p)
 	return st, err
 }

@@ -130,13 +130,29 @@ type repOutcome struct {
 // then builds a fresh one exactly as before.
 type meanRunner struct {
 	d *server.Deployment
+	// sd is the sharded analogue: the first successfully loaded
+	// all-batch-capable cluster, rewound shard-by-shard for later
+	// repetitions.
+	sd *server.ShardedDeployment
 }
 
 // execute runs one measurement attempt through the cached deployment
 // when one is available, falling back to — and possibly caching — a
 // fresh deployment otherwise. Both paths produce bit-identical stats,
-// errors and telemetry; see executeReused.
+// errors and telemetry; see executeReused. Configs with Shards ≥ 1
+// route through the cluster path (sharded.go) under the same caching
+// discipline.
 func (r *meanRunner) execute(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats, error) {
+	if cfg.Shards >= 1 {
+		if r != nil && r.sd != nil {
+			return executeShardedReused(ctx, cfg, w, r.sd)
+		}
+		st, sd, err := executeShardedFresh(ctx, cfg, w, p)
+		if r != nil && sd != nil && sd.Reusable() {
+			r.sd = sd
+		}
+		return st, err
+	}
 	if r != nil && r.d != nil {
 		return executeReused(ctx, cfg, w, r.d)
 	}
@@ -226,6 +242,9 @@ func ExecuteMeanCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Share one worker budget with any nested per-shard fan-out (and any
+	// outer validation sweep): composed layers cannot oversubscribe.
+	ctx = pool.EnsureBudget(ctx)
 	out := make([]repOutcome, runs)
 	// One reusable runner per pool worker, handed out through a free
 	// list: a worker grabs any idle runner, so a batch-capable deployment

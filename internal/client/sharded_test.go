@@ -1,0 +1,240 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mnemo/internal/server"
+	"mnemo/internal/simclock"
+	"mnemo/internal/ycsb"
+)
+
+func shardedTestWorkload(t testing.TB, keys, requests int) *ycsb.Workload {
+	t.Helper()
+	w, err := ycsb.Generate(ycsb.Spec{
+		Name:      "sharded-test",
+		Keys:      keys,
+		Requests:  requests,
+		Dist:      ycsb.DistSpec{Kind: ycsb.Zipfian},
+		ReadRatio: 0.9,
+		Sizes:     ycsb.SizeThumbnail,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func halfFastPlacement(w *ycsb.Workload) server.Placement {
+	half := len(w.Dataset.Records) / 2
+	fastIdx := make([]int, half)
+	for i := range fastIdx {
+		fastIdx[i] = i
+	}
+	return server.FastIndices(fastIdx, len(w.Dataset.Records))
+}
+
+// TestShardedOneShardGolden is the golden equivalence anchor: a 1-shard
+// cluster must reproduce the unsharded path byte-for-byte — every
+// RunStats field including the full latency histograms.
+func TestShardedOneShardGolden(t *testing.T) {
+	w := shardedTestWorkload(t, 2000, 20_000)
+	p := halfFastPlacement(w)
+	for _, tc := range []struct {
+		name string
+		mod  func(*server.Config)
+	}{
+		{"default", func(*server.Config) {}},
+		{"no-batch", func(c *server.Config) { c.DisableBatchReplay = true }},
+		{"outlier-fault", func(c *server.Config) {
+			c.Fault = server.FaultSpec{OutlierProb: 1, Seed: 3}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := server.DefaultConfig(server.RedisLike, 42)
+			tc.mod(&cfg)
+			base, err := Execute(cfg, w, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Shards = 1
+			sharded, err := Execute(cfg, w, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, sharded) {
+				t.Fatalf("Shards=1 diverged from unsharded:\nunsharded: %+v\nsharded:   %+v", base, sharded)
+			}
+		})
+	}
+}
+
+// TestShardedOneShardMeanGolden extends the anchor through the
+// repeated-measurement driver, covering the cluster snapshot/reset
+// (executeShardedReused) against the single deployment's.
+func TestShardedOneShardMeanGolden(t *testing.T) {
+	w := shardedTestWorkload(t, 1000, 10_000)
+	p := halfFastPlacement(w)
+	cfg := server.DefaultConfig(server.RedisLike, 42)
+	base, err := ExecuteMeanCtx(context.Background(), cfg, w, p, 4, 0, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 1
+	sharded, err := ExecuteMeanCtx(context.Background(), cfg, w, p, 4, 0, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, sharded) {
+		t.Fatalf("Shards=1 mean diverged from unsharded:\nunsharded: %+v\nsharded:   %+v", base, sharded)
+	}
+}
+
+// TestShardedDeterminism runs a seeded 8-shard execution 50 times
+// (under -race in CI) and requires every merged RunStats — including
+// histogram contents — to be identical: the merge must not depend on
+// goroutine scheduling.
+func TestShardedDeterminism(t *testing.T) {
+	w := shardedTestWorkload(t, 1500, 12_000)
+	p := halfFastPlacement(w)
+	cfg := server.DefaultConfig(server.RedisLike, 42)
+	cfg.Shards = 8
+	first, err := Execute(cfg, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 1; run < 50; run++ {
+		again, err := Execute(cfg, w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d produced different merged stats:\nfirst: %+v\nagain: %+v", run, first, again)
+		}
+	}
+}
+
+// TestShardedMergeInvariants pins the documented merge semantics
+// against a by-hand serial replay of the same cluster: counts sum,
+// runtime is max-over-shards, throughput is total requests over the
+// makespan.
+func TestShardedMergeInvariants(t *testing.T) {
+	w := shardedTestWorkload(t, 1200, 10_000)
+	p := halfFastPlacement(w)
+	cfg := server.DefaultConfig(server.RedisLike, 42)
+	cfg.Shards = 4
+
+	sd, err := server.NewShardedDeployment(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	var maxRuntime simclock.Duration
+	totalReq := 0
+	for s := 0; s < sd.Shards(); s++ {
+		st, err := RunCtx(context.Background(), sd.Dep(s), sd.Sub(s), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Runtime > maxRuntime {
+			maxRuntime = st.Runtime
+		}
+		totalReq += st.Requests
+	}
+	if totalReq != len(w.Ops) {
+		t.Fatalf("shards served %d requests, trace has %d", totalReq, len(w.Ops))
+	}
+
+	agg, err := Execute(cfg, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Requests != len(w.Ops) {
+		t.Fatalf("merged Requests = %d, want %d", agg.Requests, len(w.Ops))
+	}
+	if agg.Reads+agg.Writes != agg.Requests {
+		t.Fatalf("reads %d + writes %d != requests %d", agg.Reads, agg.Writes, agg.Requests)
+	}
+	if agg.Runtime != maxRuntime {
+		t.Fatalf("merged Runtime = %v, want max-over-shards %v", agg.Runtime, maxRuntime)
+	}
+	wantTput := float64(agg.Requests) / maxRuntime.Seconds()
+	if agg.ThroughputOpsSec != wantTput {
+		t.Fatalf("merged throughput %v, want %v", agg.ThroughputOpsSec, wantTput)
+	}
+}
+
+// TestShardedTimeoutPerShard pins the clock semantics of
+// Config.RunTimeout under sharding: the budget bounds each shard's own
+// simulated clock (a per-process watchdog). A budget at the slowest
+// shard's runtime passes; far below it, the run is cut off and the
+// error names the shard.
+func TestShardedTimeoutPerShard(t *testing.T) {
+	w := shardedTestWorkload(t, 1200, 10_000)
+	p := halfFastPlacement(w)
+	cfg := server.DefaultConfig(server.RedisLike, 42)
+	cfg.Shards = 4
+	full, err := Execute(cfg, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.RunTimeout = full.Runtime // max-over-shards: every shard fits
+	if _, err := Execute(cfg, w, p); err != nil {
+		t.Fatalf("budget at the makespan should pass: %v", err)
+	}
+
+	cfg.RunTimeout = full.Runtime / 100
+	_, err = Execute(cfg, w, p)
+	if !errors.Is(err, ErrRunTimeout) {
+		t.Fatalf("tight budget: got %v, want ErrRunTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "shard ") {
+		t.Fatalf("timeout error does not name the shard: %v", err)
+	}
+}
+
+// TestShardedInjectedFailure checks per-shard fault injection surfaces
+// as a connect-time *server.FaultError naming the dead shard.
+func TestShardedInjectedFailure(t *testing.T) {
+	w := shardedTestWorkload(t, 500, 2000)
+	cfg := server.DefaultConfig(server.RedisLike, 42)
+	cfg.Shards = 4
+	cfg.Fault = server.FaultSpec{FailProb: 1, Seed: 9}
+	_, err := Execute(cfg, w, server.AllFast())
+	var fe *server.FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("got %v, want a *server.FaultError", err)
+	}
+	if !strings.Contains(err.Error(), "shard 0") {
+		t.Fatalf("failure does not name the shard: %v", err)
+	}
+}
+
+// TestShardedEveryShardServes guards against a degenerate partition:
+// at the default scale every shard of an 8-way cluster must hold
+// records and serve requests.
+func TestShardedEveryShardServes(t *testing.T) {
+	w := shardedTestWorkload(t, 2000, 20_000)
+	cfg := server.DefaultConfig(server.RedisLike, 42)
+	cfg.Shards = 8
+	sd, err := server.NewShardedDeployment(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < sd.Shards(); s++ {
+		sub := sd.Sub(s)
+		if len(sub.Dataset.Records) == 0 {
+			t.Errorf("shard %d holds no records", s)
+		}
+		if sub.RequestCount() == 0 {
+			t.Errorf("shard %d serves no requests", s)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"mnemo/internal/client"
 	"mnemo/internal/costmodel"
 	"mnemo/internal/server"
+	"mnemo/internal/shard"
 	"mnemo/internal/simclock"
 )
 
@@ -170,6 +171,12 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.Server.RunTimeout < 0 {
 		return c, fmt.Errorf("core: run timeout %v must be non-negative", c.Server.RunTimeout)
+	}
+	if c.Server.Shards < 0 || c.Server.Shards > shard.MaxShards {
+		return c, fmt.Errorf("core: shards %d outside [0,%d]", c.Server.Shards, shard.MaxShards)
+	}
+	if c.Server.VirtualNodes < 0 {
+		return c, fmt.Errorf("core: virtual nodes %d must be non-negative", c.Server.VirtualNodes)
 	}
 	if err := c.Resilience.Validate(); err != nil {
 		return c, err

@@ -56,6 +56,9 @@ func (s *SensitivityEngine) Baselines(ctx context.Context, w *ycsb.Workload) (Ba
 	}
 	var results [2]client.RunStats
 	var errs [2]error
+	// Both baselines and their nested repetition/shard fan-outs share
+	// one worker budget (see pool.Budget).
+	ctx = pool.EnsureBudget(ctx)
 	if err := pool.RunObs(ctx, len(jobs), len(jobs), s.cfg.Server.Obs, func(i int) {
 		results[i], errs[i] = client.ExecuteMeanCtx(ctx, jobs[i].cfg, w, jobs[i].p, s.cfg.Runs, 0, s.cfg.Resilience)
 	}); err != nil {

@@ -84,6 +84,10 @@ func ValidateWorkers(ctx context.Context, cfg Config, w *ycsb.Workload, c *Curve
 	var pe PlacementEngine
 	out := make([]ValidationPoint, len(jobs))
 	errs := make([]error, len(jobs))
+	// One worker budget for the whole sweep: the nested repetition and
+	// per-shard fan-outs below share it instead of multiplying into
+	// points × runs × shards goroutines.
+	ctx = pool.EnsureBudget(ctx)
 	if perr := pool.RunObs(ctx, len(jobs), workers, ncfg.Server.Obs, func(j int) {
 		job := jobs[j]
 		point := c.Points[job.k]

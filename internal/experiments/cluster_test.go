@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestClusterSweep(t *testing.T) {
+	r, err := ClusterSweep(Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards != clusterDefaultShards {
+		t.Fatalf("shards = %d, want default %d", r.Shards, clusterDefaultShards)
+	}
+	if len(r.PerShard) != r.Shards {
+		t.Fatalf("per-shard rows = %d, want %d", len(r.PerShard), r.Shards)
+	}
+	// The layout must cover the dataset and trace exactly once.
+	var keys, fastKeys, requests int
+	var bytesTotal, fastBytes int64
+	for _, row := range r.PerShard {
+		keys += row.Keys
+		fastKeys += row.FastKeys
+		requests += row.Requests
+		bytesTotal += row.Bytes
+		fastBytes += row.FastBytes
+		if row.FastBytes > r.FastBytesPerShard {
+			t.Fatalf("shard %d fast bytes %d exceed reported max %d", row.Shard, row.FastBytes, r.FastBytesPerShard)
+		}
+	}
+	if keys != Quick.Keys {
+		t.Errorf("keys across shards = %d, want %d", keys, Quick.Keys)
+	}
+	if requests != Quick.Requests {
+		t.Errorf("requests across shards = %d, want %d", requests, Quick.Requests)
+	}
+	if bytesTotal != r.TotalBytes {
+		t.Errorf("bytes across shards = %d, want %d", bytesTotal, r.TotalBytes)
+	}
+	if fastKeys != r.Advice.Point.KeysInFast {
+		t.Errorf("fast keys across shards = %d, want advised %d", fastKeys, r.Advice.Point.KeysInFast)
+	}
+	if fastBytes != r.Advice.Point.FastBytes {
+		t.Errorf("fast bytes across shards = %d, want advised %d", fastBytes, r.Advice.Point.FastBytes)
+	}
+	if r.HotShardSpread < 2 {
+		t.Errorf("hot-set spread %d of %d shards — hot keys collapsed onto one shard", r.HotShardSpread, r.Shards)
+	}
+	if r.Measured.Requests != Quick.Requests {
+		t.Errorf("measured requests = %d, want %d", r.Measured.Requests, Quick.Requests)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Cluster sweep", "per shard", "Per-shard layout", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestClusterSweepHonorsScaleShards(t *testing.T) {
+	s := Quick
+	s.Shards = 2
+	r, err := ClusterSweep(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards != 2 || len(r.PerShard) != 2 {
+		t.Fatalf("shards = %d rows = %d, want 2", r.Shards, len(r.PerShard))
+	}
+}

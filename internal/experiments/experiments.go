@@ -16,6 +16,7 @@ import (
 	"mnemo/internal/core"
 	"mnemo/internal/obs"
 	"mnemo/internal/server"
+	"mnemo/internal/shard"
 	"mnemo/internal/simclock"
 	"mnemo/internal/ycsb"
 )
@@ -45,6 +46,9 @@ type Scale struct {
 	// replay path instead of the batched kernel. The two paths are
 	// bit-identical; this is a debugging/comparison knob.
 	DisableBatchReplay bool
+	// Shards replays every measurement across a consistent-hash cluster
+	// of N deployments (0 = single deployment; DESIGN.md §13).
+	Shards int
 }
 
 // Full is the paper's scale.
@@ -63,6 +67,9 @@ func (s Scale) Validate() error {
 	}
 	if s.RunTimeout < 0 {
 		return fmt.Errorf("experiments: run timeout %v must be non-negative", s.RunTimeout)
+	}
+	if s.Shards < 0 || s.Shards > shard.MaxShards {
+		return fmt.Errorf("experiments: shards %d outside [0,%d]", s.Shards, shard.MaxShards)
 	}
 	return nil
 }
@@ -87,6 +94,7 @@ func (s Scale) coreConfig(e server.Engine, seed int64) core.Config {
 	cfg.Server.RunTimeout = s.RunTimeout
 	cfg.Server.Obs = s.Obs
 	cfg.Server.DisableBatchReplay = s.DisableBatchReplay
+	cfg.Server.Shards = s.Shards
 	if s.Fault.Enabled() {
 		cfg.Resilience = defaultResilience
 	}

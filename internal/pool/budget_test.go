@@ -1,0 +1,92 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBudgetTryAcquire(t *testing.T) {
+	b := NewBudget(3)
+	if got := b.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d", got)
+	}
+	if got := b.TryAcquire(5); got != 1 {
+		t.Fatalf("TryAcquire(5) on 1 remaining = %d", got)
+	}
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on empty budget = %d", got)
+	}
+	b.ReleaseN(3)
+	if b.Extra() != 3 {
+		t.Fatalf("Extra() = %d after full release", b.Extra())
+	}
+	if NewBudget(-1).Extra() != 0 {
+		t.Fatal("negative allowance should clamp to 0")
+	}
+}
+
+// TestNestedFanOutsShareBudget composes two pool layers — an outer
+// 4-way fan-out whose every job runs an inner 8-way fan-out — under one
+// 3-extra-worker budget, and asserts peak concurrent job execution
+// never exceeds callers+extra. Without the budget this shape runs up to
+// 4×8 jobs at once.
+func TestNestedFanOutsShareBudget(t *testing.T) {
+	const extra = 3
+	ctx := WithBudget(context.Background(), NewBudget(extra))
+	var active, peak atomic.Int64
+	var mu sync.Mutex
+	job := func(int) {
+		a := active.Add(1)
+		mu.Lock()
+		if a > peak.Load() {
+			peak.Store(a)
+		}
+		mu.Unlock()
+		for i := 0; i < 1000; i++ {
+			_ = i * i
+		}
+		active.Add(-1)
+	}
+	var inner atomic.Int64
+	if err := RunObs(ctx, 4, 4, nil, func(int) {
+		if err := RunObs(ctx, 8, 8, nil, func(i int) {
+			inner.Add(1)
+			job(i)
+		}); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if inner.Load() != 32 {
+		t.Fatalf("ran %d inner jobs, want 32", inner.Load())
+	}
+	// Outer workers run inner jobs on their own goroutines (1 implicit
+	// worker each) plus whatever extra tokens they win; jobs in flight
+	// can never exceed the outer width plus the shared allowance.
+	if p := peak.Load(); p > 4+extra {
+		t.Fatalf("peak concurrency %d exceeds bound %d", p, 4+extra)
+	}
+	if got := BudgetFrom(ctx).Extra(); got != extra {
+		t.Fatalf("budget leaked: %d of %d tokens returned", got, extra)
+	}
+}
+
+func TestEnsureBudget(t *testing.T) {
+	ctx := EnsureBudget(context.Background())
+	b := BudgetFrom(ctx)
+	if b == nil {
+		t.Fatal("EnsureBudget installed nothing")
+	}
+	if again := EnsureBudget(ctx); BudgetFrom(again) != b {
+		t.Fatal("EnsureBudget replaced an existing budget")
+	}
+	if BudgetFrom(context.Background()) != nil {
+		t.Fatal("BudgetFrom invented a budget")
+	}
+	if BudgetFrom(nil) != nil { //nolint:staticcheck // nil-safety contract
+		t.Fatal("BudgetFrom(nil) should be nil")
+	}
+}

@@ -120,6 +120,15 @@ func RunObs(ctx context.Context, n, workers int, sink *obs.Sink, fn func(i int))
 	}
 	tel := newPoolTelemetry(sink)
 	workers = Workers(workers, n)
+	// Under a shared worker budget (nested fan-outs; see Budget), the
+	// calling goroutine is an implicit worker and each one beyond it
+	// needs a token. Acquisition is non-blocking: a pool that gets
+	// nothing runs the serial path below — same code, same job order.
+	if b := BudgetFrom(ctx); b != nil && workers > 1 {
+		granted := b.TryAcquire(workers - 1)
+		defer b.ReleaseN(granted)
+		workers = 1 + granted
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

@@ -117,6 +117,15 @@ type Config struct {
 	// and frozen benchmarks; the two paths are bit-identical, so there
 	// is no reason to set it in production.
 	DisableBatchReplay bool
+	// Shards splits the deployment into a consistent-hash cluster of N
+	// independent fast+slow pairs (DESIGN.md §13). 0 keeps the legacy
+	// single deployment; ≥ 1 routes execution through
+	// ShardedDeployment (Shards=1 is a one-shard cluster, bit-identical
+	// to the single deployment — the golden equivalence anchor).
+	Shards int
+	// VirtualNodes is the ring points per shard
+	// (0 = shard.DefaultVirtualNodes).
+	VirtualNodes int
 }
 
 // DefaultConfig returns the Table I machine with default noise.

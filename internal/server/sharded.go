@@ -1,0 +1,207 @@
+package server
+
+import (
+	"fmt"
+
+	"mnemo/internal/memsim"
+	"mnemo/internal/shard"
+	"mnemo/internal/simclock"
+	"mnemo/internal/ycsb"
+)
+
+// Sharded replay cluster (DESIGN.md §13).
+//
+// A ShardedDeployment owns N single Deployments behind a consistent-
+// hash ring: the workload is partitioned once (internal/shard, cached),
+// each shard gets the records the ring assigns to it plus exactly its
+// subsequence of the trace, and every existing single-deployment
+// mechanism — the batched replay kernel, the ResetRun snapshot, fault
+// injection, telemetry flushing — applies per shard unchanged. Shards
+// are fully independent simulations: no shared clock, no shared LLC, no
+// cross-shard requests, which is what lets the client replay them on
+// separate goroutines and still merge deterministically.
+//
+// Clock semantics are max-over-shards: the cluster's runtime is the
+// slowest shard's simulated time, the way a scatter-gather measurement
+// completes when its last shard does. Config.RunTimeout bounds each
+// shard's own clock (a watchdog per server process, not per cluster).
+
+// shardSeedStride decorrelates per-shard noise/fault streams. Shard 0
+// keeps the configured seed (so a 1-shard cluster reproduces the single
+// deployment bit-for-bit); shard s runs at Seed + s·524287 — a stride
+// coprime to and much larger than the repetition stride (1009), so run
+// r of shard s never collides with run r′ of shard s′ within any
+// realistic runs×shards grid.
+const shardSeedStride = 524287
+
+// ShardedDeployment is a consistent-hash cluster of Deployments
+// replaying one partitioned workload.
+type ShardedDeployment struct {
+	cfg  Config
+	part *shard.Partition
+	deps []*Deployment
+	// local[s] is shard s's remapped placement, kept for rebuilding a
+	// shard whose snapshot reset is unavailable.
+	local  []Placement
+	loaded bool
+}
+
+// shardConfig derives shard s's deployment config: the per-shard seed,
+// with the cluster fields cleared (a member deployment is a plain
+// single deployment).
+func (cfg Config) shardConfig(s int) Config {
+	c := cfg
+	c.Seed = cfg.Seed + int64(s)*shardSeedStride
+	c.Shards = 0
+	c.VirtualNodes = 0
+	return c
+}
+
+// NewShardedDeployment partitions the workload over cfg.Shards shards
+// (cfg.VirtualNodes ring points each) and builds one empty member
+// deployment per shard. Partitioning is cached across clusters of the
+// same workload and shape; per-shard noise and fault fates are rolled
+// from the shard seeds at construction, like NewDeployment.
+func NewShardedDeployment(cfg Config, w *ycsb.Workload) (*ShardedDeployment, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("server: sharded deployment needs Shards ≥ 1, got %d", cfg.Shards)
+	}
+	// The batched kernel consumes the packed sub-traces directly; only
+	// a config or engine that forces the per-op path needs Ops
+	// materialized per shard.
+	withOps := cfg.DisableBatchReplay || !w.Packed().Batchable()
+	part, err := shard.For(w, cfg.Shards, cfg.VirtualNodes, withOps)
+	if err != nil {
+		return nil, err
+	}
+	sd := &ShardedDeployment{
+		cfg:   cfg,
+		part:  part,
+		deps:  make([]*Deployment, cfg.Shards),
+		local: make([]Placement, cfg.Shards),
+	}
+	for s := range sd.deps {
+		sd.deps[s] = NewDeployment(cfg.shardConfig(s))
+	}
+	return sd, nil
+}
+
+// Shards returns the cluster size.
+func (sd *ShardedDeployment) Shards() int { return len(sd.deps) }
+
+// Dep returns shard s's member deployment.
+func (sd *ShardedDeployment) Dep(s int) *Deployment { return sd.deps[s] }
+
+// Sub returns shard s's sub-workload.
+func (sd *ShardedDeployment) Sub(s int) *ycsb.Workload { return sd.part.Subs[s].W }
+
+// Partition exposes the cluster's workload partition (for reports).
+func (sd *ShardedDeployment) Partition() *shard.Partition { return sd.part }
+
+// InjectedFailure reports the first fail-fated shard (in shard order)
+// as that shard's *FaultError, or nil when every shard is healthy —
+// one dead server process fails the scatter-gather at connect time.
+func (sd *ShardedDeployment) InjectedFailure() error {
+	for s, d := range sd.deps {
+		if err := d.InjectedFailure(); err != nil {
+			if len(sd.deps) == 1 {
+				return err
+			}
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Load populates every shard from its partition slice under the global
+// placement, remapped to shard-local record indices: local record i of
+// shard s gets the tier the global placement assigns to its global
+// index. Placement semantics are therefore identical to the single
+// deployment's — the same record lands on the same tier regardless of
+// shard count.
+func (sd *ShardedDeployment) Load(p Placement) error {
+	for s, d := range sd.deps {
+		sub := &sd.part.Subs[s]
+		lp := sd.localPlacement(p, sub)
+		if err := d.Load(sub.W.Dataset, lp); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		sd.local[s] = lp
+	}
+	sd.loaded = true
+	return nil
+}
+
+// localPlacement remaps the global placement onto one shard's local
+// record indices, resolving each record once through the same
+// tierForRecord path Deployment.Load uses.
+func (sd *ShardedDeployment) localPlacement(p Placement, sub *shard.Sub) Placement {
+	dense := make([]memsim.Tier, len(sub.GlobalIndex))
+	for local, g := range sub.GlobalIndex {
+		dense[local] = p.tierForRecord(int(g), sub.W.Dataset.Records[local].Key)
+	}
+	return Placement{defaultTier: p.defaultTier, dense: dense}
+}
+
+// ResetRun rewinds every shard to its post-Load state under per-shard
+// derivations of the new seed. A shard whose snapshot reset is
+// unavailable (no batch table) is rebuilt fresh from its kept local
+// placement — same end state, populate cost paid again. Returns false
+// only when the cluster was never loaded.
+func (sd *ShardedDeployment) ResetRun(seed int64) bool {
+	if !sd.loaded {
+		return false
+	}
+	for s, d := range sd.deps {
+		shardSeed := seed + int64(s)*shardSeedStride
+		if d.ResetRun(shardSeed) {
+			continue
+		}
+		c := sd.cfg.shardConfig(s)
+		c.Seed = shardSeed
+		nd := NewDeployment(c)
+		if err := nd.Load(sd.part.Subs[s].W.Dataset, sd.local[s]); err != nil {
+			return false
+		}
+		sd.deps[s] = nd
+	}
+	return true
+}
+
+// Clock returns the cluster's simulated time: the max over shards — a
+// scatter-gather run completes when its slowest shard does.
+func (sd *ShardedDeployment) Clock() simclock.Duration {
+	var max simclock.Duration
+	for _, d := range sd.deps {
+		if c := d.Clock(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Engine reports the deployed engine (uniform across shards).
+func (sd *ShardedDeployment) Engine() Engine { return sd.cfg.Engine }
+
+// FlushObs publishes every shard's accumulated op and LLC counters, in
+// shard order so the metric stream is deterministic.
+func (sd *ShardedDeployment) FlushObs() {
+	for _, d := range sd.deps {
+		d.FlushObs()
+	}
+}
+
+// Reusable reports whether every shard can serve further repetitions
+// via the snapshot reset (all batch-capable) — the cluster analogue of
+// the client's canReuse.
+func (sd *ShardedDeployment) Reusable() bool {
+	if !sd.loaded {
+		return false
+	}
+	for s, d := range sd.deps {
+		if d.BatchTable() == nil || !sd.part.Subs[s].W.Packed().Batchable() {
+			return false
+		}
+	}
+	return true
+}

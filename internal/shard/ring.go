@@ -1,0 +1,114 @@
+// Package shard partitions a workload across N deployments behind a
+// consistent-hash ring — the cluster scale-out layer of DESIGN.md §13.
+// The ring places VirtualNodes points per shard on a 64-bit hash circle
+// and routes each trace key (a dense int32 dataset index, hashed
+// directly — no key-string round trips) to the owner of the first point
+// at or after the key's hash. The partitioner (partition.go) applies the
+// ring to a workload once, producing per-shard sub-workloads whose
+// record indices are shard-local, so every existing single-deployment
+// replay path works unchanged per shard.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the ring's default virtual-node count per
+// shard. 64 points per shard keeps the expected per-shard key-count
+// imbalance within a few percent while the ring stays small enough
+// (shards×64 points) that building and binary-searching it is noise
+// next to trace partitioning.
+const DefaultVirtualNodes = 64
+
+// MaxShards bounds the cluster size. The partitioner stores shard
+// assignments as int32 and builds one sub-workload per shard; 256
+// deployments is far beyond any simulation this package targets, so the
+// bound mostly guards against misparsed flag input.
+const MaxShards = 256
+
+// mix64 is the splitmix64 finalizer: a full-avalanche 64-bit mixer
+// (each input bit flips each output bit with probability ~1/2). Trace
+// keys are dense small integers, so a plain modulo or FNV of their
+// bytes would correlate adjacent keys; the finalizer decorrelates them
+// at the cost of three shifts and two multiplies — no string or byte-
+// slice round trip, as the packed trace only carries uint32 indices.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// keyPoint hashes a trace key (dataset record index) onto the ring.
+func keyPoint(key uint32) uint64 { return mix64(uint64(key)) }
+
+// vnodeDomain offsets virtual-node identifiers into a hash domain
+// disjoint from the uint32 key space, so a ring point can never be the
+// image of a trace key under the same mixer.
+const vnodeDomain = uint64(1) << 40
+
+// Ring is an immutable consistent-hash ring over a fixed shard count.
+type Ring struct {
+	shards int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int32
+}
+
+// NewRing builds the ring with vnodes virtual nodes per shard
+// (≤ 0 = DefaultVirtualNodes).
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards <= 0 || shards > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d outside [1,%d]", shards, MaxShards)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := mix64(vnodeDomain + uint64(s)<<20 + uint64(v))
+			r.points = append(r.points, ringPoint{hash: h, shard: int32(s)})
+		}
+	}
+	// Ties (astronomically unlikely) break by shard index so the ring is
+	// a pure function of (shards, vnodes).
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the ring's shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning a trace key: the shard of the first
+// ring point at or clockwise-after the key's hash, wrapping to the
+// first point past the top of the circle.
+func (r *Ring) Owner(key uint32) int {
+	h := keyPoint(key)
+	pts := r.points
+	// Binary search for the first point with hash ≥ h.
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(pts) {
+		lo = 0
+	}
+	return int(pts[lo].shard)
+}

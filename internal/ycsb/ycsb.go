@@ -256,6 +256,37 @@ func (w *Workload) Packed() *PackedTrace {
 // KeyName formats the canonical key string for a key index.
 func KeyName(i int) string { return fmt.Sprintf("user%08d", i) }
 
+// FromPacked builds a workload whose trace exists only in packed form
+// (Ops stays nil): the struct-of-arrays encoding is installed directly
+// and the packing Once is consumed at construction. The shard
+// partitioner uses this to split batchable traces without ever
+// materializing 16-byte Ops per shard. Keys and kinds must reference
+// ds.Records; the caller transfers ownership of both slices.
+func FromPacked(spec Spec, ds Dataset, keys []uint32, kinds []uint8) *Workload {
+	pt := &PackedTrace{Keys: keys, Kinds: kinds, readWriteOnly: true}
+	for _, k := range kinds {
+		if kvstore.OpKind(k) != kvstore.Read && kvstore.OpKind(k) != kvstore.Write {
+			pt.readWriteOnly = false
+			break
+		}
+	}
+	w := &Workload{Spec: spec, Dataset: ds}
+	w.packedOnce.Do(func() { w.packed = pt })
+	return w
+}
+
+// RequestCount returns the trace length regardless of representation:
+// Ops when materialized, the packed encoding otherwise.
+func (w *Workload) RequestCount() int {
+	if w.Ops != nil {
+		return len(w.Ops)
+	}
+	if pt := w.Packed(); pt != nil {
+		return len(pt.Keys)
+	}
+	return 0
+}
+
 // Generate builds the workload deterministically from its spec and seed.
 func Generate(spec Spec) (*Workload, error) {
 	if err := spec.Validate(); err != nil {

@@ -33,6 +33,7 @@ import (
 	"mnemo/internal/obs"
 	"mnemo/internal/registry"
 	"mnemo/internal/server"
+	"mnemo/internal/shard"
 	"mnemo/internal/simclock"
 	"mnemo/internal/ycsb"
 )
@@ -211,6 +212,14 @@ type Options struct {
 	// paths are bit-identical, so this is a debugging/benchmarking knob,
 	// not a correctness one.
 	DisableBatchReplay bool
+	// Shards replays every measurement across a consistent-hash cluster
+	// of N deployments (multi-core replay with a deterministic merge;
+	// DESIGN.md §13). 0 keeps the single deployment; Shards=1 routes
+	// through the cluster machinery and is bit-identical to 0.
+	Shards int
+	// VirtualNodes is the consistent-hash ring points per shard
+	// (0 = the shard package default of 64).
+	VirtualNodes int
 }
 
 // validate rejects malformed options with descriptive errors before any
@@ -237,6 +246,13 @@ func (o Options) validate() error {
 	}
 	if o.RunTimeout < 0 {
 		return fmt.Errorf("mnemo: RunTimeout %v must be non-negative (0 disables it)", o.RunTimeout)
+	}
+	if o.Shards < 0 || o.Shards > shard.MaxShards {
+		return fmt.Errorf("mnemo: Shards %d outside [0,%d] (0 means a single deployment)",
+			o.Shards, shard.MaxShards)
+	}
+	if o.VirtualNodes < 0 {
+		return fmt.Errorf("mnemo: VirtualNodes %d must be non-negative (0 means the default)", o.VirtualNodes)
 	}
 	if o.Retries < 0 {
 		return fmt.Errorf("mnemo: Retries %d must be non-negative", o.Retries)
@@ -302,6 +318,8 @@ func (o Options) coreConfig() (core.Config, error) {
 	cfg.Server.RunTimeout = o.RunTimeout
 	cfg.Server.Obs = o.Obs
 	cfg.Server.DisableBatchReplay = o.DisableBatchReplay
+	cfg.Server.Shards = o.Shards
+	cfg.Server.VirtualNodes = o.VirtualNodes
 	cfg.Resilience = client.Policy{
 		Retries:    o.Retries,
 		MinRuns:    o.MinRuns,

@@ -108,6 +108,9 @@ func ProfileMatrixContext(ctx context.Context, req MatrixRequest) ([]MatrixCell,
 			cells = append(cells, MatrixCell{Workload: name, Engine: e})
 		}
 	}
+	// Matrix cells and every fan-out nested inside a cell (baselines ×
+	// repetitions × shards) share one worker budget.
+	ctx = pool.EnsureBudget(ctx)
 	sweepErr := pool.RunCtx(ctx, len(cells), req.Parallelism, func(i int) {
 		cell := &cells[i]
 		opts := req.Options
