@@ -44,6 +44,19 @@ func TestOptionsValidation(t *testing.T) {
 		{"negative min runs", Options{MinRuns: -1}, "MinRuns"},
 		{"negative outlier MAD", Options{OutlierMAD: -3.5}, "OutlierMAD"},
 		{"MAD without min runs", Options{OutlierMAD: 3.5}, "MinRuns"},
+		{"negative shards", Options{Shards: -1}, "Shards"},
+		{"shards above max", Options{Shards: 257}, "Shards"},
+		{"negative virtual nodes", Options{VirtualNodes: -1}, "VirtualNodes"},
+		{"negative crash prob", Options{Fault: FaultSpec{CrashProb: -0.1}}, "CrashProb"},
+		{"crash prob above 1", Options{Fault: FaultSpec{CrashProb: 1.5}}, "CrashProb"},
+		{"straggler prob above 1", Options{Fault: FaultSpec{StragglerProb: 2}}, "StragglerProb"},
+		{"negative straggler factor", Options{Fault: FaultSpec{StragglerProb: 0.1, StragglerFactor: -4}}, "StragglerFactor"},
+		{"negative shard retries", Options{Shards: 2, ShardRetries: -1}, "ShardRetries"},
+		{"negative shard fault budget", Options{Shards: 2, ShardFaultBudget: -2}, "ShardFaultBudget"},
+		{"fractional hedge factor", Options{Shards: 2, HedgeFactor: 0.5}, "HedgeFactor"},
+		{"shard retries without shards", Options{ShardRetries: 1}, "Shards ≥ 2"},
+		{"fault budget without shards", Options{ShardFaultBudget: 1}, "Shards ≥ 2"},
+		{"hedging on one shard", Options{Shards: 1, HedgeFactor: 2}, "Shards ≥ 2"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,209 @@
+package mnemo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"mnemo/internal/pool"
+)
+
+// shardReasonRE is the shape every shard-attributed degraded reason
+// must take: the baseline it came from, the dead shard's index, and the
+// underlying error.
+var shardReasonRE = regexp.MustCompile(`^(FastMem|SlowMem): shard \d+: .+`)
+
+// chaosShardedOptions derives one seeded sharded fault schedule: the
+// cluster size cycles through {2,4,8}, every fault class (legacy and
+// shard-granular) draws a probability, and the remediation knobs —
+// per-shard retries, a fault budget sized to the cluster, hedging — are
+// themselves randomized so the sweep covers their whole cross-product.
+func chaosShardedOptions(i int, rng *rand.Rand) Options {
+	shards := []int{2, 4, 8}[i%3]
+	opts := Options{
+		Seed:   int64(i) + 1,
+		Runs:   1 + rng.Intn(2),
+		Shards: shards,
+		Fault: FaultSpec{
+			Seed:           int64(i)*13 + 5,
+			FailProb:       rng.Float64() * 0.3,
+			StallProb:      rng.Float64() * 0.2,
+			OutlierProb:    rng.Float64() * 0.3,
+			CrashProb:      rng.Float64() * 0.4,
+			StragglerProb:  rng.Float64() * 0.4,
+			StallWindowOps: 50, // inside every shard's slice of the tiny trace
+		},
+		Retries:          rng.Intn(2),
+		ShardRetries:     rng.Intn(3),
+		ShardFaultBudget: rng.Intn(shards),
+	}
+	if rng.Intn(2) == 0 {
+		opts.RunTimeout = 2 * Second // cuts injected stalls
+	}
+	if rng.Intn(2) == 0 {
+		opts.HedgeFactor = 1 + rng.Float64()*2
+	}
+	if opts.ShardRetries == 0 && opts.ShardFaultBudget == 0 && opts.HedgeFactor == 0 {
+		// Every schedule exercises the fault-domain path; all three knobs
+		// zero would fall back to the legacy all-or-nothing behavior.
+		opts.ShardRetries = 1
+	}
+	return opts
+}
+
+// TestChaosShardedSchedules drives sharded profiles through 200 seeded
+// fault schedules mixing every fault class with randomized remediation
+// knobs. The contract: each schedule ends with a report or a typed
+// error, degraded reports carry correctly-shaped shard-attributed
+// reasons and consistent counts, the whole remediated execution is
+// bit-identical when repeated under the same seed, and no goroutines
+// leak. (The TestChaos name prefix keeps it inside the nightly
+// `-run 'TestChaos'` -race sweep.)
+func TestChaosShardedSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded chaos sweep is a long test")
+	}
+	const schedules = 200
+
+	warmup := runtime.NumGoroutine()
+
+	degraded, failed := 0, 0
+	for i := 0; i < schedules; i++ {
+		rng := rand.New(rand.NewSource(int64(i)*104729 + 3))
+		opts := chaosShardedOptions(i, rng)
+		w, err := GenerateWorkload(chaosSpec(fmt.Sprintf("chaos_sharded_%d", i), int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ProfileContext(context.Background(), w, opts)
+		if (rep == nil) == (err == nil) {
+			t.Fatalf("schedule %d: report %v, err %v — want exactly one", i, rep, err)
+		}
+		if err != nil {
+			failed++
+			var pe *pool.PanicError
+			if errors.As(err, &pe) {
+				t.Fatalf("schedule %d: panic captured: %v\n%s", i, pe.Value, pe.Stack)
+			}
+			if !expectedChaosErr(err) {
+				t.Fatalf("schedule %d: untyped error %v", i, err)
+			}
+		} else {
+			if rep.Degraded != (len(rep.DegradedReasons) > 0) {
+				t.Fatalf("schedule %d: Degraded=%t with %d reasons (strict mode: the only "+
+					"degradation source is a partial shard merge)",
+					i, rep.Degraded, len(rep.DegradedReasons))
+			}
+			for _, reason := range rep.DegradedReasons {
+				if !shardReasonRE.MatchString(reason) {
+					t.Fatalf("schedule %d: malformed degraded reason %q", i, reason)
+				}
+			}
+			if fails := rep.Baselines.Fast.ShardsFailed + rep.Baselines.Slow.ShardsFailed; fails != len(rep.DegradedReasons) {
+				t.Fatalf("schedule %d: %d shard failures but %d reasons",
+					i, fails, len(rep.DegradedReasons))
+			}
+			if rep.Degraded {
+				degraded++
+			}
+		}
+
+		// Determinism: the full remediated pipeline — retries, hedges,
+		// partial merges — must reproduce bit-exactly under the same seed.
+		rep2, err2 := ProfileContext(context.Background(), w, opts)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("schedule %d: outcome flipped on rerun: %v vs %v", i, err, err2)
+		}
+		if err != nil {
+			if err.Error() != err2.Error() {
+				t.Fatalf("schedule %d: error not deterministic:\nfirst: %v\nagain: %v", i, err, err2)
+			}
+		} else if !reflect.DeepEqual(rep, rep2) {
+			t.Fatalf("schedule %d: report not deterministic:\nfirst: %+v\nagain: %+v", i, rep, rep2)
+		}
+	}
+	// The sweep must actually exercise the degraded and failed paths —
+	// a silent all-healthy run would pin nothing.
+	if degraded == 0 {
+		t.Error("no schedule produced a degraded partial result")
+	}
+	if failed == 0 {
+		t.Error("no schedule exhausted its fault budget")
+	}
+	t.Logf("%d schedules: %d degraded, %d failed", schedules, degraded, failed)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= warmup+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after %d schedules",
+				warmup, runtime.NumGoroutine(), schedules)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosShardedCancellationPrompt cancels a hedged, fault-injected
+// sharded profile mid-flight: the call must return the context error
+// quickly and — the hedge-loser leak regression — every per-shard and
+// hedge goroutine must drain, leaving no leaks behind.
+func TestChaosShardedCancellationPrompt(t *testing.T) {
+	warmup := runtime.NumGoroutine()
+	cut := 0
+	for i := 0; i < 4; i++ {
+		w, err := GenerateWorkload(WorkloadSpec{
+			Name: fmt.Sprintf("cancel_sharded_%d", i), Keys: 2000, Requests: 100_000,
+			Dist:      DistSpec{Kind: Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+			ReadRatio: 0.9, Sizes: SizeThumbnail, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		rep, err := ProfileContext(ctx, w, Options{
+			Seed: int64(i) + 1, Runs: 4, Shards: 4,
+			Fault:        FaultSpec{Seed: int64(i)*7 + 3, StragglerProb: 0.5, CrashProb: 0.2, StallWindowOps: 5000},
+			ShardRetries: 2, ShardFaultBudget: 3, HedgeFactor: 1,
+		})
+		elapsed := time.Since(start)
+		cancel()
+		if elapsed > 5*time.Second {
+			t.Fatalf("spec %d: cancellation took %v", i, elapsed)
+		}
+		switch {
+		case err == nil && rep != nil:
+			// Finished before the cancel landed; nothing to assert.
+		case errors.Is(err, context.Canceled):
+			cut++
+		default:
+			t.Fatalf("spec %d: got report %v, err %v after cancellation", i, rep, err)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= warmup+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancelled hedged profiles: %d before, %d after",
+				warmup, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if cut == 0 {
+		t.Skip("profiles finished before cancellation; nothing to assert")
+	}
+	t.Logf("cancelled %d of 4 hedged sharded profiles", cut)
+}

@@ -34,6 +34,14 @@
 //	-fault-stall p  class, or reshape the mix -fault applies to all three
 //	-fault-outlier p
 //	-fault-seed n   decorrelates the fault schedule from -seed
+//	-fault-shard p  shard-granular chaos (needs -shards ≥ 2): each shard
+//	                independently crashes mid-run or runs as a persistent
+//	                straggler with probability p per class; shards retry in
+//	                place and runs degrade to partial merges within a
+//	                default fault budget (1 retry, ≥¼ of the cluster)
+//	-hedge f        hedged re-execution (needs -shards ≥ 2): shards slower
+//	                than f× the median shard runtime are speculatively
+//	                re-run and the faster execution wins (0 = off, else ≥ 1)
 //	-timeout s      per-run budget in simulated seconds; a run whose
 //	                simulated clock exceeds it (e.g. an injected stall) is
 //	                cut off and retried (0 = unbounded)
@@ -243,6 +251,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	faultStall := fs.Float64("fault-stall", -1, "stall-fault probability `p` (overrides -fault for this class)")
 	faultOutlier := fs.Float64("fault-outlier", -1, "outlier-fault probability `p` (overrides -fault for this class)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault schedule")
+	faultShard := fs.Float64("fault-shard", 0, "shard-granular chaos: each shard independently crashes mid-run or runs as a persistent straggler with probability `p` per class (needs -shards ≥ 2)")
+	hedge := fs.Float64("hedge", 0, "hedge shards slower than `factor`× the median shard runtime (0 = off, else ≥ 1; needs -shards ≥ 2)")
 	timeout := fs.Float64("timeout", 0, "per-run budget in simulated `seconds` (0 = unbounded)")
 	noBatch := fs.Bool("no-batch", false, "force the per-op replay path (disable the batched kernel)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
@@ -304,14 +314,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if failP > 0 || stallP > 0 || outlierP > 0 {
+	if *faultShard < 0 || *faultShard > 1 {
+		return fmt.Errorf("-fault-shard %v outside [0,1]", *faultShard)
+	}
+	if *hedge != 0 && *hedge < 1 {
+		return fmt.Errorf("-hedge %v must be 0 (off) or ≥ 1", *hedge)
+	}
+	if (*faultShard > 0 || *hedge > 0) && *shards < 2 {
+		return fmt.Errorf("-fault-shard/-hedge need -shards ≥ 2, got %d", *shards)
+	}
+	if failP > 0 || stallP > 0 || outlierP > 0 || *faultShard > 0 {
 		scale.Fault = server.FaultSpec{
-			Seed:        *faultSeed,
-			FailProb:    failP,
-			StallProb:   stallP,
-			OutlierProb: outlierP,
+			Seed:          *faultSeed,
+			FailProb:      failP,
+			StallProb:     stallP,
+			OutlierProb:   outlierP,
+			CrashProb:     *faultShard,
+			StragglerProb: *faultShard,
 		}
 	}
+	if *faultShard > 0 {
+		// Shard chaos without remediation would just kill every sweep;
+		// default to one in-place retry per shard and a quarter of the
+		// cluster as the fault budget.
+		scale.ShardRetries = 1
+		if b := *shards / 4; b > 0 {
+			scale.ShardFaultBudget = b
+		} else {
+			scale.ShardFaultBudget = 1
+		}
+	}
+	scale.HedgeFactor = *hedge
 	scale.RunTimeout = simclock.Duration(*timeout * float64(simclock.Second))
 	scale.DisableBatchReplay = *noBatch
 	if *metrics != "" {

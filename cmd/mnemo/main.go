@@ -25,6 +25,13 @@
 //	-shards n         replay across a consistent-hash cluster of n
 //	                  deployments (0 = single deployment; -html gains a
 //	                  per-shard layout section when n ≥ 2)
+//	-shard-retries n  with -shards ≥ 2: in-place retries per faulted shard
+//	-shard-budget n   with -shards ≥ 2: dead shards tolerated per run —
+//	                  within budget the run degrades to a partial merge of
+//	                  the surviving shards instead of failing
+//	-hedge f          with -shards ≥ 2: speculatively re-run shards slower
+//	                  than f× the median shard runtime; the faster
+//	                  execution wins (0 = off, else ≥ 1)
 //	-o file           write the curve csv here (default stdout, "" = skip)
 //	-plot             also render the curve as an ASCII plot on stderr
 //	-json             emit a JSON report summary on stdout instead of csv
@@ -63,26 +70,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("mnemo", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload = fs.String("workload", "trending", "Table III workload name, or '-' for csv on stdin")
-		store    = fs.String("store", "redislike", "store engine: redislike|memcachedlike|dynamolike")
-		policy   = fs.String("policy", "", "tiering policy (see -list-policies; default touch)")
-		compare  = fs.String("compare", "", "comma-separated extra policies to profile on the same baselines")
-		listPol  = fs.Bool("list-policies", false, "print the tiering-policy catalog and exit")
-		mode     = fs.String("mode", "", "deprecated alias for -policy: standalone|mnemot")
-		slo      = fs.Float64("slo", 0.10, "permissible slowdown for the advisor (0 disables)")
-		price    = fs.Float64("p", mnemo.DefaultPriceFactor, "SlowMem:FastMem per-byte price ratio")
-		runs     = fs.Int("runs", 1, "repetitions per baseline measurement")
-		seed     = fs.Int64("seed", 42, "deterministic seed")
-		keys     = fs.Int("keys", 0, "key-space size override")
-		requests = fs.Int("requests", 0, "request-count override")
-		shards   = fs.Int("shards", 0, "replay across a consistent-hash cluster of `n` deployments (0 = single deployment)")
-		outPath  = fs.String("o", "-", "curve csv destination ('-' = stdout, '' = skip)")
-		plot     = fs.Bool("plot", false, "render the curve as an ASCII plot on stderr")
-		jsonOut  = fs.Bool("json", false, "emit a JSON report summary on stdout instead of the csv")
-		htmlOut  = fs.String("html", "", "also write a standalone HTML report to this file")
-		monitor  = fs.Bool("monitor", false, "with -workload -, parse stdin as a Redis MONITOR capture")
-		defSize  = fs.Int("default-size", 1024, "record size for keys a MONITOR capture never writes")
-		metrics  = fs.String("metrics", "", "dump run metrics (Prometheus text format) to this file ('-' = stderr)")
+		workload     = fs.String("workload", "trending", "Table III workload name, or '-' for csv on stdin")
+		store        = fs.String("store", "redislike", "store engine: redislike|memcachedlike|dynamolike")
+		policy       = fs.String("policy", "", "tiering policy (see -list-policies; default touch)")
+		compare      = fs.String("compare", "", "comma-separated extra policies to profile on the same baselines")
+		listPol      = fs.Bool("list-policies", false, "print the tiering-policy catalog and exit")
+		mode         = fs.String("mode", "", "deprecated alias for -policy: standalone|mnemot")
+		slo          = fs.Float64("slo", 0.10, "permissible slowdown for the advisor (0 disables)")
+		price        = fs.Float64("p", mnemo.DefaultPriceFactor, "SlowMem:FastMem per-byte price ratio")
+		runs         = fs.Int("runs", 1, "repetitions per baseline measurement")
+		seed         = fs.Int64("seed", 42, "deterministic seed")
+		keys         = fs.Int("keys", 0, "key-space size override")
+		requests     = fs.Int("requests", 0, "request-count override")
+		shards       = fs.Int("shards", 0, "replay across a consistent-hash cluster of `n` deployments (0 = single deployment)")
+		shardRetries = fs.Int("shard-retries", 0, "with -shards ≥ 2: in-place retries per faulted shard")
+		shardBudget  = fs.Int("shard-budget", 0, "with -shards ≥ 2: dead shards tolerated before a run fails (partial merge within budget)")
+		hedge        = fs.Float64("hedge", 0, "with -shards ≥ 2: hedge shards slower than `factor`× the median runtime (0 = off, else ≥ 1)")
+		outPath      = fs.String("o", "-", "curve csv destination ('-' = stdout, '' = skip)")
+		plot         = fs.Bool("plot", false, "render the curve as an ASCII plot on stderr")
+		jsonOut      = fs.Bool("json", false, "emit a JSON report summary on stdout instead of the csv")
+		htmlOut      = fs.String("html", "", "also write a standalone HTML report to this file")
+		monitor      = fs.Bool("monitor", false, "with -workload -, parse stdin as a Redis MONITOR capture")
+		defSize      = fs.Int("default-size", 1024, "record size for keys a MONITOR capture never writes")
+		metrics      = fs.String("metrics", "", "dump run metrics (Prometheus text format) to this file ('-' = stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,13 +125,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown store %q", *store)
 	}
 	opts := mnemo.Options{
-		Store:       engine,
-		Seed:        *seed,
-		Runs:        *runs,
-		PriceFactor: *price,
-		SLO:         *slo,
-		Policy:      policyName,
-		Shards:      *shards,
+		Store:            engine,
+		Seed:             *seed,
+		Runs:             *runs,
+		PriceFactor:      *price,
+		SLO:              *slo,
+		Policy:           policyName,
+		Shards:           *shards,
+		ShardRetries:     *shardRetries,
+		ShardFaultBudget: *shardBudget,
+		HedgeFactor:      *hedge,
 	}
 	var sink *mnemo.Sink
 	if *metrics != "" {
@@ -152,6 +165,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		report.FormatBytes(w.Dataset.TotalBytes))
 	if *shards >= 2 {
 		fmt.Fprintf(stderr, "cluster: %d consistent-hash shards, stats merged deterministically\n", *shards)
+	}
+	if rep.Degraded {
+		fmt.Fprintf(stderr, "DEGRADED: report aggregated from partial measurements\n")
+		for _, r := range rep.DegradedReasons {
+			fmt.Fprintf(stderr, "  %s\n", r)
+		}
 	}
 	fmt.Fprintf(stderr, "baselines: FastMem %.0f ops/s, SlowMem %.0f ops/s (%.2fx slowdown)\n",
 		rep.Baselines.Fast.ThroughputOpsSec, rep.Baselines.Slow.ThroughputOpsSec,

@@ -227,11 +227,11 @@ func TestBatchedReplaySteadyStateZeroAllocs(t *testing.T) {
 	classes := sizeClasses(w.Dataset.Records)
 	a := newReplayAccum()
 	ctx := context.Background()
-	if err := replayBatched(ctx, d, tab, pt, classes, a, 0); err != nil {
+	if err := replayBatched(ctx, d, tab, pt.Keys, pt.Kinds, classes, a, 0); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(5, func() {
-		if err := replayBatched(ctx, d, tab, pt, classes, a, 0); err != nil {
+		if err := replayBatched(ctx, d, tab, pt.Keys, pt.Kinds, classes, a, 0); err != nil {
 			t.Fatal(err)
 		}
 	})

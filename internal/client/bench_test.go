@@ -412,7 +412,7 @@ func BenchmarkReplayBatched(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			a := newReplayAccum()
-			if err := replayBatched(ctx, d, tab, pt, classes, a, 0); err != nil {
+			if err := replayBatched(ctx, d, tab, pt.Keys, pt.Kinds, classes, a, 0); err != nil {
 				b.Fatal(err)
 			}
 		}

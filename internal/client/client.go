@@ -60,9 +60,23 @@ type RunStats struct {
 	// ExecuteMean* aggregate's resilience: repetitions requested, the
 	// survivors the means were folded from, and retry attempts spent.
 	// Degraded marks an aggregate computed from fewer runs than
-	// requested. Single-run stats leave all four zero.
+	// requested — or, for a sharded run, from fewer shards than the
+	// cluster holds. Single-run stats leave all four zero.
 	RunsRequested, RunsUsed, RunsRetried int
 	Degraded                             bool
+
+	// ShardsFailed, ShardsHedged and ShardsRetried summarize a sharded
+	// run's fault-domain remediation: shards dead after exhausting their
+	// per-shard retries (skipped by the partial merge, within the
+	// policy's shard fault budget), straggler shards speculatively
+	// re-executed, and per-shard retry attempts spent. Aggregates sum
+	// them across surviving repetitions. All zero off the fault-domain
+	// path.
+	ShardsFailed, ShardsHedged, ShardsRetried int
+	// DegradedReasons carries the shard-attributed explanations of a
+	// degraded result ("shard 3: server: injected crash fault …"), in
+	// ascending shard order within each run.
+	DegradedReasons []string
 }
 
 // BucketHistogram pairs a record-size class with the latency histogram
@@ -227,7 +241,7 @@ const replayBlockOps = server.ReplayBlockOps
 // records by trace index, size classes come from the precomputed table,
 // and the accumulators are slice-indexed.
 func replay(d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAccum) {
-	_ = replayBounded(context.Background(), d, w, classes, a, 0)
+	_ = replayBounded(context.Background(), d, w.Ops, classes, a, 0)
 }
 
 // replayBounded is the per-operation replay path under a watchdog: a
@@ -236,9 +250,8 @@ func replay(d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAc
 // cancellable context, polled once per replayBlockOps-request block. The
 // common unbudgeted case runs an inner loop with no per-op checks at
 // all; both variants stay allocation-free.
-func replayBounded(ctx context.Context, d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAccum, budget simclock.Duration) error {
+func replayBounded(ctx context.Context, d *server.Deployment, ops []ycsb.Op, classes []uint8, a *replayAccum, budget simclock.Duration) error {
 	start := d.Clock()
-	ops := w.Ops
 	for blk := 0; blk < len(ops); blk += replayBlockOps {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -276,14 +289,13 @@ func replayBounded(ctx context.Context, d *server.Deployment, w *ycsb.Workload, 
 // request, so a budget-tripping run reports the same request index, the
 // same clock reading — and, being built from the same pricing constants
 // and the same noise draws, the same latencies — as the per-op path.
-func replayBatched(ctx context.Context, d *server.Deployment, t *server.ReplayTable, pt *ycsb.PackedTrace, classes []uint8, a *replayAccum, budget simclock.Duration) error {
+func replayBatched(ctx context.Context, d *server.Deployment, t *server.ReplayTable, keys []uint32, kinds []uint8, classes []uint8, a *replayAccum, budget simclock.Duration) error {
 	start := d.Clock()
 	var maxClock simclock.Duration
 	if budget > 0 {
 		maxClock = start + budget
 	}
 	lat := t.Block()
-	keys, kinds := pt.Keys, pt.Kinds
 	for blk := 0; blk < len(keys); blk += replayBlockOps {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -332,20 +344,43 @@ func Run(d *server.Deployment, w *ycsb.Workload) RunStats {
 // RunCtx is Run with cancellation and a per-run simulated-time budget
 // (0 = unbounded). A run cut off by either returns the error and no
 // stats: partial measurements are discarded, never folded into means.
+//
+// A deployment fated to crash mid-run (FaultSpec.CrashProb) serves the
+// trace prefix before its crash point — burning simulated time and
+// telemetry like a dying server — and then fails with a *FaultError of
+// kind FaultCrash. A timeout or cancellation striking inside the prefix
+// wins over the scheduled crash, first-to-fire.
 func RunCtx(ctx context.Context, d *server.Deployment, w *ycsb.Workload, budget simclock.Duration) (RunStats, error) {
 	start := d.Clock()
 	a := newReplayAccum()
 	classes := sizeClasses(w.Dataset.Records)
+	crashAt := d.CrashOp()
 	var err error
 	if t := d.BatchTable(); t != nil && w.Packed().Batchable() {
-		err = replayBatched(ctx, d, t, w.Packed(), classes, a, budget)
+		pt := w.Packed()
+		keys, kinds := pt.Keys, pt.Kinds
+		if crashAt >= 0 && crashAt < len(keys) {
+			keys, kinds = keys[:crashAt], kinds[:crashAt]
+		} else {
+			crashAt = -1 // crash point beyond the trace: never fires
+		}
+		err = replayBatched(ctx, d, t, keys, kinds, classes, a, budget)
 	} else if w.Ops == nil && w.RequestCount() > 0 {
 		// A packed-only trace (a shard partitioner sub-workload) cannot
 		// drive the per-operation path; failing beats silently replaying
 		// zero requests.
 		return RunStats{}, fmt.Errorf("client: packed-only trace requires the batched replay path")
 	} else {
-		err = replayBounded(ctx, d, w, classes, a, budget)
+		ops := w.Ops
+		if crashAt >= 0 && crashAt < len(ops) {
+			ops = ops[:crashAt]
+		} else {
+			crashAt = -1
+		}
+		err = replayBounded(ctx, d, ops, classes, a, budget)
+	}
+	if err == nil && crashAt >= 0 {
+		err = d.CrashError()
 	}
 	if err != nil {
 		return RunStats{}, err
@@ -407,7 +442,7 @@ func Execute(cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats,
 // path, per the golden equivalence tests.
 func ExecuteCtx(ctx context.Context, cfg server.Config, w *ycsb.Workload, p server.Placement) (RunStats, error) {
 	if cfg.Shards >= 1 {
-		st, _, err := executeShardedFresh(ctx, cfg, w, p)
+		st, _, err := executeShardedFresh(ctx, cfg, w, p, Policy{})
 		return st, err
 	}
 	st, _, err := executeFresh(ctx, cfg, w, p)

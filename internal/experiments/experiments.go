@@ -49,6 +49,15 @@ type Scale struct {
 	// Shards replays every measurement across a consistent-hash cluster
 	// of N deployments (0 = single deployment; DESIGN.md §13).
 	Shards int
+	// ShardRetries, ShardFaultBudget and HedgeFactor are the per-shard
+	// fault-domain remediation knobs (client.Policy), meaningful with
+	// Shards ≥ 2: in-place retries of faulted shards, the number of
+	// dead shards a run tolerates before failing (degrading to a
+	// partial merge within budget), and the straggler hedging threshold
+	// (0 = off, otherwise ≥ 1).
+	ShardRetries     int
+	ShardFaultBudget int
+	HedgeFactor      float64
 }
 
 // Full is the paper's scale.
@@ -70,6 +79,16 @@ func (s Scale) Validate() error {
 	}
 	if s.Shards < 0 || s.Shards > shard.MaxShards {
 		return fmt.Errorf("experiments: shards %d outside [0,%d]", s.Shards, shard.MaxShards)
+	}
+	if s.ShardRetries < 0 || s.ShardFaultBudget < 0 {
+		return fmt.Errorf("experiments: shard retries %d and fault budget %d must be non-negative",
+			s.ShardRetries, s.ShardFaultBudget)
+	}
+	if s.HedgeFactor != 0 && s.HedgeFactor < 1 {
+		return fmt.Errorf("experiments: hedge factor %v must be 0 (disabled) or ≥ 1", s.HedgeFactor)
+	}
+	if (s.ShardRetries > 0 || s.ShardFaultBudget > 0 || s.HedgeFactor > 0) && s.Shards < 2 {
+		return fmt.Errorf("experiments: shard fault-domain knobs require shards ≥ 2, got %d", s.Shards)
 	}
 	return nil
 }
@@ -98,6 +117,9 @@ func (s Scale) coreConfig(e server.Engine, seed int64) core.Config {
 	if s.Fault.Enabled() {
 		cfg.Resilience = defaultResilience
 	}
+	cfg.Resilience.ShardRetries = s.ShardRetries
+	cfg.Resilience.ShardFaultBudget = s.ShardFaultBudget
+	cfg.Resilience.HedgeFactor = s.HedgeFactor
 	return cfg
 }
 

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -71,6 +72,53 @@ func TestNestedFanOutsShareBudget(t *testing.T) {
 	}
 	if got := BudgetFrom(ctx).Extra(); got != extra {
 		t.Fatalf("budget leaked: %d of %d tokens returned", got, extra)
+	}
+}
+
+// TestBudgetReleasedOnEarlyReturn is the hedge-loser leak regression:
+// every early-return path out of RunObs — cancellation mid-feed, a
+// panicking job — must hand its acquired tokens back, or a sharded
+// client that hedges and cancels repeatedly would bleed the process-wide
+// allowance down to serial execution.
+func TestBudgetReleasedOnEarlyReturn(t *testing.T) {
+	const extra = 4
+	b := NewBudget(extra)
+	ctx := WithBudget(context.Background(), b)
+
+	// Cancellation mid-feed: workers drain and return their tokens. The
+	// first job to start triggers the cancel; every job blocks on the
+	// context, so RunObs can only return via the cancellation path.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	started := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-started
+		cancel()
+	}()
+	err := RunObs(cctx, 64, 8, nil, func(i int) {
+		once.Do(func() { close(started) })
+		<-cctx.Done()
+	})
+	if err == nil {
+		t.Fatal("cancelled fan-out returned nil")
+	}
+	if got := b.Extra(); got != extra {
+		t.Fatalf("budget leaked after cancellation: %d of %d tokens", got, extra)
+	}
+
+	// A panicking job: the pool shuts down cleanly and still releases.
+	perr := RunObs(ctx, 16, 8, nil, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+	var pe *PanicError
+	if !errors.As(perr, &pe) {
+		t.Fatalf("got %v, want a *PanicError", perr)
+	}
+	if got := b.Extra(); got != extra {
+		t.Fatalf("budget leaked after panic: %d of %d tokens", got, extra)
 	}
 }
 

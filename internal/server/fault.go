@@ -38,13 +38,30 @@ type FaultSpec struct {
 	// far beyond any healthy run at the paper's scale).
 	Stall simclock.Duration
 	// StallWindowOps bounds the request index at which a stall strikes
-	// (default 4096).
+	// (default 4096); it also bounds the request index of a crash.
 	StallWindowOps int
+	// CrashProb is the probability a run crashes mid-replay: the server
+	// serves a prefix of the trace and then dies, surfacing a
+	// *FaultError of kind FaultCrash. Unlike FailProb (dead at connect
+	// time), a crash burns simulated work before failing — the shard
+	// fault class a sharded client remediates by resetting and retrying
+	// just that member.
+	CrashProb float64
+	// StragglerProb is the probability a run is a persistent straggler:
+	// every service time is inflated by StragglerFactor for the whole
+	// run. The run completes and its numbers are internally consistent —
+	// it is just slow, the shard fault class hedged speculative
+	// re-execution remediates.
+	StragglerProb float64
+	// StragglerFactor is the service-time multiplier of a straggler run
+	// (default 4).
+	StragglerFactor float64
 }
 
 // Enabled reports whether the spec can inject any fault at all.
 func (f FaultSpec) Enabled() bool {
-	return f.FailProb > 0 || f.StallProb > 0 || f.OutlierProb > 0
+	return f.FailProb > 0 || f.StallProb > 0 || f.OutlierProb > 0 ||
+		f.CrashProb > 0 || f.StragglerProb > 0
 }
 
 // Validate rejects malformed specs with descriptive errors.
@@ -52,7 +69,8 @@ func (f FaultSpec) Validate() error {
 	for _, p := range []struct {
 		name string
 		v    float64
-	}{{"FailProb", f.FailProb}, {"StallProb", f.StallProb}, {"OutlierProb", f.OutlierProb}} {
+	}{{"FailProb", f.FailProb}, {"StallProb", f.StallProb}, {"OutlierProb", f.OutlierProb},
+		{"CrashProb", f.CrashProb}, {"StragglerProb", f.StragglerProb}} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("server: fault %s %v outside [0,1]", p.name, p.v)
 		}
@@ -66,14 +84,18 @@ func (f FaultSpec) Validate() error {
 	if f.StallWindowOps < 0 {
 		return fmt.Errorf("server: fault StallWindowOps %d must be non-negative", f.StallWindowOps)
 	}
+	if f.StragglerFactor < 0 {
+		return fmt.Errorf("server: fault StragglerFactor %v must be non-negative", f.StragglerFactor)
+	}
 	return nil
 }
 
 // Defaults for the zero-valued tuning knobs.
 const (
-	defaultOutlierFactor  = 8.0
-	defaultStall          = 10 * simclock.Second
-	defaultStallWindowOps = 4096
+	defaultOutlierFactor   = 8.0
+	defaultStall           = 10 * simclock.Second
+	defaultStallWindowOps  = 4096
+	defaultStragglerFactor = 4.0
 )
 
 func (f FaultSpec) outlierFactor() float64 {
@@ -97,6 +119,13 @@ func (f FaultSpec) stallWindow() int {
 	return f.StallWindowOps
 }
 
+func (f FaultSpec) stragglerFactor() float64 {
+	if f.StragglerFactor == 0 {
+		return defaultStragglerFactor
+	}
+	return f.StragglerFactor
+}
+
 // FaultKind classifies an injected fault.
 type FaultKind int
 
@@ -105,6 +134,8 @@ const (
 	FaultFail FaultKind = iota
 	FaultStall
 	FaultOutlier
+	FaultCrash
+	FaultStraggler
 )
 
 // String implements fmt.Stringer.
@@ -116,6 +147,10 @@ func (k FaultKind) String() string {
 		return "stall"
 	case FaultOutlier:
 		return "outlier"
+	case FaultCrash:
+		return "crash"
+	case FaultStraggler:
+		return "straggler"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -135,19 +170,31 @@ func (e *FaultError) Error() string {
 }
 
 // faultPlan is one deployment's rolled fate. The inert plan (no fail,
-// stallAt −1, factor 1) is what a zero-valued spec always produces.
+// stallAt/crashAt −1, factor 1) is what a zero-valued spec always
+// produces.
 type faultPlan struct {
 	fail    bool
 	stallAt int // request index of the simulated stall; −1 = none
 	factor  float64
+	crashAt int // request index of a mid-run crash; −1 = none
+	// straggler marks a factor≠1 as a persistent straggler rather than a
+	// measurement outlier — same pricing, different telemetry kind and
+	// different client remediation (hedging vs MAD rejection).
+	straggler bool
 }
 
 // inertPlan injects nothing.
-func inertPlan() faultPlan { return faultPlan{stallAt: -1, factor: 1} }
+func inertPlan() faultPlan { return faultPlan{stallAt: -1, crashAt: -1, factor: 1} }
 
 // roll decides the deployment's fate deterministically from the spec
 // seed and the run's measurement seed. A fresh RNG is used so the roll
 // never consumes draws from the run's noise stream.
+//
+// The draw order is load-bearing: the legacy fail → stall → outlier
+// draws come first so specs that only set the legacy probabilities
+// reproduce their pre-shard fault schedules bit-exactly; the shard
+// fault classes (crash, straggler) draw after them and only when no
+// legacy fault fired, preserving the at-most-one-fault invariant.
 func (f FaultSpec) roll(runSeed int64) faultPlan {
 	if !f.Enabled() {
 		return inertPlan()
@@ -161,6 +208,11 @@ func (f FaultSpec) roll(runSeed int64) faultPlan {
 		plan.stallAt = rng.Intn(f.stallWindow())
 	case rng.Float64() < f.OutlierProb:
 		plan.factor = f.outlierFactor()
+	case rng.Float64() < f.CrashProb:
+		plan.crashAt = rng.Intn(f.stallWindow())
+	case rng.Float64() < f.StragglerProb:
+		plan.factor = f.stragglerFactor()
+		plan.straggler = true
 	}
 	return plan
 }

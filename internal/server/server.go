@@ -212,6 +212,19 @@ func (d *Deployment) InjectedFailure() error {
 	return nil
 }
 
+// CrashOp returns the request index at which this run is fated to crash
+// mid-replay, or −1 for a run that will not crash. The client replays
+// the prefix before the crash point (the work a dying server performed)
+// and then reports CrashError.
+func (d *Deployment) CrashOp() int { return d.fault.crashAt }
+
+// CrashError journals and returns the scheduled mid-run crash as a
+// typed *FaultError of kind FaultCrash.
+func (d *Deployment) CrashError() error {
+	d.telem.faultFired(d, FaultCrash)
+	return &FaultError{Kind: FaultCrash, Seed: d.cfg.Seed}
+}
+
 // Load populates the deployment from a dataset under the given placement.
 // Loading is the untimed setup phase (the paper's YCSB load stage): it
 // neither advances the clock nor perturbs the LLC model. Node capacity is

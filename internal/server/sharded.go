@@ -66,6 +66,12 @@ func NewShardedDeployment(cfg Config, w *ycsb.Workload) (*ShardedDeployment, err
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("server: sharded deployment needs Shards ≥ 1, got %d", cfg.Shards)
 	}
+	if cfg.Shards > shard.MaxShards {
+		return nil, fmt.Errorf("server: sharded deployment supports at most %d shards, got %d", shard.MaxShards, cfg.Shards)
+	}
+	if cfg.VirtualNodes < 0 {
+		return nil, fmt.Errorf("server: sharded deployment needs VirtualNodes ≥ 0 (0 = default %d), got %d", shard.DefaultVirtualNodes, cfg.VirtualNodes)
+	}
 	// The batched kernel consumes the packed sub-traces directly; only
 	// a config or engine that forces the per-op path needs Ops
 	// materialized per shard.
@@ -88,6 +94,13 @@ func NewShardedDeployment(cfg Config, w *ycsb.Workload) (*ShardedDeployment, err
 
 // Shards returns the cluster size.
 func (sd *ShardedDeployment) Shards() int { return len(sd.deps) }
+
+// MemberSeed returns the member seed shard s derives from a cluster
+// seed — the base a client offsets into its retry or hedge stride
+// before calling ResetShard.
+func (sd *ShardedDeployment) MemberSeed(clusterSeed int64, s int) int64 {
+	return clusterSeed + int64(s)*shardSeedStride
+}
 
 // Dep returns shard s's member deployment.
 func (sd *ShardedDeployment) Dep(s int) *Deployment { return sd.deps[s] }
@@ -152,19 +165,40 @@ func (sd *ShardedDeployment) ResetRun(seed int64) bool {
 	if !sd.loaded {
 		return false
 	}
-	for s, d := range sd.deps {
-		shardSeed := seed + int64(s)*shardSeedStride
-		if d.ResetRun(shardSeed) {
-			continue
-		}
-		c := sd.cfg.shardConfig(s)
-		c.Seed = shardSeed
-		nd := NewDeployment(c)
-		if err := nd.Load(sd.part.Subs[s].W.Dataset, sd.local[s]); err != nil {
+	for s := range sd.deps {
+		if !sd.ResetShard(s, seed+int64(s)*shardSeedStride) {
 			return false
 		}
-		sd.deps[s] = nd
 	}
+	return true
+}
+
+// ResetShard rewinds one member to its post-Load state under an
+// absolute member seed (the caller chooses the derivation — the regular
+// per-shard stride for a whole-cluster rewind, a retry or hedge stride
+// for a single-shard re-execution after a fault). Falls back to
+// rebuilding the member fresh from its kept local placement when the
+// snapshot reset is unavailable. Safe for concurrent calls on distinct
+// shards: each touches only its own slice slot. Returns false only when
+// the cluster was never loaded or the rebuild fails.
+func (sd *ShardedDeployment) ResetShard(s int, memberSeed int64) bool {
+	if !sd.loaded {
+		return false
+	}
+	// The snapshot reset is only sound when the member replays through
+	// the batched kernel: a non-batchable sub-trace runs the per-op path,
+	// which mutates engine state the snapshot does not cover (the same
+	// condition as the client's canReuse).
+	if sd.part.Subs[s].W.Packed().Batchable() && sd.deps[s].ResetRun(memberSeed) {
+		return true
+	}
+	c := sd.cfg.shardConfig(s)
+	c.Seed = memberSeed
+	nd := NewDeployment(c)
+	if err := nd.Load(sd.part.Subs[s].W.Dataset, sd.local[s]); err != nil {
+		return false
+	}
+	sd.deps[s] = nd
 	return true
 }
 

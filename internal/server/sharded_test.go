@@ -30,9 +30,23 @@ func TestNewShardedDeploymentValidates(t *testing.T) {
 		t.Fatal("Shards=0 accepted")
 	}
 	cfg.Shards = 300
-	if _, err := NewShardedDeployment(cfg, w); err == nil {
-		t.Fatal("Shards=300 accepted")
+	if err := mustShardedErr(t, cfg, w); !strings.Contains(err, "at most") {
+		t.Fatalf("Shards=300 error not descriptive: %s", err)
 	}
+	cfg.Shards = 4
+	cfg.VirtualNodes = -1
+	if err := mustShardedErr(t, cfg, w); !strings.Contains(err, "VirtualNodes") {
+		t.Fatalf("VirtualNodes=-1 error not descriptive: %s", err)
+	}
+}
+
+func mustShardedErr(t *testing.T, cfg Config, w *ycsb.Workload) string {
+	t.Helper()
+	_, err := NewShardedDeployment(cfg, w)
+	if err == nil {
+		t.Fatalf("config %+v accepted", cfg)
+	}
+	return err.Error()
 }
 
 // TestShardedLoadRemapsPlacement checks tier assignment is invariant

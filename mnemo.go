@@ -220,6 +220,21 @@ type Options struct {
 	// VirtualNodes is the consistent-hash ring points per shard
 	// (0 = the shard package default of 64).
 	VirtualNodes int
+	// ShardRetries, with Shards ≥ 2, retries a shard that hits an
+	// injected fail, crash or timeout fault in place (rewinding just
+	// that member under a re-rolled seed) up to N extra attempts before
+	// the shard counts as dead.
+	ShardRetries int
+	// ShardFaultBudget, with Shards ≥ 2, is how many shards may die
+	// (after exhausting ShardRetries) before a measurement run fails:
+	// within budget the run degrades to a partial merge of the surviving
+	// shards, flagged via Report.Degraded with shard-attributed reasons.
+	ShardFaultBudget int
+	// HedgeFactor, with Shards ≥ 2, speculatively re-executes straggler
+	// shards: any surviving shard whose simulated runtime exceeds
+	// HedgeFactor× the median is re-run and the faster execution wins.
+	// 0 disables hedging; otherwise must be ≥ 1.
+	HedgeFactor float64
 }
 
 // validate rejects malformed options with descriptive errors before any
@@ -265,6 +280,18 @@ func (o Options) validate() error {
 	}
 	if o.OutlierMAD > 0 && o.MinRuns == 0 {
 		return fmt.Errorf("mnemo: OutlierMAD %v requires MinRuns ≥ 1 (strict mode cannot drop runs)", o.OutlierMAD)
+	}
+	if o.ShardRetries < 0 {
+		return fmt.Errorf("mnemo: ShardRetries %d must be non-negative", o.ShardRetries)
+	}
+	if o.ShardFaultBudget < 0 {
+		return fmt.Errorf("mnemo: ShardFaultBudget %d must be non-negative", o.ShardFaultBudget)
+	}
+	if o.HedgeFactor != 0 && o.HedgeFactor < 1 {
+		return fmt.Errorf("mnemo: HedgeFactor %v must be 0 (disabled) or ≥ 1", o.HedgeFactor)
+	}
+	if (o.ShardRetries > 0 || o.ShardFaultBudget > 0 || o.HedgeFactor > 0) && o.Shards < 2 {
+		return fmt.Errorf("mnemo: shard fault-domain knobs (ShardRetries/ShardFaultBudget/HedgeFactor) require Shards ≥ 2, got Shards %d", o.Shards)
 	}
 	return nil
 }
@@ -321,9 +348,12 @@ func (o Options) coreConfig() (core.Config, error) {
 	cfg.Server.Shards = o.Shards
 	cfg.Server.VirtualNodes = o.VirtualNodes
 	cfg.Resilience = client.Policy{
-		Retries:    o.Retries,
-		MinRuns:    o.MinRuns,
-		OutlierMAD: o.OutlierMAD,
+		Retries:          o.Retries,
+		MinRuns:          o.MinRuns,
+		OutlierMAD:       o.OutlierMAD,
+		ShardRetries:     o.ShardRetries,
+		ShardFaultBudget: o.ShardFaultBudget,
+		HedgeFactor:      o.HedgeFactor,
 	}
 	return cfg, nil
 }
