@@ -57,6 +57,14 @@ func TestOptionsValidation(t *testing.T) {
 		{"shard retries without shards", Options{ShardRetries: 1}, "Shards ≥ 2"},
 		{"fault budget without shards", Options{ShardFaultBudget: 1}, "Shards ≥ 2"},
 		{"hedging on one shard", Options{Shards: 1, HedgeFactor: 2}, "Shards ≥ 2"},
+		{"negative epoch ops", Options{EpochOps: -1}, "EpochOps"},
+		{"negative migration cost", Options{MigrationCostPerByte: -0.5}, "MigrationCostPerByte"},
+		{"negative migration budget", Options{MigrationBudget: -64}, "MigrationBudget"},
+		{"migration cost without epochs", Options{MigrationCostPerByte: 0.1}, "EpochOps ≥ 1"},
+		{"migration budget without epochs", Options{MigrationBudget: 4096}, "EpochOps ≥ 1"},
+		{"epochs on static-only policy", Options{EpochOps: 4096, Policy: "mnemot"}, "static-only"},
+		{"epochs on default policy", Options{EpochOps: 4096}, "static-only"},
+		{"epochs on unknown policy", Options{EpochOps: 4096, Policy: "no_such"}, "unknown policy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,109 @@
+package mnemo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"mnemo/internal/pool"
+)
+
+// TestChaosAdaptiveSchedules drives the adaptive (epoch-migrating)
+// pipeline through seeded fault schedules: profile a drifting trace with
+// an adaptive policy, then measure the advised placement statically and
+// adaptively with faults armed. The contract matches the static chaos
+// sweep — every schedule ends in a comparison or a typed error, no panic
+// escapes, no goroutine leaks — plus the adaptive-specific invariant
+// that a successful comparison's migration ledger is internally
+// consistent even when faults fired mid-run.
+func TestChaosAdaptiveSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is a long test")
+	}
+	const schedules = 60
+
+	warmup := runtime.NumGoroutine()
+
+	for i := 0; i < schedules; i++ {
+		rng := rand.New(rand.NewSource(int64(i)*7919 + 3))
+		w, err := GenerateWorkload(WorkloadSpec{
+			Name: fmt.Sprintf("chaos_adaptive_%d", i), Keys: 60, Requests: 2 * 4096,
+			Dist:      DistSpec{Kind: HotSetDrift, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+			ReadRatio: 0.9, Sizes: SizeFixed10KB, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{
+			Store: DynamoLike, Seed: int64(i) + 1, SLO: 0.01,
+			Policy: "adaptive-freq", EpochOps: 4096,
+			MigrationCostPerByte: rng.Float64(),
+			Runs:                 1 + rng.Intn(2),
+			Fault: FaultSpec{
+				Seed:        int64(i)*13 + 7,
+				FailProb:    rng.Float64() * 0.5,
+				StallProb:   rng.Float64() * 0.3,
+				OutlierProb: rng.Float64() * 0.3,
+				CrashProb:   rng.Float64() * 0.2,
+			},
+			Retries: rng.Intn(3),
+		}
+		if rng.Intn(2) == 0 {
+			opts.RunTimeout = 2 * Second
+		}
+		if rng.Intn(3) == 0 {
+			opts.MigrationBudget = 1 + rng.Int63n(1<<20)
+		}
+		rep, err := Profile(w, opts)
+		if err != nil {
+			var pe *pool.PanicError
+			if errors.As(err, &pe) {
+				t.Fatalf("schedule %d: profile panic captured: %v\n%s", i, pe.Value, pe.Stack)
+			}
+			if !expectedChaosErr(err) {
+				t.Fatalf("schedule %d: untyped profile error %v", i, err)
+			}
+			continue
+		}
+		ac, err := MeasureAdaptive(context.Background(), w, rep, opts)
+		if err != nil {
+			var pe *pool.PanicError
+			if errors.As(err, &pe) {
+				t.Fatalf("schedule %d: measure panic captured: %v\n%s", i, pe.Value, pe.Stack)
+			}
+			if !expectedChaosErr(err) {
+				t.Fatalf("schedule %d: untyped measure error %v", i, err)
+			}
+			continue
+		}
+		if ac.Static.Epochs != 0 || ac.Static.MovesApplied != 0 {
+			t.Fatalf("schedule %d: static leg adapted: %+v", i, ac.Static)
+		}
+		var moves int
+		var bytes int64
+		var cost float64
+		for _, e := range ac.Adaptive.EpochTraffic {
+			moves += e.Moves
+			bytes += e.Bytes
+			cost += e.CostNs
+		}
+		if moves != ac.Adaptive.MovesApplied || bytes != ac.Adaptive.MigratedBytes || cost != ac.Adaptive.MigrationNs {
+			t.Fatalf("schedule %d: ledger mismatch under faults: traffic %d/%d/%v vs totals %d/%d/%v",
+				i, moves, bytes, cost, ac.Adaptive.MovesApplied, ac.Adaptive.MigratedBytes, ac.Adaptive.MigrationNs)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= warmup+2 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after %d schedules", warmup, runtime.NumGoroutine(), schedules)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

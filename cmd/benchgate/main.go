@@ -60,6 +60,11 @@ var gates = []gate{
 	{Bench: "BenchmarkDeploymentDo", Legacy: "String", Current: "Index", Metric: "ns/op"},
 	{Bench: "BenchmarkValidateParallel", Legacy: "Sequential", Current: "Parallel", Metric: "ns/op"},
 	{Bench: "BenchmarkReplaySharded", Legacy: "Shards1", Current: "Shards4", Metric: "ns/req"},
+	// Overhead gate, not a speedup gate: Static is the batched kernel and
+	// Adaptive the epoch-chunked replay wrapping it, so the recorded
+	// baseline ratio sits below 1.0 and the floor bounds how much the
+	// adaptive machinery may cost on a trace that never needed to adapt.
+	{Bench: "BenchmarkReplayAdaptive", Legacy: "Static", Current: "Adaptive", Metric: "ns/req"},
 }
 
 func main() {

@@ -15,7 +15,7 @@ func TestGatePassesOnCurrentTree(t *testing.T) {
 	if err != nil {
 		t.Fatalf("gate failed on current-tree fixture: %v\n%s", err, out.String())
 	}
-	for _, want := range []string{"BenchmarkReplay", "BenchmarkReplayBatched", "BenchmarkDeploymentDo", "BenchmarkValidateParallel", "BenchmarkReplaySharded", "ok"} {
+	for _, want := range []string{"BenchmarkReplay", "BenchmarkReplayBatched", "BenchmarkDeploymentDo", "BenchmarkValidateParallel", "BenchmarkReplaySharded", "BenchmarkReplayAdaptive", "ok"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report missing %q:\n%s", want, out.String())
 		}
@@ -27,18 +27,18 @@ func TestGatePassesOnCurrentTree(t *testing.T) {
 
 func TestGateFailsOnSyntheticSlowdown(t *testing.T) {
 	// testdata/slowdown.txt is current.txt with the shipped-path timings
-	// (Indexed/Batched/Shards4 ns/req, Index/Parallel ns/op) doubled: a
-	// 2x regression must trip every gate.
+	// (Indexed/Batched/Shards4/Adaptive ns/req, Index/Parallel ns/op)
+	// doubled: a 2x regression must trip every gate.
 	var out bytes.Buffer
 	err := run([]string{"-baseline", "../../BENCH_baseline.json", "testdata/slowdown.txt"}, &out)
 	if err == nil {
 		t.Fatalf("gate accepted a 2x slowdown:\n%s", out.String())
 	}
-	if !strings.Contains(err.Error(), "5 of 5 speedup gates failed") {
+	if !strings.Contains(err.Error(), "6 of 6 speedup gates failed") {
 		t.Errorf("error = %v, want all gates failing", err)
 	}
-	if got := strings.Count(out.String(), "FAIL"); got != 5 {
-		t.Errorf("report shows %d FAIL verdicts, want 5:\n%s", got, out.String())
+	if got := strings.Count(out.String(), "FAIL"); got != 6 {
+		t.Errorf("report shows %d FAIL verdicts, want 6:\n%s", got, out.String())
 	}
 }
 

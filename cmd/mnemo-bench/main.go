@@ -10,8 +10,8 @@
 //	fig1 table1 table2 fig3 fig4 fig5a fig5b fig5c
 //	fig8a fig8b fig8c fig8d fig8f fig9 table4 downsample
 //	ablation-llc ablation-noise ablation-knapsack ablation-anchor
-//	ablation-sizeaware modeb policy-compare ext-tails ext-tech ycsb-core
-//	cluster-sweep
+//	ablation-sizeaware modeb policy-compare adaptive-compare ext-tails
+//	ext-tech ycsb-core cluster-sweep
 //
 // Flags:
 //
@@ -42,6 +42,12 @@
 //	-hedge f        hedged re-execution (needs -shards ≥ 2): shards slower
 //	                than f× the median shard runtime are speculatively
 //	                re-run and the faster execution wins (0 = off, else ≥ 1)
+//	-epoch-ops n    adaptive-compare: epoch length in requests (0 = the
+//	                experiment default, one 4096-op replay block)
+//	-migration-cost f  adaptive-compare: simulated migration charge in ns
+//	                per payload byte (0 = the experiment default 0.1)
+//	-migration-budget n  adaptive-compare: cap on migrated payload bytes
+//	                per epoch boundary (0 = unlimited)
 //	-timeout s      per-run budget in simulated seconds; a run whose
 //	                simulated clock exceeds it (e.g. an injected stall) is
 //	                cut off and retried (0 = unbounded)
@@ -184,6 +190,10 @@ var all = []experiment{
 		r, err := experiments.PolicyCompare(s, seed)
 		return renderTo(w, r, err)
 	}},
+	{"adaptive-compare", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.AdaptiveCompare(s, seed)
+		return renderTo(w, r, err)
+	}},
 	{"ycsb-core", func(s experiments.Scale, seed int64, w io.Writer) error {
 		r, err := experiments.YCSBCore(s, seed)
 		return renderTo(w, r, err)
@@ -253,6 +263,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault schedule")
 	faultShard := fs.Float64("fault-shard", 0, "shard-granular chaos: each shard independently crashes mid-run or runs as a persistent straggler with probability `p` per class (needs -shards ≥ 2)")
 	hedge := fs.Float64("hedge", 0, "hedge shards slower than `factor`× the median shard runtime (0 = off, else ≥ 1; needs -shards ≥ 2)")
+	epochOps := fs.Int("epoch-ops", 0, "adaptive-compare: epoch length in `requests` (0 = experiment default)")
+	migCost := fs.Float64("migration-cost", 0, "adaptive-compare: migration charge in `ns` per payload byte (0 = experiment default)")
+	migBudget := fs.Int64("migration-budget", 0, "adaptive-compare: cap on migrated payload `bytes` per epoch (0 = unlimited)")
 	timeout := fs.Float64("timeout", 0, "per-run budget in simulated `seconds` (0 = unbounded)")
 	noBatch := fs.Bool("no-batch", false, "force the per-op replay path (disable the batched kernel)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
@@ -345,6 +358,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	scale.HedgeFactor = *hedge
+	if *epochOps < 0 || *migCost < 0 || *migBudget < 0 {
+		return fmt.Errorf("-epoch-ops/-migration-cost/-migration-budget must be non-negative")
+	}
+	scale.EpochOps = *epochOps
+	scale.MigrationCostPerByte = *migCost
+	scale.MigrationBudget = *migBudget
 	scale.RunTimeout = simclock.Duration(*timeout * float64(simclock.Second))
 	scale.DisableBatchReplay = *noBatch
 	if *metrics != "" {

@@ -15,7 +15,7 @@ import (
 // an SVG chart, the cluster shard layout (when -shards ≥ 2), and — when
 // -compare profiled several policies — the per-policy comparison
 // overlay.
-func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report, sink *mnemo.Sink, opts mnemo.Options) *report.HTMLReport {
+func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report, adaptive *mnemo.AdaptiveComparison, sink *mnemo.Sink, opts mnemo.Options) *report.HTMLReport {
 	doc := &report.HTMLReport{
 		Title: fmt.Sprintf("Mnemo sizing report — %s on %s", rep.Workload, rep.Engine),
 	}
@@ -102,6 +102,31 @@ func buildHTMLReport(rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Rep
 			}
 			doc.Sections = append(doc.Sections, report.ShardHTMLSection(rows, price))
 		}
+	}
+
+	// Adaptive tiering: with -epoch-ops, show the static-vs-adaptive
+	// measured runs of the advised placement and the per-epoch migration
+	// traffic.
+	if adaptive != nil {
+		rows := []report.AdaptiveRow{
+			{Policy: "static placement", RuntimeNs: float64(adaptive.Static.Runtime),
+				ThroughputOps: adaptive.Static.ThroughputOpsSec},
+			{Policy: opts.Policy, Adaptive: true, RuntimeNs: float64(adaptive.Adaptive.Runtime),
+				ThroughputOps: adaptive.Adaptive.ThroughputOpsSec,
+				Epochs:        adaptive.Adaptive.Epochs, Moves: adaptive.Adaptive.MovesApplied,
+				MigratedBytes: adaptive.Adaptive.MigratedBytes, MigrationNs: adaptive.Adaptive.MigrationNs},
+		}
+		var series []report.AdaptiveEpochSeries
+		if tr := adaptive.Adaptive.EpochTraffic; len(tr) > 0 {
+			s := report.AdaptiveEpochSeries{Policy: opts.Policy}
+			for _, e := range tr {
+				s.Epoch = append(s.Epoch, float64(e.Epoch))
+				s.Bytes = append(s.Bytes, float64(e.Bytes))
+				s.CostNs = append(s.CostNs, e.CostNs)
+			}
+			series = append(series, s)
+		}
+		doc.Sections = append(doc.Sections, report.AdaptiveSection(rows, series))
 	}
 
 	// Observability: when the run was instrumented (-metrics), append the
@@ -201,6 +226,6 @@ func annotateShardHealth(rows []report.ShardRow, reasons []string) {
 }
 
 // writeHTMLReport renders the document to w.
-func writeHTMLReport(out io.Writer, rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report, sink *mnemo.Sink, opts mnemo.Options) error {
-	return buildHTMLReport(rep, w, compared, sink, opts).Render(out)
+func writeHTMLReport(out io.Writer, rep *mnemo.Report, w *mnemo.Workload, compared []*mnemo.Report, adaptive *mnemo.AdaptiveComparison, sink *mnemo.Sink, opts mnemo.Options) error {
+	return buildHTMLReport(rep, w, compared, adaptive, sink, opts).Render(out)
 }

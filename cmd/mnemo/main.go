@@ -32,6 +32,15 @@
 //	-hedge f          with -shards ≥ 2: speculatively re-run shards slower
 //	                  than f× the median shard runtime; the faster
 //	                  execution wins (0 = off, else ≥ 1)
+//	-epoch-ops n      with an adaptive -policy (adaptive-freq,
+//	                  adaptive-mnemot): additionally measure the advised
+//	                  placement with epoch-based online migration every n
+//	                  requests, static-vs-adaptive, and report the gain
+//	                  (stderr + -html section)
+//	-migration-cost f simulated migration charge in ns per payload byte
+//	                  (with -epoch-ops; default free)
+//	-migration-budget n  cap on migrated payload bytes per epoch boundary
+//	                  (with -epoch-ops; 0 = unlimited)
 //	-o file           write the curve csv here (default stdout, "" = skip)
 //	-plot             also render the curve as an ASCII plot on stderr
 //	-json             emit a JSON report summary on stdout instead of csv
@@ -86,6 +95,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		shardRetries = fs.Int("shard-retries", 0, "with -shards ≥ 2: in-place retries per faulted shard")
 		shardBudget  = fs.Int("shard-budget", 0, "with -shards ≥ 2: dead shards tolerated before a run fails (partial merge within budget)")
 		hedge        = fs.Float64("hedge", 0, "with -shards ≥ 2: hedge shards slower than `factor`× the median runtime (0 = off, else ≥ 1)")
+		epochOps     = fs.Int("epoch-ops", 0, "with an adaptive -policy: measure advised placement with migration every `n` requests (0 = off)")
+		migCost      = fs.Float64("migration-cost", 0, "simulated migration charge in `ns` per payload byte (with -epoch-ops)")
+		migBudget    = fs.Int64("migration-budget", 0, "cap on migrated payload `bytes` per epoch boundary (0 = unlimited)")
 		outPath      = fs.String("o", "-", "curve csv destination ('-' = stdout, '' = skip)")
 		plot         = fs.Bool("plot", false, "render the curve as an ASCII plot on stderr")
 		jsonOut      = fs.Bool("json", false, "emit a JSON report summary on stdout instead of the csv")
@@ -125,16 +137,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown store %q", *store)
 	}
 	opts := mnemo.Options{
-		Store:            engine,
-		Seed:             *seed,
-		Runs:             *runs,
-		PriceFactor:      *price,
-		SLO:              *slo,
-		Policy:           policyName,
-		Shards:           *shards,
-		ShardRetries:     *shardRetries,
-		ShardFaultBudget: *shardBudget,
-		HedgeFactor:      *hedge,
+		Store:                engine,
+		Seed:                 *seed,
+		Runs:                 *runs,
+		PriceFactor:          *price,
+		SLO:                  *slo,
+		Policy:               policyName,
+		Shards:               *shards,
+		ShardRetries:         *shardRetries,
+		ShardFaultBudget:     *shardBudget,
+		HedgeFactor:          *hedge,
+		EpochOps:             *epochOps,
+		MigrationCostPerByte: *migCost,
+		MigrationBudget:      *migBudget,
 	}
 	var sink *mnemo.Sink
 	if *metrics != "" {
@@ -184,6 +199,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			a.Point.CostFactor, a.CostSavings*100)
 	}
 
+	var adaptive *mnemo.AdaptiveComparison
+	if *epochOps > 0 {
+		if rep.Advice == nil {
+			return fmt.Errorf("-epoch-ops needs an advised sizing to measure; set -slo > 0")
+		}
+		adaptive, err = mnemo.MeasureAdaptive(context.Background(), w, rep, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr,
+			"adaptive (%s, epoch %d ops): static %s → adaptive %s (%+.1f%% runtime gain; %d epochs, %d moves, %s migrated, %v migration cost)\n",
+			opts.Policy, *epochOps, adaptive.Static.Runtime, adaptive.Adaptive.Runtime,
+			adaptive.RuntimeGain()*100, adaptive.Adaptive.Epochs, adaptive.Adaptive.MovesApplied,
+			report.FormatBytes(adaptive.Adaptive.MigratedBytes), mnemo.Duration(adaptive.Adaptive.MigrationNs))
+	}
+
 	if *plot {
 		if err := plotCurve(stderr, rep.Curve); err != nil {
 			return err
@@ -195,7 +226,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := writeHTMLReport(f, rep, w, compared, sink, opts); err != nil {
+		if err := writeHTMLReport(f, rep, w, compared, adaptive, sink, opts); err != nil {
 			f.Close()
 			return err
 		}

@@ -7,8 +7,16 @@
 //
 //	workloadgen [flags]
 //
-//	-workload name    Table III preset, or "custom"
-//	-dist name        custom: uniform|zipfian|scrambled_zipfian|hotspot|latest
+//	-workload name    Table III preset (plus hot_drift/phase_shift), or
+//	                  "custom"
+//	-dist name        custom: uniform|zipfian|scrambled_zipfian|hotspot|
+//	                  latest|hot_set_drift|phase_change
+//	-drift kind       shorthand for a drifting trace: "hotset" (a hot
+//	                  window sweeping the key space once, shaped by
+//	                  -hotset/-hotops) or "phase" (-phases re-scrambled
+//	                  zipfian phases); prints a drift-layout preview line
+//	-phases n         phase count for -drift phase / -dist phase_change
+//	                  (default 4)
 //	-theta t          custom: zipfian skew (default 0.99)
 //	-hotset f         custom: hotspot key fraction (default 0.2)
 //	-hotops f         custom: hotspot op fraction (default 0.9)
@@ -50,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		workload   = fs.String("workload", "trending", "Table III preset name or 'custom'")
 		distName   = fs.String("dist", "hotspot", "custom distribution")
+		drift      = fs.String("drift", "", "drifting trace shorthand: 'hotset' or 'phase'")
+		phases     = fs.Int("phases", ycsb.DefaultPhases, "phase count for -drift phase / -dist phase_change")
 		theta      = fs.Float64("theta", 0.99, "zipfian skew")
 		hotset     = fs.Float64("hotset", 0.2, "hotspot key fraction")
 		hotops     = fs.Float64("hotops", 0.9, "hotspot op fraction")
@@ -73,9 +83,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *requests <= 0 {
 		return fmt.Errorf("requests %d must be positive", *requests)
 	}
+	if *phases < 2 {
+		return fmt.Errorf("phases %d must be ≥ 2", *phases)
+	}
 	var w *ycsb.Workload
-	if *workload == "custom" {
-		spec, err := buildSpec(*workload, *distName, *theta, *hotset, *hotops, *readRatio, *sizes, *seed)
+	if *drift != "" {
+		dn := ""
+		switch *drift {
+		case "hotset":
+			dn = "hot_set_drift"
+		case "phase":
+			dn = "phase_change"
+		default:
+			return fmt.Errorf("unknown drift kind %q (want hotset or phase)", *drift)
+		}
+		spec, err := buildSpec(*workload, dn, *theta, *hotset, *hotops, *readRatio, *sizes, *phases, *seed)
 		if err != nil {
 			return err
 		}
@@ -84,6 +106,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		w, err = ycsb.Generate(spec)
 		if err != nil {
 			return err
+		}
+		renderDriftLayout(stderr, w, *phases)
+	} else if *workload == "custom" {
+		spec, err := buildSpec(*workload, *distName, *theta, *hotset, *hotops, *readRatio, *sizes, *phases, *seed)
+		if err != nil {
+			return err
+		}
+		spec.Keys = *keys
+		spec.Requests = *requests
+		w, err = ycsb.Generate(spec)
+		if err != nil {
+			return err
+		}
+		if spec.Dist.Kind == ycsb.HotSetDrift || spec.Dist.Kind == ycsb.PhaseChange {
+			renderDriftLayout(stderr, w, *phases)
 		}
 	} else {
 		// Presets resolve through the shared registry helper, so the same
@@ -165,9 +202,35 @@ func renderShardLayout(stderr io.Writer, w *ycsb.Workload, n int) error {
 	return nil
 }
 
+// renderDriftLayout previews the non-stationarity of a drifting trace
+// on stderr: how fast the hot set moves relative to the trace — and to
+// the 4096-op replay blocks adaptive epochs are rounded to — so the
+// epoch length for an adaptive replay can be picked before running one.
+func renderDriftLayout(stderr io.Writer, w *ycsb.Workload, phases int) {
+	keys, requests := len(w.Dataset.Records), w.Spec.Requests
+	if requests <= 0 {
+		requests = len(w.Ops)
+	}
+	switch w.Spec.Dist.Kind {
+	case ycsb.HotSetDrift:
+		hot := int(w.Spec.Dist.HotSetFraction * float64(keys))
+		fmt.Fprintf(stderr,
+			"drift layout: hot window of %d keys (%.0f%% of ops) sweeps all %d keys once over %d requests (~%.1f keys per 4096-op block)\n",
+			hot, w.Spec.Dist.HotOpnFraction*100, keys, requests,
+			float64(keys)*4096/float64(requests))
+	case ycsb.PhaseChange:
+		if p := w.Spec.Dist.Phases; p > 0 {
+			phases = p
+		}
+		fmt.Fprintf(stderr,
+			"drift layout: %d zipfian phases × %d requests, hot set re-scrambled at every phase boundary\n",
+			phases, requests/phases)
+	}
+}
+
 // buildSpec assembles the custom-workload spec; presets resolve through
 // registry.ResolveWorkload instead.
-func buildSpec(_, distName string, theta, hotset, hotops, readRatio float64, sizes string, seed int64) (ycsb.Spec, error) {
+func buildSpec(_, distName string, theta, hotset, hotops, readRatio float64, sizes string, phases int, seed int64) (ycsb.Spec, error) {
 	var dk ycsb.DistKind
 	switch distName {
 	case "uniform":
@@ -180,6 +243,10 @@ func buildSpec(_, distName string, theta, hotset, hotops, readRatio float64, siz
 		dk = ycsb.Hotspot
 	case "latest":
 		dk = ycsb.Latest
+	case "hot_set_drift":
+		dk = ycsb.HotSetDrift
+	case "phase_change":
+		dk = ycsb.PhaseChange
 	default:
 		return ycsb.Spec{}, fmt.Errorf("unknown distribution %q", distName)
 	}
@@ -204,7 +271,7 @@ func buildSpec(_, distName string, theta, hotset, hotops, readRatio float64, siz
 	}
 	return ycsb.Spec{
 		Name:      "custom_" + distName,
-		Dist:      ycsb.DistSpec{Kind: dk, Theta: theta, HotSetFraction: hotset, HotOpnFraction: hotops},
+		Dist:      ycsb.DistSpec{Kind: dk, Theta: theta, HotSetFraction: hotset, HotOpnFraction: hotops, Phases: phases},
 		ReadRatio: readRatio,
 		Sizes:     sk,
 		Seed:      seed,

@@ -173,3 +173,87 @@ func TestTenMillionKeySpace(t *testing.T) {
 		t.Errorf("hot set collapsed onto one shard: %s", out)
 	}
 }
+
+func TestDriftFlagHotset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-drift", "hotset", "-keys", "200", "-requests", "4000"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ycsb.ReadCSV(&stdout)
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	// The CSV carries the trace, not the distribution spec; the drifting
+	// shape itself is the check — early ops hit low keys, late ops high.
+	if w.Spec.Name != "custom_hot_set_drift" {
+		t.Errorf("name %q", w.Spec.Name)
+	}
+	tenth := len(w.Ops) / 10
+	lowShare := func(ops []ycsb.Op) float64 {
+		low := 0
+		for _, op := range ops {
+			if op.Key < len(w.Dataset.Records)/2 {
+				low++
+			}
+		}
+		return float64(low) / float64(len(ops))
+	}
+	// Probe the 70–80% stretch, where the window sits fully in the upper
+	// half (at the very end it wraps back over low keys).
+	if early, late := lowShare(w.Ops[:tenth]), lowShare(w.Ops[7*tenth:8*tenth]); early < 0.7 || late > 0.4 {
+		t.Errorf("trace does not drift: low-half share %.2f early, %.2f late", early, late)
+	}
+	if len(w.Dataset.Records) != 200 || len(w.Ops) != 4000 {
+		t.Fatalf("scale wrong: %d keys, %d ops", len(w.Dataset.Records), len(w.Ops))
+	}
+	if !w.Packed().Batchable() {
+		t.Error("drift trace not packed-trace compatible")
+	}
+	if !strings.Contains(stderr.String(), "drift layout: hot window") {
+		t.Errorf("layout preview missing from stderr:\n%s", stderr.String())
+	}
+}
+
+func TestDriftFlagPhases(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-drift", "phase", "-phases", "5", "-keys", "200", "-requests", "4000"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ycsb.ReadCSV(&stdout)
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if w.Spec.Name != "custom_phase_change" {
+		t.Errorf("name %q", w.Spec.Name)
+	}
+	if len(w.Dataset.Records) != 200 || len(w.Ops) != 4000 {
+		t.Fatalf("scale wrong: %d keys, %d ops", len(w.Dataset.Records), len(w.Ops))
+	}
+	if !strings.Contains(stderr.String(), "drift layout: 5 zipfian phases") {
+		t.Errorf("layout preview missing from stderr:\n%s", stderr.String())
+	}
+}
+
+func TestDriftFlagErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-drift", "sideways"}, &stdout, &stderr); err == nil {
+		t.Error("unknown drift kind accepted")
+	}
+	if err := run([]string{"-drift", "phase", "-phases", "1"}, &stdout, &stderr); err == nil {
+		t.Error("single phase accepted")
+	}
+}
+
+func TestCustomDriftDistPrintsLayout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-workload", "custom", "-dist", "phase_change",
+		"-keys", "100", "-requests", "1000"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "drift layout:") {
+		t.Errorf("custom drift dist printed no layout preview:\n%s", stderr.String())
+	}
+}

@@ -1,0 +1,200 @@
+package client
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mnemo/internal/memsim"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// greedySource is a self-contained adaptive policy for client tests: at
+// every epoch boundary it promotes the most-read slow record and demotes
+// the least-read fast record (a minimal hot/cold chaser, no registry
+// dependency).
+type greedySource struct{}
+
+type greedyObserver struct{}
+
+func (greedySource) Begin(*ycsb.Workload) (server.EpochObserver, error) {
+	return greedyObserver{}, nil
+}
+
+func (greedyObserver) Observe(s server.EpochStats) []server.Move {
+	hotSlow, coldFast := -1, -1
+	for i := range s.Reads {
+		n := s.Reads[i] + s.Writes[i]
+		if s.Tiers[i] == memsim.Slow {
+			if hotSlow < 0 || n > s.Reads[hotSlow]+s.Writes[hotSlow] {
+				hotSlow = i
+			}
+		} else if coldFast < 0 || n < s.Reads[coldFast]+s.Writes[coldFast] {
+			coldFast = i
+		}
+	}
+	if hotSlow < 0 || coldFast < 0 {
+		return nil
+	}
+	return []server.Move{
+		{Index: coldFast, To: memsim.Slow},
+		{Index: hotSlow, To: memsim.Fast},
+	}
+}
+
+// adaptiveTestWorkload keeps sizes uniform (1 KiB) so swap moves always
+// fit, and spans several 4096-op epochs.
+func adaptiveTestWorkload(readRatio float64) *ycsb.Workload {
+	return ycsb.MustGenerate(ycsb.Spec{
+		Name: "adapttest", Keys: 500, Requests: 20_000,
+		Dist:      ycsb.DistSpec{Kind: ycsb.Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+		ReadRatio: readRatio, Sizes: ycsb.SizeFixed1KB, Seed: 11,
+	})
+}
+
+func halfFast(w *ycsb.Workload) server.Placement {
+	n := len(w.Dataset.Records)
+	idx := make([]int, 0, n/2)
+	for i := n / 2; i < n; i++ {
+		idx = append(idx, i)
+	}
+	return server.FastIndices(idx, n)
+}
+
+// TestAdaptiveEpochZeroIdentity pins the zero-value guarantee: a config
+// carrying an adaptive source with EpochOps = 0 (and non-zero migration
+// knobs, which must stay inert) is byte-identical to the plain static
+// path.
+func TestAdaptiveEpochZeroIdentity(t *testing.T) {
+	w := adaptiveTestWorkload(0.9)
+	p := halfFast(w)
+	base, err := Execute(server.DefaultConfig(server.RedisLike, 7), w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := server.DefaultConfig(server.RedisLike, 7)
+	cfg.Adaptive = greedySource{}
+	cfg.EpochOps = 0
+	cfg.MigrationCostPerByte = 5
+	cfg.MigrationBudget = 1 << 20
+	got, err := Execute(cfg, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("EpochOps=0 diverged from the static path:\nstatic   %+v\nadaptive %+v", base, got)
+	}
+}
+
+// TestAdaptiveBatchedMatchesPerOp pins the patched-table kernel against
+// the per-op reference: the same adaptive run must be bit-identical on
+// both replay paths, migrations included.
+func TestAdaptiveBatchedMatchesPerOp(t *testing.T) {
+	w := adaptiveTestWorkload(0.9)
+	p := halfFast(w)
+	cfg := server.DefaultConfig(server.RedisLike, 7)
+	cfg.Adaptive = greedySource{}
+	cfg.EpochOps = 4096
+	cfg.MigrationCostPerByte = 0.5
+	batched, err := Execute(cfg, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableBatchReplay = true
+	perOp, err := Execute(cfg, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Epochs == 0 || batched.MovesApplied == 0 {
+		t.Fatalf("adaptive run did not adapt: %+v", batched)
+	}
+	if !reflect.DeepEqual(batched, perOp) {
+		t.Fatalf("batched and per-op adaptive runs diverged:\nbatched %+v\nper-op  %+v", batched, perOp)
+	}
+}
+
+// TestAdaptiveTelemetry checks the migration ledger adds up: epoch count
+// covers the trace, per-epoch traffic sums to the run totals, and the
+// simulated cost charge matches bytes × cost.
+func TestAdaptiveTelemetry(t *testing.T) {
+	w := adaptiveTestWorkload(0.9)
+	cfg := server.DefaultConfig(server.RedisLike, 7)
+	cfg.Adaptive = greedySource{}
+	cfg.EpochOps = 4096
+	cfg.MigrationCostPerByte = 2
+	st, err := Execute(cfg, w, halfFast(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (len(w.Ops) + 4095) / 4096; st.Epochs != want {
+		t.Fatalf("epochs %d, want %d", st.Epochs, want)
+	}
+	var moves int
+	var bytes int64
+	var cost float64
+	for _, e := range st.EpochTraffic {
+		moves += e.Moves
+		bytes += e.Bytes
+		cost += e.CostNs
+	}
+	if moves != st.MovesApplied || bytes != st.MigratedBytes || cost != st.MigrationNs {
+		t.Fatalf("ledger mismatch: traffic %d/%d/%v vs totals %d/%d/%v",
+			moves, bytes, cost, st.MovesApplied, st.MigratedBytes, st.MigrationNs)
+	}
+	if want := float64(st.MigratedBytes) * 2; st.MigrationNs != want {
+		t.Fatalf("migration cost %v ns, want %v", st.MigrationNs, want)
+	}
+	if st.MovesApplied == 0 {
+		t.Fatal("greedy source never moved anything")
+	}
+	// The final epoch ends the run; no boundary migration after it.
+	if len(st.EpochTraffic) >= st.Epochs {
+		t.Fatalf("%d traffic rows for %d epochs — the last epoch has no boundary", len(st.EpochTraffic), st.Epochs)
+	}
+}
+
+// TestAdaptiveDeploymentNotReused: a migrated deployment's placement no
+// longer matches the requested one, so the execute-reuse fast path must
+// rebuild rather than replay on it.
+func TestAdaptiveDeploymentNotReused(t *testing.T) {
+	w := adaptiveTestWorkload(1.0)
+	cfg := server.DefaultConfig(server.RedisLike, 7)
+	cfg.Adaptive = greedySource{}
+	cfg.EpochOps = 4096
+	st, d, err := executeFresh(context.Background(), cfg, w, halfFast(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Migrated() {
+		t.Fatalf("adaptive run never migrated: %+v", st)
+	}
+	// A migrated deployment's placement no longer matches the requested
+	// one; the execute-reuse fast path must rebuild, not replay on it.
+	if canReuse(d, w) {
+		t.Fatal("migrated deployment offered for snapshot reuse")
+	}
+	// Repetition sweeps therefore fold independent migrated runs; the
+	// telemetry counters sum across them.
+	mean, err := ExecuteMean(cfg, w, halfFast(w), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean.Epochs != 2*st.Epochs {
+		t.Fatalf("mean of 2 runs folded %d epochs, want %d", mean.Epochs, 2*st.Epochs)
+	}
+}
+
+// TestAdaptiveRespectsContext: cancellation still lands between blocks
+// on the epoch-chunked path.
+func TestAdaptiveRespectsContext(t *testing.T) {
+	w := adaptiveTestWorkload(1.0)
+	cfg := server.DefaultConfig(server.RedisLike, 7)
+	cfg.Adaptive = greedySource{}
+	cfg.EpochOps = 4096
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteCtx(ctx, cfg, w, halfFast(w)); err == nil {
+		t.Fatal("cancelled adaptive run returned no error")
+	}
+}

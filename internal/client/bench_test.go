@@ -420,6 +420,61 @@ func BenchmarkReplayBatched(b *testing.B) {
 	})
 }
 
+// BenchmarkReplayAdaptive measures the epoch-chunked adaptive replay
+// against the static path it wraps, on the same stationary trace and
+// placement. The adaptive side pays the epoch machinery in full: chunk
+// boundaries, the per-record access tally, an observer call per epoch,
+// and a two-record migration with the cost-table re-price behind it.
+// The benchgate family for this benchmark gates overhead, not speedup:
+// its static-over-adaptive ratio sits near (slightly below) 1.0, and
+// the gate fails if the adaptive path ever grows markedly slower than
+// the static kernel on a trace that never needed to adapt.
+func BenchmarkReplayAdaptive(b *testing.B) {
+	w := benchWorkload(b)
+	recs := w.Dataset.Records
+	half := len(recs) / 2
+	fastIdx := make([]int, half)
+	for i := 0; i < half; i++ {
+		fastIdx[i] = i
+	}
+	p := server.FastIndices(fastIdx, len(recs))
+	perOp := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(w.Ops)), "ns/req")
+	}
+	ctx := context.Background()
+
+	b.Run("Static", func(b *testing.B) {
+		d := benchDeployment(b, w, p)
+		classes := sizeClasses(recs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := newReplayAccum()
+			if err := replayStatic(ctx, d, w, classes, a, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perOp(b)
+	})
+	b.Run("Adaptive", func(b *testing.B) {
+		cfg := server.DefaultConfig(server.RedisLike, 42)
+		cfg.Adaptive = greedySource{}
+		cfg.EpochOps = 4096
+		d := server.NewDeployment(cfg)
+		if err := d.Load(w.Dataset, p); err != nil {
+			b.Fatal(err)
+		}
+		classes := sizeClasses(recs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := newReplayAccum()
+			if _, err := replayEpochs(ctx, d, greedySource{}, cfg.EpochOps, w, classes, a, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perOp(b)
+	})
+}
+
 // BenchmarkExecuteMeanParallel measures repeated-run averaging serially
 // and across the worker pool; the runs are independent simulations, so
 // wall-clock time should scale down near-linearly with workers (given

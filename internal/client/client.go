@@ -77,6 +77,28 @@ type RunStats struct {
 	// degraded result ("shard 3: server: injected crash fault …"), in
 	// ascending shard order within each run.
 	DegradedReasons []string
+
+	// Epochs, MovesApplied, MigratedBytes and MigrationNs summarize an
+	// adaptive run's online migration (DESIGN.md §15): epochs served,
+	// records migrated between tiers, payload bytes copied, and the
+	// simulated time charged for the copies. Aggregates sum them across
+	// surviving repetitions. All zero on the static path.
+	Epochs        int
+	MovesApplied  int
+	MigratedBytes int64
+	MigrationNs   float64
+	// EpochTraffic breaks the migration down per epoch (epochs where the
+	// policy was consulted; the final epoch is not, since no requests
+	// remain to recoup a migration). Aggregates merge rows by epoch.
+	EpochTraffic []EpochTraffic
+}
+
+// EpochTraffic is one epoch's migration activity.
+type EpochTraffic struct {
+	Epoch  int
+	Moves  int
+	Bytes  int64
+	CostNs float64
 }
 
 // BucketHistogram pairs a record-size class with the latency histogram
@@ -251,7 +273,16 @@ func replay(d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAc
 // common unbudgeted case runs an inner loop with no per-op checks at
 // all; both variants stay allocation-free.
 func replayBounded(ctx context.Context, d *server.Deployment, ops []ycsb.Op, classes []uint8, a *replayAccum, budget simclock.Duration) error {
-	start := d.Clock()
+	return replayBoundedChunk(ctx, d, ops, classes, a, budget, d.Clock(), 0, len(ops))
+}
+
+// replayBoundedChunk is the per-operation replay of one trace chunk
+// inside a larger run: the budget is measured against the run's start
+// clock and progress is reported in run-global request indices, so an
+// epoch-chunked run times out at the same request, with the same
+// message, as an unchunked one. replayBounded is the whole-trace case
+// (start = now, done = 0, total = len(ops)).
+func replayBoundedChunk(ctx context.Context, d *server.Deployment, ops []ycsb.Op, classes []uint8, a *replayAccum, budget simclock.Duration, start simclock.Duration, done, total int) error {
 	for blk := 0; blk < len(ops); blk += replayBlockOps {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -273,7 +304,7 @@ func replayBounded(ctx context.Context, d *server.Deployment, ops []ycsb.Op, cla
 			a.observe(op.Kind, int(classes[op.Key]), float64(res.Latency.Nanoseconds()))
 			if d.Clock()-start > budget {
 				return fmt.Errorf("%w after %d/%d requests (simulated %v > budget %v)",
-					ErrRunTimeout, i+1, len(ops), d.Clock()-start, budget)
+					ErrRunTimeout, done+i+1, total, d.Clock()-start, budget)
 			}
 		}
 	}
@@ -290,7 +321,14 @@ func replayBounded(ctx context.Context, d *server.Deployment, ops []ycsb.Op, cla
 // same clock reading — and, being built from the same pricing constants
 // and the same noise draws, the same latencies — as the per-op path.
 func replayBatched(ctx context.Context, d *server.Deployment, t *server.ReplayTable, keys []uint32, kinds []uint8, classes []uint8, a *replayAccum, budget simclock.Duration) error {
-	start := d.Clock()
+	return replayBatchedChunk(ctx, d, t, keys, kinds, classes, a, budget, d.Clock(), 0, len(keys))
+}
+
+// replayBatchedChunk is the batched replay of one trace chunk inside a
+// larger run, with the budget anchored at the run's start clock and
+// progress reported in run-global request indices — the batched twin of
+// replayBoundedChunk.
+func replayBatchedChunk(ctx context.Context, d *server.Deployment, t *server.ReplayTable, keys []uint32, kinds []uint8, classes []uint8, a *replayAccum, budget simclock.Duration, start simclock.Duration, done, total int) error {
 	var maxClock simclock.Duration
 	if budget > 0 {
 		maxClock = start + budget
@@ -311,7 +349,7 @@ func replayBatched(ctx context.Context, d *server.Deployment, t *server.ReplayTa
 		}
 		if served < len(bkeys) {
 			return fmt.Errorf("%w after %d/%d requests (simulated %v > budget %v)",
-				ErrRunTimeout, blk+served, len(keys), d.Clock()-start, budget)
+				ErrRunTimeout, done+blk+served, total, d.Clock()-start, budget)
 		}
 	}
 	return nil
@@ -354,33 +392,12 @@ func RunCtx(ctx context.Context, d *server.Deployment, w *ycsb.Workload, budget 
 	start := d.Clock()
 	a := newReplayAccum()
 	classes := sizeClasses(w.Dataset.Records)
-	crashAt := d.CrashOp()
+	var tel epochTelemetry
 	var err error
-	if t := d.BatchTable(); t != nil && w.Packed().Batchable() {
-		pt := w.Packed()
-		keys, kinds := pt.Keys, pt.Kinds
-		if crashAt >= 0 && crashAt < len(keys) {
-			keys, kinds = keys[:crashAt], kinds[:crashAt]
-		} else {
-			crashAt = -1 // crash point beyond the trace: never fires
-		}
-		err = replayBatched(ctx, d, t, keys, kinds, classes, a, budget)
-	} else if w.Ops == nil && w.RequestCount() > 0 {
-		// A packed-only trace (a shard partitioner sub-workload) cannot
-		// drive the per-operation path; failing beats silently replaying
-		// zero requests.
-		return RunStats{}, fmt.Errorf("client: packed-only trace requires the batched replay path")
+	if src, epochOps := d.AdaptiveSpec(); src != nil && epochOps > 0 {
+		tel, err = replayEpochs(ctx, d, src, epochOps, w, classes, a, budget)
 	} else {
-		ops := w.Ops
-		if crashAt >= 0 && crashAt < len(ops) {
-			ops = ops[:crashAt]
-		} else {
-			crashAt = -1
-		}
-		err = replayBounded(ctx, d, ops, classes, a, budget)
-	}
-	if err == nil && crashAt >= 0 {
-		err = d.CrashError()
+		err = replayStatic(ctx, d, w, classes, a, budget)
 	}
 	if err != nil {
 		return RunStats{}, err
@@ -419,7 +436,47 @@ func RunCtx(ctx context.Context, d *server.Deployment, w *ycsb.Workload, budget 
 	if llc := d.Machine().LLC(); llc != nil {
 		out.LLCHitRate = llc.HitRate()
 	}
+	out.Epochs = tel.epochs
+	out.MovesApplied = tel.moves
+	out.MigratedBytes = tel.bytes
+	out.MigrationNs = tel.costNs
+	out.EpochTraffic = tel.traffic
 	return out, nil
+}
+
+// replayStatic is the legacy single-placement replay — the whole trace
+// in one pass, batched when the deployment and trace support it. It is
+// the EpochOps=0 path and stays bit-identical to the pre-adaptive stack.
+func replayStatic(ctx context.Context, d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAccum, budget simclock.Duration) error {
+	crashAt := d.CrashOp()
+	var err error
+	if t := d.BatchTable(); t != nil && w.Packed().Batchable() {
+		pt := w.Packed()
+		keys, kinds := pt.Keys, pt.Kinds
+		if crashAt >= 0 && crashAt < len(keys) {
+			keys, kinds = keys[:crashAt], kinds[:crashAt]
+		} else {
+			crashAt = -1 // crash point beyond the trace: never fires
+		}
+		err = replayBatched(ctx, d, t, keys, kinds, classes, a, budget)
+	} else if w.Ops == nil && w.RequestCount() > 0 {
+		// A packed-only trace (a shard partitioner sub-workload) cannot
+		// drive the per-operation path; failing beats silently replaying
+		// zero requests.
+		return fmt.Errorf("client: packed-only trace requires the batched replay path")
+	} else {
+		ops := w.Ops
+		if crashAt >= 0 && crashAt < len(ops) {
+			ops = ops[:crashAt]
+		} else {
+			crashAt = -1
+		}
+		err = replayBounded(ctx, d, ops, classes, a, budget)
+	}
+	if err == nil && crashAt >= 0 {
+		err = d.CrashError()
+	}
+	return err
 }
 
 // Execute builds a fresh deployment, loads the dataset under the given
@@ -505,9 +562,11 @@ func executeReused(ctx context.Context, cfg server.Config, w *ycsb.Workload, d *
 // canReuse reports whether a deployment that just executed this workload
 // can serve further repetitions via ResetRun: the replay must have gone
 // through the batched kernel (the per-op path mutates engine state the
-// snapshot does not cover).
+// snapshot does not cover), and the placement must not have migrated
+// mid-run (ApplyMoves leaves the store contents diverged from the
+// post-Load snapshot, so adaptive runs that moved records rebuild fresh).
 func canReuse(d *server.Deployment, w *ycsb.Workload) bool {
-	return d != nil && d.BatchTable() != nil && w.Packed().Batchable()
+	return d != nil && !d.Migrated() && d.BatchTable() != nil && w.Packed().Batchable()
 }
 
 // runAndFlush is the shared back half of the execute paths: the bounded

@@ -395,6 +395,13 @@ func foldRuns(out []repOutcome, survivors []int) RunStats {
 		agg.ShardsRetried += st.ShardsRetried
 		agg.DegradedReasons = append(agg.DegradedReasons, st.DegradedReasons...)
 		agg.Degraded = agg.Degraded || st.Degraded
+		// Migration telemetry likewise sums (total traffic across the
+		// aggregate) and the per-epoch rows merge by epoch index.
+		agg.Epochs += st.Epochs
+		agg.MovesApplied += st.MovesApplied
+		agg.MigratedBytes += st.MigratedBytes
+		agg.MigrationNs += st.MigrationNs
+		agg.EpochTraffic = mergeEpochTraffic(agg.EpochTraffic, st.EpochTraffic)
 	}
 	n := float64(len(survivors))
 	agg.Runtime = simclock.Duration(float64(agg.Runtime) / n)

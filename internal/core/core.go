@@ -178,6 +178,15 @@ func (c Config) normalized() (Config, error) {
 	if c.Server.VirtualNodes < 0 {
 		return c, fmt.Errorf("core: virtual nodes %d must be non-negative", c.Server.VirtualNodes)
 	}
+	if c.Server.EpochOps < 0 {
+		return c, fmt.Errorf("core: epoch ops %d must be non-negative", c.Server.EpochOps)
+	}
+	if c.Server.MigrationCostPerByte < 0 {
+		return c, fmt.Errorf("core: migration cost %v ns/byte must be non-negative", c.Server.MigrationCostPerByte)
+	}
+	if c.Server.MigrationBudget < 0 {
+		return c, fmt.Errorf("core: migration budget %d bytes must be non-negative", c.Server.MigrationBudget)
+	}
 	if err := c.Resilience.Validate(); err != nil {
 		return c, err
 	}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"mnemo/internal/server"
+)
+
+// EpochPolicy is the stateful-epochal extension of TieringPolicy
+// (DESIGN.md §15): a policy that can revise its placement online. Order
+// remains the static degenerate case — it seeds the initial placement
+// and is what every consumer of the static pipeline still calls — while
+// Begin opens one adaptive run: it returns a server.EpochObserver that
+// receives each epoch's access counts and answers with the migrations
+// to apply before the next epoch.
+//
+// The epoch contract (Move, EpochStats, EpochObserver, EpochSource) is
+// defined in internal/server because the replay loop in internal/client
+// consumes it and core imports client; EpochPolicy simply glues the two:
+// any EpochPolicy structurally satisfies server.EpochSource.
+//
+// Contract: all mutable adaptive state must live on the observer Begin
+// returns, never on the policy receiver, so one policy instance can
+// serve many — even concurrent — runs (the same freshness rule the
+// registry enforces for static policies).
+type EpochPolicy interface {
+	TieringPolicy
+	server.EpochSource
+}
+
+// AsEpochPolicy reports whether a policy supports epoch-based adaptive
+// replay, returning the adaptive view when it does.
+func AsEpochPolicy(p TieringPolicy) (EpochPolicy, bool) {
+	ep, ok := p.(EpochPolicy)
+	return ep, ok
+}

@@ -41,9 +41,15 @@ func NewSensitivityEngine(cfg Config) (*SensitivityEngine, error) {
 // to running them back to back. Cancelling ctx aborts both mid-sweep;
 // failing runs are retried/degraded per the config's resilience policy.
 func (s *SensitivityEngine) Baselines(ctx context.Context, w *ycsb.Workload) (Baselines, error) {
+	// Baselines measure the static extremes by definition: an adaptive
+	// policy would find nothing to migrate on an all-fast or all-slow
+	// placement anyway, so the knobs are stripped to keep the estimate
+	// model's inputs on the exact legacy path.
+	fastCfg := s.cfg.Server
+	fastCfg.Adaptive, fastCfg.EpochOps = nil, 0
 	// Decorrelate the noise streams of the two baseline runs, as two
 	// separate physical executions would be.
-	slowCfg := s.cfg.Server
+	slowCfg := fastCfg
 	slowCfg.Seed += 7919
 
 	jobs := []struct {
@@ -51,7 +57,7 @@ func (s *SensitivityEngine) Baselines(ctx context.Context, w *ycsb.Workload) (Ba
 		cfg  server.Config
 		p    server.Placement
 	}{
-		{"FastMem", s.cfg.Server, server.AllFast()},
+		{"FastMem", fastCfg, server.AllFast()},
 		{"SlowMem", slowCfg, server.AllSlow()},
 	}
 	var results [2]client.RunStats

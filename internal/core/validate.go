@@ -97,8 +97,12 @@ func ValidateWorkers(ctx context.Context, cfg Config, w *ycsb.Workload, c *Curve
 			return
 		}
 		// Each validation run is an independent execution with its own
-		// noise stream, like a fresh run on the testbed.
+		// noise stream, like a fresh run on the testbed. The sweep
+		// validates the *static* estimate curve, so adaptive knobs are
+		// stripped: measuring a migrated placement against a static
+		// estimate would conflate model error with policy effect.
 		runCfg := ncfg.Server
+		runCfg.Adaptive, runCfg.EpochOps = nil, 0
 		runCfg.Seed += int64(job.i) * 104729
 		measured, err := client.ExecuteMeanCtx(ctx, runCfg, w, placement, ncfg.Runs, 0, ncfg.Resilience)
 		if err != nil {

@@ -1,0 +1,127 @@
+// Drift distributions: non-stationary request generators whose hot set
+// moves during the trace. Static placement freezes one ordering for the
+// whole run, so any workload whose popular keys change mid-trace is a
+// workload static tiering provably loses on — these two generators are
+// the adversarial inputs the adaptive (epoch-based) policies are
+// measured against.
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// HotSetDrift sends hotOpnFraction of operations to a contiguous hot
+// window of hotSetFraction·keys keys, like Hotspot — but the window's
+// start slides linearly across the key space as the trace progresses,
+// wrapping at the end. A static policy can only pin the time-averaged
+// hot set (which is nearly uniform once the window has swept the whole
+// space); an adaptive policy can chase the window.
+type HotSetDrift struct {
+	keys     int
+	requests int
+	issued   int
+	hotKeys  int
+	hotOpn   float64
+}
+
+// NewHotSetDrift returns a drifting-hotspot chooser over [0, keys) for a
+// trace of the given total length. hotSetFraction of the key space is hot
+// at any instant and receives hotOpnFraction of the operations; the hot
+// window completes exactly one full sweep of the key space over the trace.
+func NewHotSetDrift(keys, totalRequests int, hotSetFraction, hotOpnFraction float64) *HotSetDrift {
+	mustPositiveKeys(keys)
+	if totalRequests <= 0 {
+		panic("dist: hot-set drift needs a positive request count")
+	}
+	if hotSetFraction <= 0 || hotSetFraction > 1 {
+		panic(fmt.Sprintf("dist: hot-set drift set fraction %v outside (0,1]", hotSetFraction))
+	}
+	if hotOpnFraction < 0 || hotOpnFraction > 1 {
+		panic(fmt.Sprintf("dist: hot-set drift op fraction %v outside [0,1]", hotOpnFraction))
+	}
+	hot := int(float64(keys) * hotSetFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	return &HotSetDrift{keys: keys, requests: totalRequests, hotKeys: hot, hotOpn: hotOpnFraction}
+}
+
+// Next implements KeyChooser.
+func (d *HotSetDrift) Next(r *rand.Rand) int {
+	start := d.issued * d.keys / d.requests
+	if start >= d.keys {
+		start = d.keys - 1
+	}
+	d.issued++
+	if r.Float64() < d.hotOpn {
+		return (start + r.Intn(d.hotKeys)) % d.keys
+	}
+	return r.Intn(d.keys)
+}
+
+// Keys implements KeyChooser.
+func (d *HotSetDrift) Keys() int { return d.keys }
+
+// Name implements KeyChooser.
+func (d *HotSetDrift) Name() string { return "hot_set_drift" }
+
+// HotKeys reports the size of the instantaneous hot window.
+func (d *HotSetDrift) HotKeys() int { return d.hotKeys }
+
+// Reset rewinds the window so the chooser can generate another trace.
+func (d *HotSetDrift) Reset() { d.issued = 0 }
+
+// PhaseChange divides the trace into P equal phases, each a scrambled
+// zipfian whose scatter hash is salted with the phase index — at every
+// phase boundary the popular keys move to a completely unrelated part of
+// the key space. Within a phase the workload is as skewed (and as
+// tierable) as Timeline; across phases there is no single good static
+// placement.
+type PhaseChange struct {
+	keys     int
+	requests int
+	issued   int
+	phases   int
+	z        *Zipfian
+}
+
+// phaseSalt spreads consecutive phase indices across the 64-bit space
+// (golden-ratio multiplier) before they are XORed into the scatter hash.
+const phaseSalt = 0x9E3779B97F4A7C15
+
+// NewPhaseChange returns a phase-change chooser over [0, keys) for a
+// trace of the given total length split into phases ≥ 2 phases.
+func NewPhaseChange(keys, totalRequests, phases int) *PhaseChange {
+	mustPositiveKeys(keys)
+	if totalRequests <= 0 {
+		panic("dist: phase change needs a positive request count")
+	}
+	if phases < 2 {
+		panic(fmt.Sprintf("dist: phase change needs at least 2 phases, got %d", phases))
+	}
+	return &PhaseChange{keys: keys, requests: totalRequests, phases: phases, z: NewZipfian(keys, ZipfianTheta)}
+}
+
+// Next implements KeyChooser.
+func (p *PhaseChange) Next(r *rand.Rand) int {
+	phase := p.issued * p.phases / p.requests
+	if phase >= p.phases {
+		phase = p.phases - 1
+	}
+	p.issued++
+	rank := p.z.Next(r)
+	return int(fnv1a64(uint64(rank)^(uint64(phase)*phaseSalt)) % uint64(p.keys))
+}
+
+// Keys implements KeyChooser.
+func (p *PhaseChange) Keys() int { return p.keys }
+
+// Name implements KeyChooser.
+func (p *PhaseChange) Name() string { return "phase_change" }
+
+// Phases reports the configured phase count.
+func (p *PhaseChange) Phases() int { return p.phases }
+
+// Reset rewinds the phase clock so the chooser can generate another trace.
+func (p *PhaseChange) Reset() { p.issued = 0 }

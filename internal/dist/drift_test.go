@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// windowShare draws n keys and reports the fraction that landed in the
+// instantaneous hot window [start, start+hot) mod keys, where start is
+// recomputed per draw the way Next does.
+func TestHotSetDriftWindowSlidesAndConcentrates(t *testing.T) {
+	const keys, requests = 1000, 50000
+	d := NewHotSetDrift(keys, requests, 0.1, 0.9)
+	if d.Name() != "hot_set_drift" || d.Keys() != keys || d.HotKeys() != 100 {
+		t.Fatalf("metadata wrong: %q keys %d hot %d", d.Name(), d.Keys(), d.HotKeys())
+	}
+	r := rand.New(rand.NewSource(7))
+	inWindow := 0
+	var firstQuarter, lastQuarter [2]int // [hits below keys/2, draws] per trace quarter
+	for i := 0; i < requests; i++ {
+		start := i * keys / requests
+		k := d.Next(r)
+		if k < 0 || k >= keys {
+			t.Fatalf("draw %d out of range: %d", i, k)
+		}
+		lo, hi := start, start+d.HotKeys()
+		if (k >= lo && k < hi) || k+keys < hi {
+			inWindow++
+		}
+		if i < requests/4 {
+			firstQuarter[1]++
+			if k < keys/2 {
+				firstQuarter[0]++
+			}
+		} else if i >= requests*3/4 {
+			lastQuarter[1]++
+			if k < keys/2 {
+				lastQuarter[0]++
+			}
+		}
+	}
+	// ~90% hot + uniform spillover into the window ⇒ well above 0.85.
+	if frac := float64(inWindow) / requests; frac < 0.85 {
+		t.Errorf("window share %.3f, want ≥ 0.85", frac)
+	}
+	// The window starts at the bottom of the key space and ends at the
+	// top: the trace's first quarter hits low keys, the last high keys.
+	early := float64(firstQuarter[0]) / float64(firstQuarter[1])
+	late := float64(lastQuarter[0]) / float64(lastQuarter[1])
+	if early < 0.8 || late > 0.3 {
+		t.Errorf("window did not sweep: low-half share %.3f early, %.3f late", early, late)
+	}
+}
+
+func TestHotSetDriftResetRepeats(t *testing.T) {
+	d := NewHotSetDrift(500, 2000, 0.2, 0.9)
+	r1 := rand.New(rand.NewSource(3))
+	first := make([]int, 2000)
+	for i := range first {
+		first[i] = d.Next(r1)
+	}
+	d.Reset()
+	r2 := rand.New(rand.NewSource(3))
+	for i := range first {
+		if got := d.Next(r2); got != first[i] {
+			t.Fatalf("draw %d after Reset: %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestHotSetDriftPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero requests":    func() { NewHotSetDrift(10, 0, 0.2, 0.9) },
+		"zero hot set":     func() { NewHotSetDrift(10, 100, 0, 0.9) },
+		"hot set above 1":  func() { NewHotSetDrift(10, 100, 1.5, 0.9) },
+		"negative hot opn": func() { NewHotSetDrift(10, 100, 0.2, -0.1) },
+		"hot opn above 1":  func() { NewHotSetDrift(10, 100, 0.2, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPhaseChangeScramblesBetweenPhases(t *testing.T) {
+	const keys, requests, phases = 2000, 40000, 2
+	p := NewPhaseChange(keys, requests, phases)
+	if p.Name() != "phase_change" || p.Keys() != keys || p.Phases() != phases {
+		t.Fatalf("metadata wrong: %q keys %d phases %d", p.Name(), p.Keys(), p.Phases())
+	}
+	r := rand.New(rand.NewSource(11))
+	counts := [2][]int{make([]int, keys), make([]int, keys)}
+	for i := 0; i < requests; i++ {
+		phase := i * phases / requests
+		k := p.Next(r)
+		if k < 0 || k >= keys {
+			t.Fatalf("draw %d out of range: %d", i, k)
+		}
+		counts[phase][k]++
+	}
+	// Each phase is skewed: its top-64 keys carry a large share.
+	topShare := func(c []int) float64 {
+		top := append([]int(nil), c...)
+		total := 0
+		for _, n := range c {
+			total += n
+		}
+		// partial selection: find 64 largest by simple repeated max on a
+		// copy (keys is small).
+		share := 0
+		for sel := 0; sel < 64; sel++ {
+			maxI := 0
+			for i, n := range top {
+				if n > top[maxI] {
+					maxI = i
+				}
+			}
+			share += top[maxI]
+			top[maxI] = -1
+		}
+		return float64(share) / float64(total)
+	}
+	hot := func(c []int) map[int]bool {
+		m := map[int]bool{}
+		top := append([]int(nil), c...)
+		for sel := 0; sel < 64; sel++ {
+			maxI := 0
+			for i, n := range top {
+				if n > top[maxI] {
+					maxI = i
+				}
+			}
+			m[maxI] = true
+			top[maxI] = -1
+		}
+		return m
+	}
+	for ph := 0; ph < phases; ph++ {
+		if s := topShare(counts[ph]); s < 0.3 {
+			t.Errorf("phase %d top-64 share %.3f, want ≥ 0.3 (zipfian within a phase)", ph, s)
+		}
+	}
+	// Across the boundary the hot sets are unrelated: small overlap.
+	h0, h1 := hot(counts[0]), hot(counts[1])
+	overlap := 0
+	for k := range h0 {
+		if h1[k] {
+			overlap++
+		}
+	}
+	if overlap > 16 {
+		t.Errorf("phase hot sets share %d/64 keys — boundary did not re-scramble", overlap)
+	}
+}
+
+func TestPhaseChangeResetRepeats(t *testing.T) {
+	p := NewPhaseChange(300, 1200, 3)
+	r1 := rand.New(rand.NewSource(5))
+	first := make([]int, 1200)
+	for i := range first {
+		first[i] = p.Next(r1)
+	}
+	p.Reset()
+	r2 := rand.New(rand.NewSource(5))
+	for i := range first {
+		if got := p.Next(r2); got != first[i] {
+			t.Fatalf("draw %d after Reset: %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestPhaseChangePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero requests": func() { NewPhaseChange(10, 0, 2) },
+		"one phase":     func() { NewPhaseChange(10, 100, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -58,6 +58,18 @@ type Scale struct {
 	ShardRetries     int
 	ShardFaultBudget int
 	HedgeFactor      float64
+	// EpochOps sets the adaptive replay epoch length for experiments
+	// that measure epoch-based migration (AdaptiveCompare); 0 picks the
+	// experiment default. Profiling experiments ignore it: estimate
+	// curves are static by construction (DESIGN.md §15).
+	EpochOps int
+	// MigrationCostPerByte is the simulated charge, in ns per payload
+	// byte, for mid-run tier migrations; 0 picks the experiment default
+	// for adaptive experiments.
+	MigrationCostPerByte float64
+	// MigrationBudget caps migrated payload bytes per epoch boundary
+	// (0 = unlimited).
+	MigrationBudget int64
 }
 
 // Full is the paper's scale.
@@ -90,6 +102,15 @@ func (s Scale) Validate() error {
 	if (s.ShardRetries > 0 || s.ShardFaultBudget > 0 || s.HedgeFactor > 0) && s.Shards < 2 {
 		return fmt.Errorf("experiments: shard fault-domain knobs require shards ≥ 2, got %d", s.Shards)
 	}
+	if s.EpochOps < 0 {
+		return fmt.Errorf("experiments: epoch ops %d must be non-negative", s.EpochOps)
+	}
+	if s.MigrationCostPerByte < 0 {
+		return fmt.Errorf("experiments: migration cost %v ns/byte must be non-negative", s.MigrationCostPerByte)
+	}
+	if s.MigrationBudget < 0 {
+		return fmt.Errorf("experiments: migration budget %d bytes must be non-negative", s.MigrationBudget)
+	}
 	return nil
 }
 
@@ -114,6 +135,10 @@ func (s Scale) coreConfig(e server.Engine, seed int64) core.Config {
 	cfg.Server.Obs = s.Obs
 	cfg.Server.DisableBatchReplay = s.DisableBatchReplay
 	cfg.Server.Shards = s.Shards
+	// Migration knobs are inert until a run also carries an Adaptive
+	// policy and EpochOps ≥ 1 (only AdaptiveCompare sets those).
+	cfg.Server.MigrationCostPerByte = s.MigrationCostPerByte
+	cfg.Server.MigrationBudget = s.MigrationBudget
 	if s.Fault.Enabled() {
 		cfg.Resilience = defaultResilience
 	}

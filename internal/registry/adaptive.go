@@ -1,0 +1,201 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"mnemo/internal/core"
+	"mnemo/internal/kvstore"
+	"mnemo/internal/memsim"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// Adaptive policies (DESIGN.md §15): core.EpochPolicy implementations
+// whose Order is the static degenerate case and whose Begin opens an
+// online-migration run. All mutable per-run state lives on the observer
+// Begin returns — never on the policy value — so one policy instance can
+// serve many concurrent runs (the registry freshness contract).
+
+// planMoves turns a priority order into the migrations that reshape the
+// current placement toward it. The FastMem byte budget is what the
+// current placement already spends — the sum of fast-resident record
+// sizes — so migration swaps records without growing the fast tier's
+// footprint: the cost model's C_fast is preserved, only its contents
+// change. The target set packs the priority order greedily (records that
+// do not fit are skipped, not cut off), then promotes target records now
+// slow and demotes fast records outside the target. An all-fast or
+// all-slow placement has nothing to swap and yields no moves.
+func planMoves(order []int, recs []ycsb.Record, tiers []memsim.Tier) []server.Move {
+	var budget int64
+	for i, t := range tiers {
+		if t == memsim.Fast {
+			budget += int64(recs[i].Size)
+		}
+	}
+	if budget == 0 {
+		return nil
+	}
+	inTarget := make([]bool, len(recs))
+	var used int64
+	for _, idx := range order {
+		s := int64(recs[idx].Size)
+		if used+s > budget {
+			continue
+		}
+		used += s
+		inTarget[idx] = true
+	}
+	var moves []server.Move
+	for i, t := range tiers {
+		switch {
+		case inTarget[i] && t != memsim.Fast:
+			moves = append(moves, server.Move{Index: i, To: memsim.Fast})
+		case !inTarget[i] && t == memsim.Fast:
+			moves = append(moves, server.Move{Index: i, To: memsim.Slow})
+		}
+	}
+	return moves
+}
+
+// scoreOrder returns record indices sorted by descending score, index
+// ascending on ties — the stable order every frequency policy here uses.
+func scoreOrder(score []float64) []int {
+	order := make([]int, len(score))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if score[order[a]] != score[order[b]] {
+			return score[order[a]] > score[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// AdaptiveFreq builds the HybridTier-style online decayed-frequency
+// policy: each epoch every record's score decays by the retention factor
+// and gains its epoch accesses, and the placement is reshaped toward the
+// highest-scoring records. Statically (Order) it degenerates to plain
+// whole-trace access frequency. decay must be in (0, 1].
+func AdaptiveFreq(decay float64) core.EpochPolicy {
+	return adaptiveFreqPolicy{decay: decay}
+}
+
+type adaptiveFreqPolicy struct{ decay float64 }
+
+// Name implements core.TieringPolicy.
+func (adaptiveFreqPolicy) Name() string { return "adaptive-freq" }
+
+// Order implements core.TieringPolicy — the static degenerate case:
+// whole-trace access frequency, descending.
+func (p adaptiveFreqPolicy) Order(_ context.Context, w *ycsb.Workload) (core.Ordering, error) {
+	if p.decay <= 0 || p.decay > 1 {
+		return core.Ordering{}, fmt.Errorf("adaptive-freq: decay %v outside (0,1]", p.decay)
+	}
+	stats := keyStats(w)
+	score := make([]float64, len(stats))
+	for i, k := range stats {
+		score[i] = float64(k.Accesses())
+	}
+	return orderingOf("adaptive-freq", stats, scoreOrder(score)), nil
+}
+
+// Begin implements server.EpochSource.
+func (p adaptiveFreqPolicy) Begin(w *ycsb.Workload) (server.EpochObserver, error) {
+	if p.decay <= 0 || p.decay > 1 {
+		return nil, fmt.Errorf("adaptive-freq: decay %v outside (0,1]", p.decay)
+	}
+	return &freqObserver{
+		decay: p.decay,
+		recs:  w.Dataset.Records,
+		score: make([]float64, len(w.Dataset.Records)),
+	}, nil
+}
+
+// freqObserver is one run's decayed-frequency state.
+type freqObserver struct {
+	decay float64
+	recs  []ycsb.Record
+	score []float64
+}
+
+// Observe implements server.EpochObserver.
+func (o *freqObserver) Observe(st server.EpochStats) []server.Move {
+	for i := range o.score {
+		o.score[i] *= o.decay
+		o.score[i] += float64(st.Reads[i]) + float64(st.Writes[i])
+	}
+	return planMoves(scoreOrder(o.score), o.recs, st.Tiers)
+}
+
+// Adaptive wraps any static tiering policy as an epoch policy: each
+// epoch the inner policy's Order is re-run on a synthetic workload
+// assembled from the epoch's observed access counts, and the placement
+// is reshaped toward the resulting ordering. Statically it is exactly
+// the inner policy. An inner Order failure mid-run keeps the current
+// placement (migration is an optimization; a run never fails for want
+// of one).
+func Adaptive(inner core.TieringPolicy) core.EpochPolicy {
+	return adaptiveWrapper{inner: inner}
+}
+
+type adaptiveWrapper struct{ inner core.TieringPolicy }
+
+// Name implements core.TieringPolicy.
+func (p adaptiveWrapper) Name() string { return "adaptive-" + p.inner.Name() }
+
+// Order implements core.TieringPolicy by delegating to the inner policy,
+// renamed so Session caches and reports keep the two distinct.
+func (p adaptiveWrapper) Order(ctx context.Context, w *ycsb.Workload) (core.Ordering, error) {
+	ord, err := p.inner.Order(ctx, w)
+	if err != nil {
+		return core.Ordering{}, err
+	}
+	ord.Name = p.Name()
+	return ord, nil
+}
+
+// Begin implements server.EpochSource.
+func (p adaptiveWrapper) Begin(w *ycsb.Workload) (server.EpochObserver, error) {
+	return &wrapperObserver{inner: p.inner, w: w}, nil
+}
+
+// wrapperObserver re-runs the inner policy on per-epoch observations.
+type wrapperObserver struct {
+	inner core.TieringPolicy
+	w     *ycsb.Workload
+}
+
+// Observe implements server.EpochObserver. The synthetic workload it
+// hands the inner policy carries the real dataset with a trace expanded
+// from the epoch's access counts (reads then writes, per record, in
+// index order) — frequency-and-size information is preserved exactly;
+// intra-epoch request order, which the epoch counters do not keep, is
+// not. Policies whose static order depends on arrival order (first
+// touch) see an index-ordered epoch.
+func (o *wrapperObserver) Observe(st server.EpochStats) []server.Move {
+	ops := make([]ycsb.Op, 0, st.Ops)
+	for i := range st.Reads {
+		for r := int32(0); r < st.Reads[i]; r++ {
+			ops = append(ops, ycsb.Op{Key: i, Kind: kvstore.Read})
+		}
+		for w := int32(0); w < st.Writes[i]; w++ {
+			ops = append(ops, ycsb.Op{Key: i, Kind: kvstore.Write})
+		}
+	}
+	spec := o.w.Spec
+	spec.Requests = len(ops)
+	synth := &ycsb.Workload{Spec: spec, Dataset: o.w.Dataset, Ops: ops}
+	ord, err := o.inner.Order(context.Background(), synth)
+	if err != nil {
+		return nil
+	}
+	order := make([]int, len(ord.Keys))
+	for i, k := range ord.Keys {
+		order[i] = k.Index
+	}
+	return planMoves(order, o.w.Dataset.Records, st.Tiers)
+}

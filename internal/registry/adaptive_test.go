@@ -1,0 +1,134 @@
+package registry
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"mnemo/internal/client"
+	"mnemo/internal/core"
+	"mnemo/internal/memsim"
+	"mnemo/internal/server"
+	"mnemo/internal/ycsb"
+)
+
+// convergenceWorkload is a stationary hotspot trace: 400 fixed-1KB keys,
+// a 20% hot set taking 90% of the requests, long enough for several
+// 4096-op epochs.
+func convergenceWorkload(t *testing.T) *ycsb.Workload {
+	t.Helper()
+	w, err := ycsb.Generate(ycsb.Spec{
+		Name: "converge", Keys: 400, Requests: 32768,
+		Dist:      ycsb.DistSpec{Kind: ycsb.Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+		ReadRatio: 1.0, Sizes: ycsb.SizeFixed1KB, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// accessOrder returns record indices sorted by descending whole-trace
+// access count — the static oracle a stationary trace converges to.
+func accessOrder(w *ycsb.Workload) []int {
+	counts := make([]int, len(w.Dataset.Records))
+	for _, op := range w.Ops {
+		counts[op.Key]++
+	}
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	return order
+}
+
+// TestAdaptiveFreqConvergesToOracle pins the stationary-convergence
+// guarantee: on a trace whose hot set never moves, adaptive-freq started
+// from the worst possible placement (the coldest records in FastMem)
+// must migrate to within ε of the static-oracle placement — the hottest
+// records, at the same fast-byte budget.
+func TestAdaptiveFreqConvergesToOracle(t *testing.T) {
+	w := convergenceWorkload(t)
+	n := len(w.Dataset.Records)
+	oracle := accessOrder(w)
+	k := n / 5 // the oracle fast set: exactly the hot records' budget
+
+	cfg := server.DefaultConfig(server.RedisLike, 5)
+	cfg.Adaptive = AdaptiveFreq(DefaultDecay)
+	cfg.EpochOps = 4096
+	d := server.NewDeployment(cfg)
+	// Worst case: the k coldest records occupy the fast tier.
+	coldest := append([]int(nil), oracle[n-k:]...)
+	if err := d.Load(w.Dataset, server.FastIndices(coldest, n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.RunCtx(context.Background(), d, w, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	want := make(map[int]bool, k)
+	for _, idx := range oracle[:k] {
+		want[idx] = true
+	}
+	var overlap, fast int
+	for i, tier := range d.RecordTiers() {
+		if tier == memsim.Fast {
+			fast++
+			if want[i] {
+				overlap++
+			}
+		}
+	}
+	if fast != k {
+		t.Fatalf("fast set grew from %d to %d records — planMoves must preserve the byte budget", k, fast)
+	}
+	if min := (k * 9) / 10; overlap < min {
+		t.Fatalf("after the run only %d/%d fast records are oracle-hot (want ≥ %d)", overlap, k, min)
+	}
+}
+
+// TestAdaptiveWrapperStaticOrderMatchesInner: the wrapper's Order is the
+// inner policy's, renamed — the static degenerate case of the tentpole.
+func TestAdaptiveWrapperStaticOrderMatchesInner(t *testing.T) {
+	w := convergenceWorkload(t)
+	inner, err := core.MnemoT.Order(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := Adaptive(core.MnemoT).Order(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.Name != "adaptive-mnemot" {
+		t.Fatalf("wrapper ordering name %q", wrapped.Name)
+	}
+	for i := range inner.Keys {
+		if inner.Keys[i].Index != wrapped.Keys[i].Index {
+			t.Fatalf("rank %d: wrapper ordered record %d, inner %d", i, wrapped.Keys[i].Index, inner.Keys[i].Index)
+		}
+	}
+}
+
+// TestPlanMovesPreservesBudgetAndSkipsDegenerate covers the move
+// planner's guardrails directly.
+func TestPlanMovesPreservesBudgetAndSkipsDegenerate(t *testing.T) {
+	recs := []ycsb.Record{{Size: 1024}, {Size: 1024}, {Size: 1024}, {Size: 1024}}
+	allSlow := []memsim.Tier{memsim.Slow, memsim.Slow, memsim.Slow, memsim.Slow}
+	if moves := planMoves([]int{0, 1, 2, 3}, recs, allSlow); moves != nil {
+		t.Fatalf("all-slow placement produced moves: %v", moves)
+	}
+	allFast := []memsim.Tier{memsim.Fast, memsim.Fast, memsim.Fast, memsim.Fast}
+	if moves := planMoves([]int{3, 2, 1, 0}, recs, allFast); moves != nil {
+		t.Fatalf("all-fast placement produced moves: %v", moves)
+	}
+	// One fast slot, priority order wants record 2: swap, nothing more.
+	tiers := []memsim.Tier{memsim.Fast, memsim.Slow, memsim.Slow, memsim.Slow}
+	moves := planMoves([]int{2, 0, 1, 3}, recs, tiers)
+	wantDemote := server.Move{Index: 0, To: memsim.Slow}
+	wantPromote := server.Move{Index: 2, To: memsim.Fast}
+	if len(moves) != 2 || moves[0] != wantDemote && moves[1] != wantDemote ||
+		moves[0] != wantPromote && moves[1] != wantPromote {
+		t.Fatalf("single-slot swap planned %v", moves)
+	}
+}

@@ -23,6 +23,13 @@ import (
 // Entry describes one registered policy. New constructs a fresh policy
 // instance; seed feeds policies with internal randomness (the sampling
 // profiler) and is ignored by deterministic ones.
+//
+// Freshness contract: every New call must return an instance sharing no
+// mutable state with any previous call's — stateful policies (pointer
+// receivers like PageSamplePolicy, adaptive policies with per-run
+// observers) would otherwise leak state between the Sessions or Compare
+// calls that resolved them. Stateless value-type policies trivially
+// satisfy this.
 type Entry struct {
 	Name        string
 	Description string
@@ -138,7 +145,7 @@ func init() {
 	MustRegister(Entry{
 		Name:        "tahoe",
 		Description: "Tahoe-class heuristic: keys by raw access frequency",
-		New:         func(int64) core.TieringPolicy { return Tahoe },
+		New:         func(int64) core.TieringPolicy { return tahoePolicy{} },
 	})
 	MustRegister(Entry{
 		Name:        "freqdecay",
@@ -153,6 +160,16 @@ func init() {
 	MustRegister(Entry{
 		Name:        "knapsack",
 		Description: "exact 0/1-knapsack DP over staged FastMem capacities",
-		New:         func(int64) core.TieringPolicy { return KnapsackExact },
+		New:         func(int64) core.TieringPolicy { return knapsackPolicy{} },
+	})
+	MustRegister(Entry{
+		Name:        "adaptive-freq",
+		Description: "adaptive HybridTier-style online decayed frequency (epoch migration)",
+		New:         func(int64) core.TieringPolicy { return AdaptiveFreq(DefaultDecay) },
+	})
+	MustRegister(Entry{
+		Name:        "adaptive-mnemot",
+		Description: "adaptive wrapper: MnemoT re-ordered on each epoch's observed accesses",
+		New:         func(int64) core.TieringPolicy { return Adaptive(core.MnemoT) },
 	})
 }

@@ -1,0 +1,75 @@
+package report
+
+import "fmt"
+
+// AdaptiveRow is one policy's measured outcome in the adaptive-vs-static
+// comparison, prepared by the caller (runtime and migration cost in
+// simulated nanoseconds).
+type AdaptiveRow struct {
+	Policy        string
+	Adaptive      bool
+	RuntimeNs     float64
+	ThroughputOps float64
+	Epochs        int
+	Moves         int
+	MigratedBytes int64
+	MigrationNs   float64
+}
+
+// AdaptiveEpochSeries is one adaptive policy's per-epoch migration
+// traffic, indexed by epoch.
+type AdaptiveEpochSeries struct {
+	Policy string
+	// Epoch/Bytes/CostNs are parallel: payload bytes migrated and
+	// simulated cost charged at each epoch boundary.
+	Epoch  []float64
+	Bytes  []float64
+	CostNs []float64
+}
+
+// AdaptiveSection builds the adaptive-tiering block of the HTML report:
+// a table of every policy's measured runtime under one shared FastMem
+// budget (migration cost included for adaptive rows) and a chart of
+// per-epoch migration traffic for the adaptive policies.
+func AdaptiveSection(rows []AdaptiveRow, epochs []AdaptiveEpochSeries) HTMLSection {
+	sec := HTMLSection{
+		Heading: "Adaptive tiering",
+		Paragraphs: []string{
+			"Every policy serves the same drifting workload under the same " +
+				"FastMem byte budget. Static policies keep their initial " +
+				"placement; adaptive policies migrate records at epoch " +
+				"boundaries, with the copy time charged on the simulated clock.",
+		},
+	}
+	if len(rows) == 0 {
+		sec.Paragraphs = append(sec.Paragraphs, "No adaptive comparison was run.")
+		return sec
+	}
+	table := NewTable("", "policy", "mode", "runtime (ms)", "ops/s",
+		"epochs", "moves", "migrated (KiB)", "migration cost (µs)")
+	for _, r := range rows {
+		mode := "static"
+		if r.Adaptive {
+			mode = "adaptive"
+		}
+		table.AddRow(r.Policy, mode,
+			fmt.Sprintf("%.3f", r.RuntimeNs/1e6),
+			fmt.Sprintf("%.0f", r.ThroughputOps),
+			fmt.Sprintf("%d", r.Epochs), fmt.Sprintf("%d", r.Moves),
+			fmt.Sprintf("%.1f", float64(r.MigratedBytes)/1024),
+			fmt.Sprintf("%.1f", r.MigrationNs/1e3))
+	}
+	sec.Table = table
+	if len(epochs) > 0 {
+		chart := &Chart{XLabel: "epoch", YLabel: "migrated KiB"}
+		for _, s := range epochs {
+			kib := make([]float64, len(s.Bytes))
+			for i, b := range s.Bytes {
+				kib[i] = b / 1024
+			}
+			chart.Series = append(chart.Series, Series{Label: s.Policy, X: s.Epoch, Y: kib})
+		}
+		sec.Chart = chart
+	}
+	return sec
+}

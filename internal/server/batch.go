@@ -98,34 +98,9 @@ func (d *Deployment) BatchTable() *ReplayTable {
 	}
 	t := &ReplayTable{d: d, costs: make([]opCost, len(d.records)), stallNs: float64(d.cfg.Fault.stall())}
 	for i := range d.records {
-		rec := &d.records[i]
-		tier := d.tiers[i]
-		getChases, putChases, ok := brs[tier].StaticTrace(rec.Key, rec.ID)
-		if !ok {
+		if !d.fillCost(t, i, brs) {
 			return nil
 		}
-		c := &t.costs[i]
-		c.id = rec.ID
-		c.size = int32(rec.Size)
-		c.tier = uint8(tier)
-
-		// Replicate valueBytes exactly, including its int/float round
-		// trips: reads recover the payload from the amplified trace,
-		// writes use the stored size directly.
-		readTouched := kvstore.Amplify(rec.Size, d.profile.ReadAmplification)
-		readVB := readTouched
-		if amp := d.profile.ReadAmplification; amp > 1 {
-			readVB = int(float64(readTouched) / amp)
-		}
-		writeTouched := kvstore.Amplify(rec.Size, d.profile.WriteAmplification)
-		c.readBytes = int32(readVB)
-		c.writeBytes = int32(rec.Size)
-
-		node := &d.machine.Node(tier).Params
-		c.readHitNs = d.staticCost(kvstore.Read, getChases, readTouched, readVB, &memsim.LLCParams)
-		c.readMissNs = d.staticCost(kvstore.Read, getChases, readTouched, readVB, node)
-		c.writeHitNs = d.staticCost(kvstore.Write, putChases, writeTouched, rec.Size, &memsim.LLCParams)
-		c.writeMissNs = d.staticCost(kvstore.Write, putChases, writeTouched, rec.Size, node)
 	}
 	for i, br := range brs {
 		pm := br.ReplayPauses()
@@ -134,6 +109,42 @@ func (d *Deployment) BatchTable() *ReplayTable {
 	}
 	d.table = t
 	return t
+}
+
+// fillCost prices one record into the table from its current tier's
+// static trace. It is the per-record half of the BatchTable build,
+// shared with ApplyMoves, which re-invokes it to patch migrated records
+// in place. It returns false when the record's trace is not static.
+func (d *Deployment) fillCost(t *ReplayTable, i int, brs [2]kvstore.BatchReplayer) bool {
+	rec := &d.records[i]
+	tier := d.tiers[i]
+	getChases, putChases, ok := brs[tier].StaticTrace(rec.Key, rec.ID)
+	if !ok {
+		return false
+	}
+	c := &t.costs[i]
+	c.id = rec.ID
+	c.size = int32(rec.Size)
+	c.tier = uint8(tier)
+
+	// Replicate valueBytes exactly, including its int/float round
+	// trips: reads recover the payload from the amplified trace,
+	// writes use the stored size directly.
+	readTouched := kvstore.Amplify(rec.Size, d.profile.ReadAmplification)
+	readVB := readTouched
+	if amp := d.profile.ReadAmplification; amp > 1 {
+		readVB = int(float64(readTouched) / amp)
+	}
+	writeTouched := kvstore.Amplify(rec.Size, d.profile.WriteAmplification)
+	c.readBytes = int32(readVB)
+	c.writeBytes = int32(rec.Size)
+
+	node := &d.machine.Node(tier).Params
+	c.readHitNs = d.staticCost(kvstore.Read, getChases, readTouched, readVB, &memsim.LLCParams)
+	c.readMissNs = d.staticCost(kvstore.Read, getChases, readTouched, readVB, node)
+	c.writeHitNs = d.staticCost(kvstore.Write, putChases, writeTouched, rec.Size, &memsim.LLCParams)
+	c.writeMissNs = d.staticCost(kvstore.Write, putChases, writeTouched, rec.Size, node)
+	return true
 }
 
 // staticCost folds a static trace through the pricing formula, in the
@@ -229,8 +240,13 @@ func (t *ReplayTable) Serve(keys []uint32, kinds []uint8, maxClock simclock.Dura
 //
 // It returns false — leaving the deployment untouched — when no batch
 // table is available: the per-op path mutates engine state during
-// replay, so only table-driven runs are rewindable.
+// replay, so only table-driven runs are rewindable. A deployment whose
+// placement migrated mid-run (ApplyMoves) also refuses: its store
+// contents no longer match the post-Load snapshot.
 func (d *Deployment) ResetRun(seed int64) bool {
+	if d.migrated {
+		return false
+	}
 	t := d.BatchTable()
 	if t == nil {
 		return false

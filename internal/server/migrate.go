@@ -1,0 +1,192 @@
+package server
+
+import (
+	"mnemo/internal/kvstore"
+	"mnemo/internal/memsim"
+	"mnemo/internal/simclock"
+	"mnemo/internal/ycsb"
+)
+
+// Online migration (DESIGN.md §15). The static pipeline freezes one
+// placement at Load; adaptive tiering revises it mid-run. The contract
+// lives here — not in core — because the client's replay loop consumes
+// it (core imports client, so core cannot be imported back): an
+// EpochSource begins a run by handing out an EpochObserver, the client
+// feeds the observer each epoch's access counts, and the observer
+// answers with the Moves the deployment should apply before the next
+// epoch. Migration is not free: ApplyMoves charges every migrated byte
+// to the simulated clock at Config.MigrationCostPerByte, so an adaptive
+// policy only wins when its placement gains outrun its copy traffic.
+
+// Move asks for one dataset record to be served from a different tier.
+type Move struct {
+	Index int         // dataset record index
+	To    memsim.Tier // destination tier
+}
+
+// EpochStats is what the replay loop observed during one epoch: per-record
+// read and write counts (indexed by dataset record index) plus the
+// placement in force while they were collected. The slices are owned by
+// the replay loop and reused between epochs — observers must copy
+// anything they keep.
+type EpochStats struct {
+	Epoch  int // 0-based epoch index
+	Ops    int // requests served this epoch
+	Reads  []int32
+	Writes []int32
+	Tiers  []memsim.Tier // current placement, indexed by record
+}
+
+// EpochObserver is one run's adaptive state: it receives each epoch's
+// access stats and answers with the moves to apply before the next
+// epoch. Returning nil keeps the placement. Observers are single-run,
+// single-goroutine objects; a fresh one is issued per run by Begin.
+type EpochObserver interface {
+	Observe(EpochStats) []Move
+}
+
+// EpochSource starts adaptive runs. Begin is called once per measurement
+// run with the workload about to be replayed and returns that run's
+// observer; all mutable adaptive state must live on the observer, never
+// on the source, so one source can serve many (even concurrent) runs.
+type EpochSource interface {
+	Begin(w *ycsb.Workload) (EpochObserver, error)
+}
+
+// MigrationResult accounts for one ApplyMoves call.
+type MigrationResult struct {
+	Moves         int     // records actually migrated
+	Bytes         int64   // payload bytes copied between tiers
+	CostNs        float64 // simulated time charged for the copy traffic
+	SkippedBudget int     // moves dropped by Config.MigrationBudget
+	SkippedFull   int     // moves dropped because the destination tier was full
+}
+
+// ApplyMoves migrates records between the two instances mid-run,
+// advancing the simulated clock by Bytes × Config.MigrationCostPerByte
+// nanoseconds. Demotions run before promotions so a swap never
+// transiently overflows FastMem. No-op moves (record already on the
+// requested tier) are free; moves past Config.MigrationBudget bytes per
+// call or into a full tier are dropped and counted.
+//
+// The structural work — DelID/PutID against the quiesced engines — is
+// untimed, exactly like Load: the explicit per-byte charge is the whole
+// cost model for migration. LLC residency is left untouched; a migrated
+// record keeps its cache state, since the copy moves it between memory
+// nodes, not out of the cache.
+//
+// A deployment that has migrated is permanently dirty for snapshot
+// reuse: its store contents no longer match the post-Load snapshot, so
+// ResetRun refuses and callers must rebuild fresh for the next run.
+func (d *Deployment) ApplyMoves(moves []Move) MigrationResult {
+	var res MigrationResult
+	if len(moves) == 0 {
+		return res
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, m := range moves {
+			if (pass == 0) != (m.To == memsim.Slow) {
+				continue
+			}
+			if m.Index < 0 || m.Index >= len(d.records) || d.tiers[m.Index] == m.To {
+				continue
+			}
+			rec := &d.records[m.Index]
+			size := int64(rec.Size)
+			if d.cfg.MigrationBudget > 0 && res.Bytes+size > d.cfg.MigrationBudget {
+				res.SkippedBudget++
+				continue
+			}
+			if err := d.machine.Node(m.To).Alloc(size); err != nil {
+				res.SkippedFull++
+				continue
+			}
+			from := d.tiers[m.Index]
+			d.instances[from].DelID(rec.Key, rec.ID)
+			d.instances[from].TakePauseNs() // migration stalls are untimed, like Load
+			d.machine.Node(from).Free(size)
+			d.instances[m.To].PutID(rec.Key, rec.ID, kvstore.Sized(rec.Size))
+			d.instances[m.To].TakePauseNs()
+			d.tiers[m.Index] = m.To
+			res.Moves++
+			res.Bytes += size
+		}
+	}
+	d.migrated = d.migrated || res.Moves > 0
+	if res.Moves > 0 {
+		// Settle deferred structural work (rehash steps, node splits) the
+		// migration writes queued, so post-migration traces are static
+		// again — the same discipline Load applies.
+		for _, inst := range d.instances {
+			if br, ok := inst.(kvstore.BatchReplayer); ok {
+				br.Quiesce()
+				inst.TakePauseNs()
+			}
+		}
+		d.patchTable()
+	}
+	res.CostNs = float64(res.Bytes) * d.cfg.MigrationCostPerByte
+	if res.CostNs > 0 {
+		d.clock.Advance(simclock.FromNanos(res.CostNs))
+	}
+	return res
+}
+
+// patchTable re-prices the batched-replay cost table in place after a
+// migration, keeping the kernel hot across epochs instead of rebuilding
+// the whole table: the table identity, its LLC/noise/clock state and the
+// latency scratch all survive, only the cost rows are refreshed. Every
+// row is re-probed, not just the moved ones — inserting or removing a
+// record reshapes an engine's internal structure (hash chains, tree
+// nodes), which can change the static trace of records that never moved,
+// and the per-op reference path would price those live. If any re-probe
+// fails (an engine stopped promising static traces) the table is
+// invalidated so the next BatchTable call rebuilds or falls back to the
+// per-op path.
+func (d *Deployment) patchTable() {
+	t := d.table
+	if t == nil {
+		return
+	}
+	var brs [2]kvstore.BatchReplayer
+	for i, inst := range d.instances {
+		br, ok := inst.(kvstore.BatchReplayer)
+		if !ok || !br.ReplayReady() {
+			d.table, d.tableBuilt = nil, false
+			return
+		}
+		brs[i] = br
+	}
+	for idx := range d.records {
+		if !d.fillCost(t, idx, brs) {
+			d.table, d.tableBuilt = nil, false
+			return
+		}
+	}
+	// Migration writes advanced the engines' GC accounting; re-snapshot
+	// the kernel's mirrors so the next block charges from the engines'
+	// true post-migration accumulators.
+	for i, br := range brs {
+		pm := br.ReplayPauses()
+		t.pause[i] = pauseState{budget: pm.BudgetBytes, perOp: pm.PerOpBytes,
+			pauseNs: pm.PauseNs, accum: pm.Accum, reset: pm.Accum}
+	}
+}
+
+// Migrated reports whether ApplyMoves has changed this deployment's
+// placement since Load — in which case the post-Load snapshot is stale
+// and ResetRun refuses to rewind.
+func (d *Deployment) Migrated() bool { return d.migrated }
+
+// RecordTiers exposes the live per-record placement (indexed by dataset
+// record index). The returned slice is the deployment's own serving
+// table — callers must not modify it.
+func (d *Deployment) RecordTiers() []memsim.Tier { return d.tiers }
+
+// AdaptiveSpec reports the configured epoch source and epoch length.
+// Adaptive replay is active only when both are set: a nil source or
+// EpochOps ≤ 0 keeps the legacy static path bit-exactly.
+func (d *Deployment) AdaptiveSpec() (EpochSource, int) { return d.cfg.Adaptive, d.cfg.EpochOps }
+
+// MigrationCostPerByte reports the configured per-byte migration charge.
+func (d *Deployment) MigrationCostPerByte() float64 { return d.cfg.MigrationCostPerByte }

@@ -126,6 +126,21 @@ type Config struct {
 	// VirtualNodes is the ring points per shard
 	// (0 = shard.DefaultVirtualNodes).
 	VirtualNodes int
+	// EpochOps is the adaptive-replay epoch length in requests; the
+	// client re-consults Adaptive after every EpochOps served requests.
+	// 0 — the zero value — disables epochs and keeps the static replay
+	// path bit-identical (DESIGN.md §15).
+	EpochOps int
+	// MigrationCostPerByte is the simulated-time charge, in nanoseconds
+	// per payload byte, for records ApplyMoves copies between tiers.
+	// 0 makes migration free on the clock (structural work is untimed).
+	MigrationCostPerByte float64
+	// MigrationBudget caps the payload bytes one ApplyMoves call may
+	// migrate; excess moves are dropped and counted. 0 means unlimited.
+	MigrationBudget int64
+	// Adaptive supplies per-run epoch observers for online migration.
+	// nil — the zero value — disables adaptive replay.
+	Adaptive EpochSource
 }
 
 // DefaultConfig returns the Table I machine with default noise.
@@ -166,6 +181,11 @@ type Deployment struct {
 	// is probed once, not per run. Load invalidates both.
 	table      *ReplayTable
 	tableBuilt bool
+
+	// migrated latches once ApplyMoves changes the placement: the store
+	// contents then diverge from the post-Load snapshot, so ResetRun
+	// refuses to rewind (migrate.go). Load clears it.
+	migrated bool
 }
 
 // NewDeployment builds an empty deployment with an AllFast placement.
@@ -255,6 +275,7 @@ func (d *Deployment) Load(ds ycsb.Dataset, p Placement) error {
 		}
 	}
 	d.table, d.tableBuilt = nil, false
+	d.migrated = false
 	if llc := d.machine.LLC(); llc != nil {
 		llc.Flush()
 		llc.ResetStats()

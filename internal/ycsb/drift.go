@@ -1,0 +1,57 @@
+package ycsb
+
+// Drift presets: non-stationary workloads whose hot set moves during the
+// trace. Static placement pins one ordering for the whole run and can
+// only capture the time-averaged popularity, which drift washes out —
+// these are the workloads the adaptive (epoch-based) tiering policies
+// are evaluated against. Both are read/write-only, so their traces pack
+// into the batched replay kernel.
+
+// HotDrift is the hot-set-drift workload: a 20%-of-keys hot window
+// absorbing 90% of operations slides once across the whole key space
+// over the trace. Read-only, thumbnails, like Trending — but Trending's
+// hot set stands still and this one doesn't.
+func HotDrift(seed int64) Spec {
+	return Spec{
+		Name:      "hot_drift",
+		Keys:      DefaultKeys,
+		Requests:  DefaultRequests,
+		Dist:      DistSpec{Kind: HotSetDrift, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+		ReadRatio: 1.0,
+		Sizes:     SizeThumbnail,
+		Seed:      seed,
+		UseCase:   "Trending News across a news day: the trending set keeps turning over.",
+	}
+}
+
+// PhaseShift is the phase-change workload: the trace is four equal
+// phases of scrambled zipfian whose popular keys move to an unrelated
+// region at every boundary. Within a phase it is as tierable as
+// Timeline; across phases no static placement is good.
+func PhaseShift(seed int64) Spec {
+	return Spec{
+		Name:      "phase_shift",
+		Keys:      DefaultKeys,
+		Requests:  DefaultRequests,
+		Dist:      DistSpec{Kind: PhaseChange, Phases: DefaultPhases},
+		ReadRatio: 1.0,
+		Sizes:     SizeThumbnail,
+		Seed:      seed,
+		UseCase:   "Timeline reads across audience shifts: each phase has an unrelated hot set.",
+	}
+}
+
+// DriftWorkloads returns the drift workload specs with the given seed.
+func DriftWorkloads(seed int64) []Spec {
+	return []Spec{HotDrift(seed), PhaseShift(seed)}
+}
+
+// DriftByName resolves a drift workload ("hot_drift", "phase_shift").
+func DriftByName(name string, seed int64) (Spec, bool) {
+	for _, s := range DriftWorkloads(seed) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

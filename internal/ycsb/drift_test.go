@@ -1,0 +1,110 @@
+package ycsb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDriftPresetsGenerateAndPack(t *testing.T) {
+	for _, spec := range DriftWorkloads(3) {
+		spec.Keys, spec.Requests = 400, 8000
+		w, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(w.Dataset.Records) != 400 || len(w.Ops) != 8000 {
+			t.Fatalf("%s: %d records, %d ops", spec.Name, len(w.Dataset.Records), len(w.Ops))
+		}
+		// Both drift presets are read/write-only, so their traces must
+		// stay on the batched replay kernel (and in epoch-chunked runs).
+		if !w.Packed().Batchable() {
+			t.Errorf("%s: trace not batchable", spec.Name)
+		}
+		for _, op := range w.Ops {
+			if op.Key < 0 || op.Key >= 400 {
+				t.Fatalf("%s: op key %d out of range", spec.Name, op.Key)
+			}
+		}
+	}
+}
+
+func TestDriftByName(t *testing.T) {
+	for _, name := range []string{"hot_drift", "phase_shift"} {
+		spec, ok := DriftByName(name, 9)
+		if !ok || spec.Name != name || spec.Seed != 9 {
+			t.Errorf("DriftByName(%q) = %+v, %v", name, spec, ok)
+		}
+		// The shared resolver reaches them too (cmd/workloadgen, API).
+		if _, ok := AnySpecByName(name, 9); !ok {
+			t.Errorf("AnySpecByName(%q) missed the drift preset", name)
+		}
+	}
+	if _, ok := DriftByName("trending", 9); ok {
+		t.Error("DriftByName resolved a non-drift name")
+	}
+}
+
+func TestDriftGenerateDeterministic(t *testing.T) {
+	spec := HotDrift(4)
+	spec.Keys, spec.Requests = 200, 4000
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Ops, b.Ops) {
+		t.Fatal("same spec generated different traces")
+	}
+	spec2 := spec
+	spec2.Seed = 5
+	c, err := Generate(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Fatal("different seeds generated identical traces")
+	}
+}
+
+// TestHotDriftMovesItsHotSet is the shape check that separates the drift
+// preset from Trending: the keys dominating the first tenth of the trace
+// are nearly disjoint from those dominating the last tenth.
+func TestHotDriftMovesItsHotSet(t *testing.T) {
+	spec := HotDrift(6)
+	spec.Keys, spec.Requests = 1000, 50000
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenth := len(w.Ops) / 10
+	top := func(ops []Op) map[int]bool {
+		counts := map[int]int{}
+		for _, op := range ops {
+			counts[op.Key]++
+		}
+		m := map[int]bool{}
+		for len(m) < 50 {
+			best, bestN := -1, -1
+			for k, n := range counts {
+				if n > bestN && !m[k] {
+					best, bestN = k, n
+				}
+			}
+			m[best] = true
+		}
+		return m
+	}
+	head, tail := top(w.Ops[:tenth]), top(w.Ops[len(w.Ops)-tenth:])
+	overlap := 0
+	for k := range head {
+		if tail[k] {
+			overlap++
+		}
+	}
+	if overlap > 10 {
+		t.Fatalf("head and tail hot sets share %d/50 keys — the window never moved", overlap)
+	}
+}

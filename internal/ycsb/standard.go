@@ -141,12 +141,15 @@ func GenerateF(seed int64, keys, requests int) (*Workload, error) {
 	return w, nil
 }
 
-// AnySpecByName resolves either a Table III or a YCSB core workload name.
+// AnySpecByName resolves a Table III, YCSB core, or drift workload name.
 func AnySpecByName(name string, seed int64) (Spec, bool) {
 	if s, ok := SpecByName(name, seed); ok {
 		return s, ok
 	}
-	return StandardByName(name, seed)
+	if s, ok := StandardByName(name, seed); ok {
+		return s, ok
+	}
+	return DriftByName(name, seed)
 }
 
 // AllWorkloadNames lists every built-in workload name.
@@ -156,6 +159,9 @@ func AllWorkloadNames() []string {
 		names = append(names, s.Name)
 	}
 	for _, s := range StandardWorkloads(0) {
+		names = append(names, s.Name)
+	}
+	for _, s := range DriftWorkloads(0) {
 		names = append(names, s.Name)
 	}
 	return names

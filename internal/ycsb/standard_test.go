@@ -50,8 +50,9 @@ func TestAnySpecByName(t *testing.T) {
 
 func TestAllWorkloadNamesUnique(t *testing.T) {
 	names := AllWorkloadNames()
-	if len(names) != 10 {
-		t.Fatalf("names = %d, want 10", len(names))
+	// 5 Table III presets + 5 YCSB core workloads + 2 drift presets.
+	if len(names) != 12 {
+		t.Fatalf("names = %d, want 12", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {

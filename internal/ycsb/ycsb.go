@@ -28,13 +28,16 @@ const (
 // DistKind selects a request distribution.
 type DistKind int
 
-// Supported request distributions (Fig 3).
+// Supported request distributions (Fig 3), plus the non-stationary
+// drift distributions used to evaluate adaptive tiering.
 const (
 	Uniform DistKind = iota
 	Zipfian
 	ScrambledZipfian
 	Hotspot
 	Latest
+	HotSetDrift
+	PhaseChange
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +53,10 @@ func (k DistKind) String() string {
 		return "hotspot"
 	case Latest:
 		return "latest"
+	case HotSetDrift:
+		return "hot_set_drift"
+	case PhaseChange:
+		return "phase_change"
 	default:
 		return fmt.Sprintf("DistKind(%d)", int(k))
 	}
@@ -61,9 +68,16 @@ type DistSpec struct {
 	// Theta is the zipfian skew (Zipfian/ScrambledZipfian); 0 means the
 	// YCSB default of 0.99.
 	Theta float64
-	// HotSetFraction and HotOpnFraction parameterize Hotspot.
+	// HotSetFraction and HotOpnFraction parameterize Hotspot and
+	// HotSetDrift.
 	HotSetFraction, HotOpnFraction float64
+	// Phases is the number of distinct popularity regimes for
+	// PhaseChange; 0 means the default of 4.
+	Phases int
 }
+
+// DefaultPhases is the phase count used when DistSpec.Phases is zero.
+const DefaultPhases = 4
 
 // New builds the chooser for a key space of the given size and a trace of
 // the given length.
@@ -83,6 +97,14 @@ func (d DistSpec) New(keys, requests int) dist.KeyChooser {
 		return dist.NewHotspot(keys, d.HotSetFraction, d.HotOpnFraction)
 	case Latest:
 		return dist.NewLatest(keys, requests)
+	case HotSetDrift:
+		return dist.NewHotSetDrift(keys, requests, d.HotSetFraction, d.HotOpnFraction)
+	case PhaseChange:
+		phases := d.Phases
+		if phases == 0 {
+			phases = DefaultPhases
+		}
+		return dist.NewPhaseChange(keys, requests, phases)
 	default:
 		panic(fmt.Sprintf("ycsb: unknown distribution kind %d", int(d.Kind)))
 	}

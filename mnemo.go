@@ -66,13 +66,17 @@ type DistSpec = ycsb.DistSpec
 // DistKind selects a request distribution (Fig 3).
 type DistKind = ycsb.DistKind
 
-// Request distributions.
+// Request distributions. HotSetDrift and PhaseChange are the
+// non-stationary drift distributions adaptive tiering is evaluated on
+// (DESIGN.md §15).
 const (
 	Uniform          = ycsb.Uniform
 	Zipfian          = ycsb.Zipfian
 	ScrambledZipfian = ycsb.ScrambledZipfian
 	Hotspot          = ycsb.Hotspot
 	Latest           = ycsb.Latest
+	HotSetDrift      = ycsb.HotSetDrift
+	PhaseChange      = ycsb.PhaseChange
 )
 
 // SizeKind selects a record-size distribution (Fig 4).
@@ -129,6 +133,14 @@ type FaultError = server.FaultError
 // ErrRunTimeout marks a run cut off by Options.RunTimeout; detect with
 // errors.Is.
 var ErrRunTimeout = client.ErrRunTimeout
+
+// RunStats is one measured execution's statistics, including the
+// epoch-migration telemetry of adaptive runs (Epochs, MovesApplied,
+// MigratedBytes, MigrationNs, EpochTraffic).
+type RunStats = client.RunStats
+
+// EpochTraffic is one epoch boundary's migration ledger.
+type EpochTraffic = client.EpochTraffic
 
 // Sink collects a profiling session's observability stream: counters,
 // gauges and stage-latency histograms in a metrics registry, plus an
@@ -235,6 +247,23 @@ type Options struct {
 	// HedgeFactor× the median is re-run and the faster execution wins.
 	// 0 disables hedging; otherwise must be ≥ 1.
 	HedgeFactor float64
+	// EpochOps enables adaptive (epoch-based online migration) replay on
+	// measured executions: the trace is served in EpochOps-request
+	// epochs and the policy may migrate records between tiers at each
+	// boundary (DESIGN.md §15). Requires an adaptive Policy (one
+	// implementing EpochPolicy, e.g. "adaptive-freq" or
+	// "adaptive-mnemot"). 0 — the default — keeps the static pipeline
+	// bit-identical. Baselines and validation sweeps always measure
+	// statically regardless.
+	EpochOps int
+	// MigrationCostPerByte is the simulated-time charge, in nanoseconds
+	// per payload byte, for records migrated between tiers mid-run.
+	// Only meaningful with EpochOps ≥ 1; 0 makes migration free.
+	MigrationCostPerByte float64
+	// MigrationBudget caps the payload bytes migrated per epoch
+	// boundary; excess moves are dropped. Only meaningful with
+	// EpochOps ≥ 1; 0 means unlimited.
+	MigrationBudget int64
 }
 
 // validate rejects malformed options with descriptive errors before any
@@ -293,6 +322,27 @@ func (o Options) validate() error {
 	if (o.ShardRetries > 0 || o.ShardFaultBudget > 0 || o.HedgeFactor > 0) && o.Shards < 2 {
 		return fmt.Errorf("mnemo: shard fault-domain knobs (ShardRetries/ShardFaultBudget/HedgeFactor) require Shards ≥ 2, got Shards %d", o.Shards)
 	}
+	if o.EpochOps < 0 {
+		return fmt.Errorf("mnemo: EpochOps %d must be non-negative (0 disables adaptive replay)", o.EpochOps)
+	}
+	if o.MigrationCostPerByte < 0 {
+		return fmt.Errorf("mnemo: MigrationCostPerByte %v ns/byte must be non-negative", o.MigrationCostPerByte)
+	}
+	if o.MigrationBudget < 0 {
+		return fmt.Errorf("mnemo: MigrationBudget %d bytes must be non-negative (0 means unlimited)", o.MigrationBudget)
+	}
+	if (o.MigrationCostPerByte > 0 || o.MigrationBudget > 0) && o.EpochOps == 0 {
+		return fmt.Errorf("mnemo: migration knobs (MigrationCostPerByte/MigrationBudget) require EpochOps ≥ 1, got EpochOps 0")
+	}
+	if o.EpochOps > 0 {
+		pol, err := o.policy()
+		if err != nil {
+			return err
+		}
+		if _, ok := core.AsEpochPolicy(pol); !ok {
+			return fmt.Errorf("mnemo: EpochOps %d requires an adaptive policy (e.g. \"adaptive-freq\", \"adaptive-mnemot\"), but policy %q is static-only", o.EpochOps, pol.Name())
+		}
+	}
 	return nil
 }
 
@@ -347,6 +397,18 @@ func (o Options) coreConfig() (core.Config, error) {
 	cfg.Server.DisableBatchReplay = o.DisableBatchReplay
 	cfg.Server.Shards = o.Shards
 	cfg.Server.VirtualNodes = o.VirtualNodes
+	cfg.Server.MigrationCostPerByte = o.MigrationCostPerByte
+	cfg.Server.MigrationBudget = o.MigrationBudget
+	if o.EpochOps > 0 {
+		// validate() established the policy resolves and is adaptive.
+		pol, err := o.policy()
+		if err != nil {
+			return core.Config{}, err
+		}
+		ep, _ := core.AsEpochPolicy(pol)
+		cfg.Server.Adaptive = ep
+		cfg.Server.EpochOps = o.EpochOps
+	}
 	cfg.Resilience = client.Policy{
 		Retries:          o.Retries,
 		MinRuns:          o.MinRuns,
@@ -400,6 +462,58 @@ func ProfileWithTieringContext(ctx context.Context, w *Workload, tieredKeys []st
 		return nil, err
 	}
 	return core.ProfileWithOrdering(ctx, cfg, w, ord, opts.SLO)
+}
+
+// AdaptiveComparison pairs a static and an adaptive measured execution
+// of the same placement on the same workload: the adaptive run migrates
+// records at every EpochOps boundary with copy time charged on the
+// simulated clock, the static run keeps the initial placement.
+type AdaptiveComparison struct {
+	Static   RunStats
+	Adaptive RunStats
+}
+
+// RuntimeGain is the adaptive run's relative runtime win over the
+// static run (positive = adaptive faster, migration cost included).
+func (c AdaptiveComparison) RuntimeGain() float64 {
+	if c.Adaptive.Runtime == 0 {
+		return 0
+	}
+	return float64(c.Static.Runtime)/float64(c.Adaptive.Runtime) - 1
+}
+
+// MeasureAdaptive executes the report's advised placement twice — once
+// statically, once with the configured adaptive policy migrating at
+// epoch boundaries — and returns both measurements. It requires
+// Options.EpochOps ≥ 1 with an adaptive Policy, and a report carrying
+// advice (Options.SLO > 0). See DESIGN.md §15.
+func MeasureAdaptive(ctx context.Context, w *Workload, rep *Report, opts Options) (*AdaptiveComparison, error) {
+	cfg, err := opts.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Server.Adaptive == nil || cfg.Server.EpochOps <= 0 {
+		return nil, fmt.Errorf("mnemo: MeasureAdaptive requires EpochOps ≥ 1 and an adaptive policy, got EpochOps %d with policy %q", opts.EpochOps, opts.Policy)
+	}
+	if rep.Advice == nil {
+		return nil, fmt.Errorf("mnemo: MeasureAdaptive requires a report with advice (set Options.SLO)")
+	}
+	var pe core.PlacementEngine
+	placement, err := pe.PlacementFor(rep.Ordering, rep.Advice.Point)
+	if err != nil {
+		return nil, err
+	}
+	staticCfg := cfg.Server
+	staticCfg.Adaptive, staticCfg.EpochOps = nil, 0
+	st, err := client.ExecuteMeanCtx(ctx, staticCfg, w, placement, cfg.Runs, 0, cfg.Resilience)
+	if err != nil {
+		return nil, fmt.Errorf("mnemo: static measured run: %w", err)
+	}
+	ad, err := client.ExecuteMeanCtx(ctx, cfg.Server, w, placement, cfg.Runs, 0, cfg.Resilience)
+	if err != nil {
+		return nil, fmt.Errorf("mnemo: adaptive measured run: %w", err)
+	}
+	return &AdaptiveComparison{Static: st, Adaptive: ad}, nil
 }
 
 // TieringPolicy orders a workload's keys by FastMem priority — the seam

@@ -106,6 +106,58 @@ func TestSessionCompareAPI(t *testing.T) {
 	}
 }
 
+// TestSessionCompareRepeatable pins the registry freshness contract from
+// the caller's side: Compare called twice back to back — same session,
+// same policy instances, the whole catalog including the stateful
+// (pagesample) and adaptive ones — must produce identical reports. A
+// policy that leaks mutable state from one Order call into the next
+// breaks this.
+func TestSessionCompareRepeatable(t *testing.T) {
+	w := apiWorkload(t)
+	opts := mnemo.Options{Store: mnemo.RedisLike, Seed: 72}
+	session, err := mnemo.NewSession(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var policies []mnemo.TieringPolicy
+	for _, info := range mnemo.Policies() {
+		p, err := mnemo.PolicyByName(info.Name, opts.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policies = append(policies, p)
+	}
+	first, err := session.Compare(context.Background(), 0.10, policies...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := session.Compare(context.Background(), 0.10, policies...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if !reflect.DeepEqual(first[i], second[i]) {
+			t.Errorf("policy %q: repeated Compare diverged", first[i].Policy)
+		}
+	}
+	// Fresh instances from the registry repeat the result too.
+	var rebuilt []mnemo.TieringPolicy
+	for _, info := range mnemo.Policies() {
+		p, err := mnemo.PolicyByName(info.Name, opts.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt = append(rebuilt, p)
+	}
+	third, err := session.Compare(context.Background(), 0.10, rebuilt...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Error("fresh registry instances diverged from the first Compare")
+	}
+}
+
 func TestWorkloadByNameSized(t *testing.T) {
 	w, err := mnemo.WorkloadByNameSized("ycsb_f", 5, 120, 600)
 	if err != nil {
