@@ -101,6 +101,17 @@ func replayEpochs(ctx context.Context, d *server.Deployment, src server.EpochSou
 			crashAt = -1
 		}
 		total = len(keys)
+		// Keep the per-op trace in lockstep: the mid-run fallback below
+		// (batch table invalidated by a failed patch) and its tally loop
+		// slice ops[lo:hi], so ops must carry the same crash truncation
+		// as keys/kinds or the fallback would replay past the scheduled
+		// crash — or slice a nil trace.
+		if w.Ops != nil {
+			ops = w.Ops
+			if crashAt >= 0 && crashAt <= len(ops) {
+				ops = ops[:crashAt]
+			}
+		}
 	} else if w.Ops == nil && w.RequestCount() > 0 {
 		return tel, fmt.Errorf("client: packed-only trace requires the batched replay path")
 	} else {

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -151,6 +152,117 @@ func TestAdaptiveTelemetry(t *testing.T) {
 	// The final epoch ends the run; no boundary migration after it.
 	if len(st.EpochTraffic) >= st.Epochs {
 		t.Fatalf("%d traffic rows for %d epochs — the last epoch has no boundary", len(st.EpochTraffic), st.Epochs)
+	}
+}
+
+// dropTableObserver invalidates the deployment's batched kernel at the
+// first epoch boundary — modeling a mid-run patch failure whose rebuild
+// fails too — and otherwise behaves exactly like greedyObserver, so a
+// dropped run stays move-for-move comparable to an undropped one.
+type dropTableObserver struct{ d *server.Deployment }
+
+func (o *dropTableObserver) Begin(*ycsb.Workload) (server.EpochObserver, error) { return o, nil }
+
+func (o *dropTableObserver) Observe(s server.EpochStats) []server.Move {
+	o.d.DropBatchTable()
+	return greedyObserver{}.Observe(s)
+}
+
+// TestAdaptiveFallbackMidRun is the regression for the batched→per-op
+// fallback: when the batch table disappears at an epoch boundary, the
+// remaining epochs must replay (and tally) the per-op trace — the
+// pre-fix code sliced a nil ops slice and panicked — and the run must
+// stay bit-identical to an all-per-op run making the same moves.
+func TestAdaptiveFallbackMidRun(t *testing.T) {
+	w := adaptiveTestWorkload(0.9)
+	p := halfFast(w)
+	cfg := server.DefaultConfig(server.RedisLike, 7)
+	cfg.EpochOps = 4096
+	cfg.MigrationCostPerByte = 0.5
+	src := &dropTableObserver{}
+	cfg.Adaptive = src
+	d := server.NewDeployment(cfg)
+	if err := d.Load(w.Dataset, p); err != nil {
+		t.Fatal(err)
+	}
+	src.d = d
+	if d.BatchTable() == nil {
+		t.Fatal("deployment is not batch-capable; the fallback cannot be exercised")
+	}
+	got, err := RunCtx(context.Background(), d, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.BatchTable() != nil {
+		t.Fatal("batch table survived the drop")
+	}
+	if want := (len(w.Ops) + 4095) / 4096; got.Epochs != want {
+		t.Fatalf("fallback run covered %d epochs, want %d", got.Epochs, want)
+	}
+	if got.MovesApplied == 0 {
+		t.Fatal("no moves applied after the fallback — post-drop epochs were not observed")
+	}
+
+	refCfg := server.DefaultConfig(server.RedisLike, 7)
+	refCfg.EpochOps = 4096
+	refCfg.MigrationCostPerByte = 0.5
+	refCfg.Adaptive = greedySource{}
+	refCfg.DisableBatchReplay = true
+	ref, err := Execute(refCfg, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("fallback run diverged from the all-per-op reference:\nfallback %+v\nper-op   %+v", got, ref)
+	}
+}
+
+// TestAdaptiveFallbackRespectsCrash: a run that falls back mid-run must
+// still honor its scheduled crash point — the per-op trace carries the
+// same truncation as the batched one, so the crash fires at the same
+// request index instead of the fallback replaying past it.
+func TestAdaptiveFallbackRespectsCrash(t *testing.T) {
+	w := adaptiveTestWorkload(0.9)
+	p := halfFast(w)
+	base := server.DefaultConfig(server.RedisLike, 7)
+	base.EpochOps = 4096
+	base.Fault = server.FaultSpec{Seed: 3, CrashProb: 1, StallWindowOps: len(w.Ops)}
+
+	// The crash index is rolled from the run seed; probe for one that
+	// lands after the first epoch boundary, so the table drop (and the
+	// fallback) happens before the crash fires.
+	seed := int64(-1)
+	for s := int64(0); s < 64; s++ {
+		cfg := base
+		cfg.Seed = s
+		if at := server.NewDeployment(cfg).CrashOp(); at > 2*4096 && at < len(w.Ops) {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no probe seed rolled a crash past the first epoch")
+	}
+
+	cfg := base
+	cfg.Seed = seed
+	src := &dropTableObserver{}
+	cfg.Adaptive = src
+	d := server.NewDeployment(cfg)
+	if err := d.Load(w.Dataset, p); err != nil {
+		t.Fatal(err)
+	}
+	src.d = d
+	if d.BatchTable() == nil {
+		t.Fatal("deployment is not batch-capable; the fallback cannot be exercised")
+	}
+	_, err := RunCtx(context.Background(), d, w, 0)
+	var fe *server.FaultError
+	if !errors.As(err, &fe) || fe.Kind != server.FaultCrash {
+		t.Fatalf("fallback run returned %v, want an injected crash", err)
+	}
+	if d.BatchTable() != nil {
+		t.Fatal("batch table survived the drop")
 	}
 }
 

@@ -111,6 +111,13 @@ func (d *Deployment) BatchTable() *ReplayTable {
 	return t
 }
 
+// DropBatchTable latches the batched kernel off for the rest of the
+// deployment's life: BatchTable returns nil from now on — the state a
+// failed migration re-probe leaves behind when the rebuild cannot
+// recover either. It exists for chaos and regression tests that need to
+// force the mid-run per-op fallback deterministically.
+func (d *Deployment) DropBatchTable() { d.table, d.tableBuilt = nil, true }
+
 // fillCost prices one record into the table from its current tier's
 // static trace. It is the per-record half of the BatchTable build,
 // shared with ApplyMoves, which re-invokes it to patch migrated records
