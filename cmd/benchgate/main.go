@@ -21,7 +21,9 @@
 //	-baseline file   baseline JSON (default BENCH_baseline.json)
 //	-tolerance t     allowed relative ratio erosion (default 0.25: fail
 //	                 when the measured speedup drops below 75% of the
-//	                 baseline speedup)
+//	                 baseline speedup). Families with a tighter
+//	                 acceptance bar (BenchmarkReplayStreamed: 10%) cap
+//	                 their tolerance below the flag.
 //
 // With -count N each benchmark reports N samples; the gate takes the
 // median per benchmark before forming ratios, benchstat-style.
@@ -48,6 +50,12 @@ type gate struct {
 	Legacy  string // sub-benchmark of the frozen pre-optimization path
 	Current string // sub-benchmark of the shipped path
 	Metric  string // which column to read: "ns/op" or "ns/req"
+
+	// Tolerance, when non-zero, caps the allowed erosion for this family
+	// below the -tolerance flag (the effective tolerance is the smaller
+	// of the two). Families whose acceptance bar is tighter than the
+	// global noise envelope set it.
+	Tolerance float64
 }
 
 // gates lists the tracked legacy/current pairs. Note the chain:
@@ -65,6 +73,13 @@ var gates = []gate{
 	// baseline ratio sits below 1.0 and the floor bounds how much the
 	// adaptive machinery may cost on a trace that never needed to adapt.
 	{Bench: "BenchmarkReplayAdaptive", Legacy: "Static", Current: "Adaptive", Metric: "ns/req"},
+	// Overhead gate for the streaming trace path: Batched replays the
+	// in-memory packed trace through the kernel, Streamed replays the
+	// same trace from a .mtrc file (frame decode + CRC on top). The
+	// baseline ratio sits just below 1.0, and the tighter 10% tolerance
+	// holds streamed replay within the format's acceptance bar of the
+	// in-memory path rather than the global ±25% envelope.
+	{Bench: "BenchmarkReplayStreamed", Legacy: "Batched", Current: "Streamed", Metric: "ns/req", Tolerance: 0.10},
 }
 
 func main() {
@@ -120,7 +135,11 @@ func run(args []string, stdout io.Writer) error {
 				g.Bench, g.Metric, ok1, ok2)
 		}
 		got := median(legacy) / median(current)
-		floor := want * (1 - *tolerance)
+		tol := *tolerance
+		if g.Tolerance > 0 && g.Tolerance < tol {
+			tol = g.Tolerance
+		}
+		floor := want * (1 - tol)
 		verdict := "ok"
 		if got < floor {
 			verdict = "FAIL"

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func TestGatePassesOnCurrentTree(t *testing.T) {
 	if err != nil {
 		t.Fatalf("gate failed on current-tree fixture: %v\n%s", err, out.String())
 	}
-	for _, want := range []string{"BenchmarkReplay", "BenchmarkReplayBatched", "BenchmarkDeploymentDo", "BenchmarkValidateParallel", "BenchmarkReplaySharded", "BenchmarkReplayAdaptive", "ok"} {
+	for _, want := range []string{"BenchmarkReplay", "BenchmarkReplayBatched", "BenchmarkDeploymentDo", "BenchmarkValidateParallel", "BenchmarkReplaySharded", "BenchmarkReplayAdaptive", "BenchmarkReplayStreamed", "ok"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report missing %q:\n%s", want, out.String())
 		}
@@ -27,18 +28,52 @@ func TestGatePassesOnCurrentTree(t *testing.T) {
 
 func TestGateFailsOnSyntheticSlowdown(t *testing.T) {
 	// testdata/slowdown.txt is current.txt with the shipped-path timings
-	// (Indexed/Batched/Shards4/Adaptive ns/req, Index/Parallel ns/op)
-	// doubled: a 2x regression must trip every gate.
+	// (Indexed/Batched/Shards4/Adaptive/Streamed ns/req, Index/Parallel
+	// ns/op) doubled: a 2x regression must trip every gate.
 	var out bytes.Buffer
 	err := run([]string{"-baseline", "../../BENCH_baseline.json", "testdata/slowdown.txt"}, &out)
 	if err == nil {
 		t.Fatalf("gate accepted a 2x slowdown:\n%s", out.String())
 	}
-	if !strings.Contains(err.Error(), "6 of 6 speedup gates failed") {
+	if !strings.Contains(err.Error(), "7 of 7 speedup gates failed") {
 		t.Errorf("error = %v, want all gates failing", err)
 	}
-	if got := strings.Count(out.String(), "FAIL"); got != 6 {
-		t.Errorf("report shows %d FAIL verdicts, want 6:\n%s", got, out.String())
+	if got := strings.Count(out.String(), "FAIL"); got != 7 {
+		t.Errorf("report shows %d FAIL verdicts, want 7:\n%s", got, out.String())
+	}
+}
+
+func TestGateFamilyToleranceCap(t *testing.T) {
+	// The streamed family caps its tolerance at 10%: an ~18% erosion of
+	// the streamed-over-batched ratio sits inside the global ±25%
+	// envelope but past the family cap, so exactly that gate must trip.
+	// The fixture is current.txt with the Streamed samples made 18%
+	// slower (ratio ~0.82 against a 0.97*0.9 = 0.873 floor).
+	raw, err := os.ReadFile("testdata/current.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "BenchmarkReplayStreamed/Streamed") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	for _, v := range []string{"80.26", "89.48", "87.57", "85.04", "85.77"} {
+		lines = append(lines, "BenchmarkReplayStreamed/Streamed 1500 "+strings.Replace(v, ".", "", 1)+"0000 ns/op "+v+" ns/req")
+	}
+	path := t.TempDir() + "/stream.txt"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"-baseline", "../../BENCH_baseline.json", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "1 of 7") {
+		t.Fatalf("family cap did not trip exactly once: err %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkReplayStreamed") || strings.Count(out.String(), "FAIL") != 1 {
+		t.Errorf("wrong gate tripped:\n%s", out.String())
 	}
 }
 

@@ -48,6 +48,10 @@
 //	                per payload byte (0 = the experiment default 0.1)
 //	-migration-budget n  adaptive-compare: cap on migrated payload bytes
 //	                per epoch boundary (0 = unlimited)
+//	-trace file     replay a binary .mtrc trace (streamed, O(frame)
+//	                memory) against every engine on FastMem-only and
+//	                SlowMem-only placements instead of running the
+//	                experiment suite; honors -shards/-fault/-no-batch
 //	-timeout s      per-run budget in simulated seconds; a run whose
 //	                simulated clock exceeds it (e.g. an injected stall) is
 //	                cut off and retried (0 = unbounded)
@@ -69,11 +73,14 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"mnemo/internal/client"
 	"mnemo/internal/experiments"
 	"mnemo/internal/obs"
 	"mnemo/internal/registry"
+	"mnemo/internal/report"
 	"mnemo/internal/server"
 	"mnemo/internal/simclock"
+	"mnemo/internal/trace"
 )
 
 // experiment is one runnable unit.
@@ -227,6 +234,50 @@ func main() {
 	}
 }
 
+// runTrace replays a .mtrc trace (streamed, frame by frame) against
+// every engine on all-FastMem and all-SlowMem placements — the baseline
+// pair the estimate model is built from — and reports simulated
+// throughput plus the host-side wall time and live heap, the two
+// numbers that demonstrate the O(frame) streaming bound on traces
+// larger than RAM.
+func runTrace(path string, scale experiments.Scale, seed int64, stdout, stderr io.Writer) error {
+	start := time.Now()
+	w, err := trace.Open(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "trace %s: %d keys, %d requests, dataset %s\n",
+		w.Spec.Name, len(w.Dataset.Records), w.RequestCount(),
+		report.FormatBytes(w.Dataset.TotalBytes))
+	placements := []struct {
+		name string
+		p    server.Placement
+	}{{"FastMem", server.AllFast()}, {"SlowMem", server.AllSlow()}}
+	for _, e := range server.Engines() {
+		for _, pl := range placements {
+			cfg := server.DefaultConfig(e, seed)
+			cfg.Fault = scale.Fault
+			cfg.RunTimeout = scale.RunTimeout
+			cfg.Obs = scale.Obs
+			cfg.DisableBatchReplay = scale.DisableBatchReplay
+			cfg.Shards = scale.Shards
+			wall := time.Now()
+			st, err := client.Execute(cfg, w, pl.p)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", e, pl.name, err)
+			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			fmt.Fprintf(stdout, "%-14s %-8s %10.0f ops/s  simulated %-12v wall %-8v heap %s\n",
+				e, pl.name, st.ThroughputOpsSec, st.Runtime,
+				time.Since(wall).Round(time.Millisecond),
+				report.FormatBytes(int64(ms.HeapAlloc)))
+		}
+	}
+	fmt.Fprintf(stderr, "[trace replay done in %v]\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
 // dumpMetrics writes the sink's registry in Prometheus text format to
 // path ("-" = stderr).
 func dumpMetrics(path string, sink *obs.Sink, stderr io.Writer) error {
@@ -267,6 +318,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	migCost := fs.Float64("migration-cost", 0, "adaptive-compare: migration charge in `ns` per payload byte (0 = experiment default)")
 	migBudget := fs.Int64("migration-budget", 0, "adaptive-compare: cap on migrated payload `bytes` per epoch (0 = unlimited)")
 	timeout := fs.Float64("timeout", 0, "per-run budget in simulated `seconds` (0 = unbounded)")
+	tracePath := fs.String("trace", "", "replay a binary .mtrc trace `file` (streamed, FastMem/SlowMem baselines per engine) instead of running experiments")
 	noBatch := fs.Bool("no-batch", false, "force the per-op replay path (disable the batched kernel)")
 	cpuprofile := fs.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write heap profile to `file`")
@@ -401,6 +453,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			f.Close()
 		}()
+	}
+
+	if *tracePath != "" {
+		if len(fs.Args()) > 0 {
+			return fmt.Errorf("-trace replays the given file; experiment names do not apply")
+		}
+		return runTrace(*tracePath, scale, *seed, stdout, stderr)
 	}
 
 	selected := fs.Args()

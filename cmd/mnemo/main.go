@@ -10,6 +10,10 @@
 //	-workload name    Table III workload (trending, news_feed, timeline,
 //	                  edit_thumbnail, trending_preview), or "-" to read a
 //	                  mnemo-workload v1 csv from stdin
+//	-trace file       profile a binary .mtrc trace (cmd/workloadgen
+//	                  -o trace.mtrc) streamed frame by frame — traces far
+//	                  larger than RAM replay in O(frame) memory; overrides
+//	                  -workload, incompatible with -epoch-ops
 //	-store name       redislike | memcachedlike | dynamolike
 //	-policy name      tiering policy (see -list-policies; default touch)
 //	-compare a,b,...  profile extra policies against the same baseline
@@ -102,6 +106,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		plot         = fs.Bool("plot", false, "render the curve as an ASCII plot on stderr")
 		jsonOut      = fs.Bool("json", false, "emit a JSON report summary on stdout instead of the csv")
 		htmlOut      = fs.String("html", "", "also write a standalone HTML report to this file")
+		tracePath    = fs.String("trace", "", "profile a binary .mtrc trace file (streamed; overrides -workload)")
 		monitor      = fs.Bool("monitor", false, "with -workload -, parse stdin as a Redis MONITOR capture")
 		defSize      = fs.Int("default-size", 1024, "record size for keys a MONITOR capture never writes")
 		metrics      = fs.String("metrics", "", "dump run metrics (Prometheus text format) to this file ('-' = stderr)")
@@ -121,12 +126,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	var w *mnemo.Workload
-	if *monitor {
+	switch {
+	case *tracePath != "":
+		if *monitor {
+			return fmt.Errorf("-trace and -monitor are mutually exclusive")
+		}
+		if *keys != 0 || *requests != 0 {
+			return fmt.Errorf("-trace carries its own dimensions; -keys/-requests do not apply")
+		}
+		w, err = mnemo.OpenTrace(*tracePath)
+	case *monitor:
 		if *workload != "-" {
 			return fmt.Errorf("-monitor requires -workload - (capture on stdin)")
 		}
 		w, err = mnemo.LoadRedisMonitor(stdin, *defSize)
-	} else {
+	default:
 		w, err = loadWorkload(*workload, *seed, *keys, *requests, stdin)
 	}
 	if err != nil {
@@ -176,7 +190,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	fmt.Fprintf(stderr, "workload %s on %s: %d keys, %d requests, dataset %s\n",
-		w.Spec.Name, *store, len(w.Dataset.Records), len(w.Ops),
+		w.Spec.Name, *store, len(w.Dataset.Records), w.RequestCount(),
 		report.FormatBytes(w.Dataset.TotalBytes))
 	if *shards >= 2 {
 		fmt.Fprintf(stderr, "cluster: %d consistent-hash shards, stats merged deterministically\n", *shards)

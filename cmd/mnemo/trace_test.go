@@ -1,0 +1,61 @@
+package main
+
+// Tests of the -trace flag: profiling a binary .mtrc trace streamed
+// from disk through the standard pipeline.
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mnemo/internal/trace"
+	"mnemo/internal/ycsb"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cli.mtrc")
+	_, err := trace.GenerateFile(ycsb.Spec{
+		Name: "cli_trace", Keys: 60, Requests: 600,
+		Dist:      ycsb.DistSpec{Kind: ycsb.Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+		ReadRatio: 1.0, Sizes: ycsb.SizeThumbnail, Seed: 3,
+	}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTraceFlag(t *testing.T) {
+	path := writeTestTrace(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-trace", path, "-o", "-"}, strings.NewReader(""), &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "key,est_throughput_ops,cost_factor") {
+		t.Fatalf("curve csv missing from stdout:\n%.200s", out)
+	}
+	if !strings.Contains(stderr.String(), "cli_trace") {
+		t.Error("workload name missing from progress output")
+	}
+}
+
+func TestRunTraceFlagErrors(t *testing.T) {
+	path := writeTestTrace(t)
+	cases := [][]string{
+		{"-trace", filepath.Join(t.TempDir(), "absent.mtrc")},
+		{"-trace", path, "-monitor"},
+		{"-trace", path, "-keys", "10"},
+		{"-trace", path, "-requests", "10"},
+		{"-trace", path, "-epoch-ops", "256"}, // adaptive replay needs a materialized trace
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, strings.NewReader(""), &stdout, &stderr); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -30,7 +30,11 @@
 //	                  trace across n shards on stderr (key/byte/request
 //	                  balance and hot-set spread; 0 = skip)
 //	-seed n           deterministic seed
-//	-o file           destination ('-' = stdout)
+//	-o file           destination ('-' = stdout). A path ending in
+//	                  .mtrc writes the binary streaming trace format
+//	                  instead of CSV; generated drift/custom traces
+//	                  are then produced straight to disk in O(frame)
+//	                  memory, so -requests 100000000 works fine.
 package main
 
 import (
@@ -38,10 +42,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"mnemo/internal/kvstore"
 	"mnemo/internal/registry"
 	"mnemo/internal/report"
 	"mnemo/internal/shard"
+	"mnemo/internal/trace"
 	"mnemo/internal/ycsb"
 )
 
@@ -86,6 +93,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *phases < 2 {
 		return fmt.Errorf("phases %d must be ≥ 2", *phases)
 	}
+	if *downsample < 1 {
+		return fmt.Errorf("downsample factor %d must be ≥ 1", *downsample)
+	}
+	// A .mtrc destination selects the binary streaming format. Custom and
+	// drift specs then generate straight to disk (O(frame) memory);
+	// presets and downsampled traces materialize first and are spilled.
+	streamOut := *outPath != "-" && strings.HasSuffix(*outPath, ".mtrc")
+	streamGen := streamOut && *downsample == 1
+	written := false
 	var w *ycsb.Workload
 	if *drift != "" {
 		dn := ""
@@ -103,7 +119,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		spec.Keys = *keys
 		spec.Requests = *requests
-		w, err = ycsb.Generate(spec)
+		if streamGen {
+			w, err = trace.GenerateFile(spec, *outPath)
+			written = true
+		} else {
+			w, err = ycsb.Generate(spec)
+		}
 		if err != nil {
 			return err
 		}
@@ -115,7 +136,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		spec.Keys = *keys
 		spec.Requests = *requests
-		w, err = ycsb.Generate(spec)
+		if streamGen {
+			w, err = trace.GenerateFile(spec, *outPath)
+			written = true
+		} else {
+			w, err = ycsb.Generate(spec)
+		}
 		if err != nil {
 			return err
 		}
@@ -133,8 +159,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *downsample > 1 {
 		w = w.Downsample(*downsample, *seed)
-	} else if *downsample < 1 {
-		return fmt.Errorf("downsample factor %d must be ≥ 1", *downsample)
 	}
 
 	if *describe {
@@ -151,20 +175,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	var out io.Writer = stdout
-	if *outPath != "-" {
-		f, err := os.Create(*outPath)
-		if err != nil {
+	if streamOut {
+		if !written {
+			if err := trace.WriteWorkload(w, *outPath); err != nil {
+				return err
+			}
+		}
+	} else {
+		var out io.Writer = stdout
+		if *outPath != "-" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := w.WriteCSV(out); err != nil {
 			return err
 		}
-		defer f.Close()
-		out = f
-	}
-	if err := w.WriteCSV(out); err != nil {
-		return err
 	}
 	fmt.Fprintf(stderr, "wrote %s: %d records, %d ops, dataset %d bytes\n",
-		w.Spec.Name, len(w.Dataset.Records), len(w.Ops), w.Dataset.TotalBytes)
+		w.Spec.Name, len(w.Dataset.Records), w.RequestCount(), w.Dataset.TotalBytes)
 	return nil
 }
 
@@ -180,7 +212,7 @@ func renderShardLayout(stderr io.Writer, w *ycsb.Workload, n int) error {
 	}
 	t := report.NewTable(fmt.Sprintf("Cluster layout — %d consistent-hash shards", n),
 		"shard", "keys", "bytes", "requests", "req share")
-	total := len(w.Ops)
+	total := w.RequestCount()
 	if total == 0 {
 		total = 1
 	}
@@ -193,8 +225,8 @@ func renderShardLayout(stderr io.Writer, w *ycsb.Workload, n int) error {
 		return err
 	}
 	reads := make([]int, len(w.Dataset.Records))
-	for _, op := range w.Ops {
-		reads[op.Key]++
+	if err := w.ForEachOp(func(key int, _ kvstore.OpKind) { reads[key]++ }); err != nil {
+		return err
 	}
 	const hot = 64
 	spread := part.HotShardSpread(reads, make([]int, len(reads)), hot)
@@ -209,7 +241,7 @@ func renderShardLayout(stderr io.Writer, w *ycsb.Workload, n int) error {
 func renderDriftLayout(stderr io.Writer, w *ycsb.Workload, phases int) {
 	keys, requests := len(w.Dataset.Records), w.Spec.Requests
 	if requests <= 0 {
-		requests = len(w.Ops)
+		requests = w.RequestCount()
 	}
 	switch w.Spec.Dist.Kind {
 	case ycsb.HotSetDrift:

@@ -1,0 +1,108 @@
+package main
+
+// Tests of the .mtrc output path: a .mtrc destination selects the
+// binary streaming format — custom specs generate straight to disk,
+// presets and downsampled traces materialize first and are spilled.
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"mnemo/internal/trace"
+)
+
+func TestGenerateMtrcStreamed(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "w.mtrc")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "custom", "-dist", "zipfian", "-theta", "0.9",
+		"-read", "0.8", "-sizes", "photo_caption",
+		"-keys", "200", "-requests", "3000", "-o", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Error("binary output leaked to stdout")
+	}
+	sum, err := trace.ValidateFile(out)
+	if err != nil {
+		t.Fatalf("generated trace fails validation: %v", err)
+	}
+	if sum.Header.Keys != 200 || sum.Ops != 3000 {
+		t.Fatalf("trace dims %d keys / %d ops, want 200 / 3000", sum.Header.Keys, sum.Ops)
+	}
+
+	// The streamed generation must be bit-identical to materialize-then-
+	// spill of the same spec (one generator implementation).
+	spill := filepath.Join(t.TempDir(), "spill.mtrc")
+	err = run([]string{
+		"-workload", "custom", "-dist", "zipfian", "-theta", "0.9",
+		"-read", "0.8", "-sizes", "photo_caption",
+		"-keys", "200", "-requests", "3000", "-downsample", "1", "-o", spill,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, errA := trace.Open(out)
+	b, errB := trace.Open(spill)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if a.RequestCount() != b.RequestCount() {
+		t.Fatalf("request counts differ: %d vs %d", a.RequestCount(), b.RequestCount())
+	}
+}
+
+func TestGenerateMtrcPresetAndDownsample(t *testing.T) {
+	// Presets materialize and spill; downsampling forces the same path
+	// even for custom specs.
+	out := filepath.Join(t.TempDir(), "preset.mtrc")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-workload", "trending", "-keys", "100", "-requests", "2000", "-o", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := trace.ValidateFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ops != 2000 {
+		t.Fatalf("preset trace has %d ops, want 2000", sum.Ops)
+	}
+
+	down := filepath.Join(t.TempDir(), "down.mtrc")
+	err = run([]string{
+		"-workload", "custom", "-dist", "uniform", "-read", "1.0", "-sizes", "photo_caption",
+		"-keys", "100", "-requests", "2000", "-downsample", "4", "-o", down,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err = trace.ValidateFile(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ops != 500 {
+		t.Fatalf("downsampled trace has %d ops, want 500", sum.Ops)
+	}
+}
+
+func TestGenerateMtrcDrift(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "drift.mtrc")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-workload", "custom", "-drift", "hotset", "-read", "0.9", "-sizes", "photo_caption",
+		"-keys", "200", "-requests", "4000", "-phases", "2", "-o", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ValidateFile(out); err != nil {
+		t.Fatalf("drift trace fails validation: %v", err)
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("drift layout")) {
+		t.Error("drift layout preview missing from stderr")
+	}
+}

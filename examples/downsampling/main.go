@@ -35,7 +35,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-8d %10d %14.3f %14.1f %16.0f\n",
-			factor, len(w.Ops),
+			factor, w.RequestCount(),
 			rep.Advice.Point.CostFactor,
 			float64(rep.Advice.Point.FastBytes)/(1<<20),
 			rep.Baselines.Fast.ThroughputOpsSec)

@@ -34,7 +34,7 @@ func main() {
 	}
 
 	fmt.Printf("Workload:  %s (%d keys, %d requests)\n",
-		rep.Workload, len(w.Dataset.Records), len(w.Ops))
+		rep.Workload, len(w.Dataset.Records), w.RequestCount())
 	fmt.Printf("Baselines: FastMem-only %.0f ops/s | SlowMem-only %.0f ops/s (%.2fx slower)\n",
 		rep.Baselines.Fast.ThroughputOpsSec,
 		rep.Baselines.Slow.ThroughputOpsSec,

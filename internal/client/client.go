@@ -395,6 +395,11 @@ func RunCtx(ctx context.Context, d *server.Deployment, w *ycsb.Workload, budget 
 	var tel epochTelemetry
 	var err error
 	if src, epochOps := d.AdaptiveSpec(); src != nil && epochOps > 0 {
+		if w.Stream != nil {
+			// Epoch chunking needs random access into the trace to
+			// re-run boundary analysis; a streamed trace has none.
+			return RunStats{}, fmt.Errorf("client: adaptive tiering (EpochOps) does not support streamed traces")
+		}
 		tel, err = replayEpochs(ctx, d, src, epochOps, w, classes, a, budget)
 	} else {
 		err = replayStatic(ctx, d, w, classes, a, budget)
@@ -448,6 +453,9 @@ func RunCtx(ctx context.Context, d *server.Deployment, w *ycsb.Workload, budget 
 // in one pass, batched when the deployment and trace support it. It is
 // the EpochOps=0 path and stays bit-identical to the pre-adaptive stack.
 func replayStatic(ctx context.Context, d *server.Deployment, w *ycsb.Workload, classes []uint8, a *replayAccum, budget simclock.Duration) error {
+	if w.Stream != nil {
+		return replayStream(ctx, d, w, classes, a, budget)
+	}
 	crashAt := d.CrashOp()
 	var err error
 	if t := d.BatchTable(); t != nil && w.Packed().Batchable() {

@@ -88,9 +88,9 @@ func (e *EstimateEngine) Curve(w *ycsb.Workload, b Baselines, ord Ordering) (*Cu
 		totalWrites += k.Writes
 	}
 	requests := totalReads + totalWrites
-	if requests != len(w.Ops) {
+	if requests != w.RequestCount() {
 		return nil, fmt.Errorf("core: ordering accounts for %d requests, trace has %d",
-			requests, len(w.Ops))
+			requests, w.RequestCount())
 	}
 
 	dRead := b.Slow.AvgReadNs - b.Fast.AvgReadNs

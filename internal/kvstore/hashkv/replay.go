@@ -51,4 +51,8 @@ func (s *Store) StaticTrace(key string, id uint64) (getChases, putChases int, ok
 // no steady-state stall source (rehash hiccups only fire on growth).
 func (s *Store) ReplayPauses() kvstore.PauseModel { return kvstore.PauseModel{} }
 
+// SyncReplayAccum implements kvstore.BatchReplayer; the dict has no
+// steady-state pause accumulator to restore.
+func (s *Store) SyncReplayAccum(int64) {}
+
 var _ kvstore.BatchReplayer = (*Store)(nil)

@@ -1,0 +1,26 @@
+package hashkv
+
+import (
+	"testing"
+
+	"mnemo/internal/kvstore"
+)
+
+// TestSyncReplayAccumNoop pins the pause-sync side of the streamed
+// handshake for the pauseless engine: hash servers report an empty
+// pause model and accept (and ignore) accumulator syncs.
+func TestSyncReplayAccumNoop(t *testing.T) {
+	s := New()
+	populate(s, 50)
+	s.TakePauseNs() // drain rehash pauses from the load
+	if pm := s.ReplayPauses(); pm != (kvstore.PauseModel{}) {
+		t.Fatalf("pauseless store reports pause model %+v", pm)
+	}
+	s.SyncReplayAccum(1 << 20)
+	if pm := s.ReplayPauses(); pm != (kvstore.PauseModel{}) {
+		t.Fatalf("SyncReplayAccum changed the pause model: %+v", pm)
+	}
+	if ns := s.TakePauseNs(); ns != 0 {
+		t.Fatalf("pauseless store emitted a pause of %v ns", ns)
+	}
+}

@@ -174,6 +174,15 @@ type BatchReplayer interface {
 	// ReplayPauses exposes the engine's steady-state stall source so the
 	// batched kernel can reproduce TakePauseNs without calling it.
 	ReplayPauses() PauseModel
+	// SyncReplayAccum overwrites the engine's pause accumulator with the
+	// kernel's mirrored value. The batched kernel advances its mirror
+	// instead of the engine's accounting; when a replay must interleave
+	// per-operation requests (a streamed frame carrying deletes), it
+	// first writes the mirror back so the engine's own accounting
+	// resumes exactly where the kernel left it — and reads the engine's
+	// accumulator back (ReplayPauses().Accum) afterwards. Engines with a
+	// zero PauseModel may ignore the call.
+	SyncReplayAccum(accum int64)
 }
 
 // EngineProfile captures how an engine converts memory traffic into

@@ -41,4 +41,8 @@ func (s *Store) StaticTrace(key string, id uint64) (getChases, putChases int, ok
 // replay never causes.
 func (s *Store) ReplayPauses() kvstore.PauseModel { return kvstore.PauseModel{} }
 
+// SyncReplayAccum implements kvstore.BatchReplayer; the slab store has
+// no steady-state pause accumulator to restore.
+func (s *Store) SyncReplayAccum(int64) {}
+
 var _ kvstore.BatchReplayer = (*Store)(nil)

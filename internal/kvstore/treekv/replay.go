@@ -114,4 +114,10 @@ func (s *Store) ReplayPauses() kvstore.PauseModel {
 	}
 }
 
+// SyncReplayAccum implements kvstore.BatchReplayer: the kernel's
+// mirrored GC accumulator becomes the live allocation counter, so
+// per-op requests interleaved into a batched replay charge() from the
+// same point the kernel reached.
+func (s *Store) SyncReplayAccum(accum int64) { s.allocBytes = accum }
+
 var _ kvstore.BatchReplayer = (*Store)(nil)

@@ -8,6 +8,7 @@ import (
 
 	"mnemo/internal/core"
 	"mnemo/internal/knapsack"
+	"mnemo/internal/kvstore"
 	"mnemo/internal/tiering"
 	"mnemo/internal/ycsb"
 )
@@ -98,23 +99,21 @@ func (p freqDecayPolicy) Order(_ context.Context, w *ycsb.Workload) (core.Orderi
 	}
 	stats := keyStats(w)
 	score := make([]float64, len(stats))
-	per := (len(w.Ops) + p.epochs - 1) / p.epochs
+	per := (w.RequestCount() + p.epochs - 1) / p.epochs
 	if per == 0 {
 		per = 1
 	}
-	for start := 0; start < len(w.Ops); start += per {
-		if start > 0 {
+	idx := 0
+	if err := w.ForEachOp(func(key int, _ kvstore.OpKind) {
+		if idx > 0 && idx%per == 0 {
 			for i := range score {
 				score[i] *= p.decay
 			}
 		}
-		end := start + per
-		if end > len(w.Ops) {
-			end = len(w.Ops)
-		}
-		for _, op := range w.Ops[start:end] {
-			score[op.Key]++
-		}
+		score[key]++
+		idx++
+	}); err != nil {
+		return core.Ordering{}, fmt.Errorf("freqdecay: reading trace: %w", err)
 	}
 	order := make([]int, len(stats))
 	for i := range order {

@@ -1,0 +1,193 @@
+package server
+
+// In-package tests of the streamed-replay handshake (stream.go): the
+// pause-accumulator sync in both directions, the mutation latch, and
+// RetryBatchTable's re-price. End-to-end bit-identity of streamed vs
+// in-memory replay lives in internal/client/stream_test.go; these pin
+// the handshake's own contracts at the server layer.
+
+import (
+	"testing"
+
+	"mnemo/internal/kvstore"
+	"mnemo/internal/ycsb"
+)
+
+// TestStreamHandshakeMatchesPerOp is the soundness contract of
+// interleaving a per-op frame into a batched replay: serving a prefix
+// through the kernel, a Delete per-op under SyncEnginePauses, re-pricing
+// with RetryBatchTable and serving the suffix through the refreshed
+// table must reproduce the all-per-op replay of the same op sequence
+// exactly — latencies and final clock.
+func TestStreamHandshakeMatchesPerOp(t *testing.T) {
+	for _, e := range Engines() {
+		t.Run(e.String(), func(t *testing.T) {
+			w := smallWorkload(t, ycsb.SizeFixed10KB, 0.9)
+			pt := w.Packed()
+			keys := append([]uint32(nil), pt.Keys...)
+			kinds := append([]uint8(nil), pt.Kinds...)
+			mid := len(keys) / 2
+			delKey := keys[mid]
+			// The suffix must not touch the dead record (the client never
+			// batches a frame that does): remap its occurrences.
+			for i := mid; i < len(keys); i++ {
+				if keys[i] == delKey {
+					keys[i] = (delKey + 1) % uint32(len(w.Dataset.Records))
+				}
+			}
+			cfg := DefaultConfig(e, 23)
+
+			// Reference: the whole sequence per-op.
+			perOp := loadHalfFast(t, cfg, w)
+			want := make([]float64, 0, len(keys)+1)
+			for i := 0; i < mid; i++ {
+				want = append(want, float64(perOp.DoIndex(int(keys[i]), kvstore.OpKind(kinds[i])).Latency))
+			}
+			want = append(want, float64(perOp.DoIndex(int(delKey), kvstore.Delete).Latency))
+			for i := mid; i < len(keys); i++ {
+				want = append(want, float64(perOp.DoIndex(int(keys[i]), kvstore.OpKind(kinds[i])).Latency))
+			}
+
+			// Handshake: batched prefix, per-op Delete, retried table,
+			// batched suffix.
+			d := loadHalfFast(t, cfg, w)
+			tab := d.BatchTable()
+			if tab == nil {
+				t.Fatal("no batch table")
+			}
+			got := make([]float64, 0, len(keys)+1)
+			serve := func(tb *ReplayTable, ks []uint32, ds []uint8) {
+				lat := tb.Block()
+				for blk := 0; blk < len(ks); blk += ReplayBlockOps {
+					end := blk + ReplayBlockOps
+					if end > len(ks) {
+						end = len(ks)
+					}
+					served := tb.Serve(ks[blk:end], ds[blk:end], 0, lat)
+					if served != end-blk {
+						t.Fatalf("Serve stopped at %d/%d", served, end-blk)
+					}
+					for _, l := range lat[:served] {
+						got = append(got, float64(l))
+					}
+				}
+			}
+			serve(tab, keys[:mid], kinds[:mid])
+
+			tab.SyncEnginePauses()
+			got = append(got, float64(d.DoIndex(int(delKey), kvstore.Delete).Latency))
+			d.MarkMutated()
+			dead := make([]bool, len(w.Dataset.Records))
+			dead[delKey] = true
+			tab2 := d.RetryBatchTable(dead)
+			if tab2 == nil {
+				t.Fatal("RetryBatchTable latched off after a plain delete")
+			}
+			serve(tab2, keys[mid:], kinds[mid:])
+
+			if len(got) != len(want) {
+				t.Fatalf("%d latencies, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("op %d: handshake latency %v != per-op %v", i, got[i], want[i])
+				}
+			}
+			if d.Clock() != perOp.Clock() {
+				t.Fatalf("clocks diverged: handshake %v, per-op %v", d.Clock(), perOp.Clock())
+			}
+		})
+	}
+}
+
+// TestSyncPausesBothDirections pins the accumulator mirroring on the
+// engine with real pause dynamics (DynamoLike / treekv): after batched
+// frames the kernel's mirror leads the engines; SyncEnginePauses writes
+// it into them, per-op requests then advance the engines past the
+// mirror, and ResyncKernelPauses reads them back.
+func TestSyncPausesBothDirections(t *testing.T) {
+	w := smallWorkload(t, ycsb.SizeFixed10KB, 0.5)
+	d := loadHalfFast(t, DefaultConfig(DynamoLike, 23), w)
+	tab := d.BatchTable()
+	if tab == nil {
+		t.Fatal("no batch table")
+	}
+	serveAll(t, d, w.Packed())
+
+	brs := make([]kvstore.BatchReplayer, len(d.instances))
+	for i, inst := range d.instances {
+		br, ok := inst.(kvstore.BatchReplayer)
+		if !ok {
+			t.Fatal("treekv instance is not a BatchReplayer")
+		}
+		brs[i] = br
+	}
+	diverged := false
+	for i, br := range brs {
+		if tab.pause[i].accum != br.ReplayPauses().Accum {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("batched replay never advanced the mirror past the engines; test is vacuous")
+	}
+
+	tab.SyncEnginePauses()
+	for i, br := range brs {
+		if got, want := br.ReplayPauses().Accum, tab.pause[i].accum; got != want {
+			t.Fatalf("engine %d accum after SyncEnginePauses = %d, want mirror %d", i, got, want)
+		}
+	}
+
+	// Per-op writes advance the engines' own accounting; the mirror is
+	// stale until resynced.
+	for i := 0; i < 64; i++ {
+		d.DoIndex(i, kvstore.Write)
+	}
+	tab.ResyncKernelPauses()
+	for i, br := range brs {
+		if got, want := tab.pause[i].accum, br.ReplayPauses().Accum; got != want {
+			t.Fatalf("mirror %d after ResyncKernelPauses = %d, want engine %d", i, got, want)
+		}
+	}
+}
+
+func TestMarkMutatedBlocksResetRun(t *testing.T) {
+	w := smallWorkload(t, ycsb.SizeFixed1KB, 0.9)
+	d := loadHalfFast(t, DefaultConfig(RedisLike, 7), w)
+	if d.BatchTable() == nil {
+		t.Fatal("no batch table")
+	}
+	if !d.ResetRun(1) {
+		t.Fatal("ResetRun refused on a pristine deployment")
+	}
+	d.MarkMutated()
+	if d.ResetRun(2) {
+		t.Error("ResetRun succeeded after MarkMutated")
+	}
+}
+
+func TestRetryBatchTableUnavailable(t *testing.T) {
+	w := smallWorkload(t, ycsb.SizeFixed1KB, 0.9)
+
+	cfg := DefaultConfig(RedisLike, 5)
+	cfg.DisableBatchReplay = true
+	if d := loadHalfFast(t, cfg, w); d.RetryBatchTable(nil) != nil {
+		t.Error("RetryBatchTable built a table with batching disabled")
+	}
+
+	if NewDeployment(DefaultConfig(RedisLike, 5)).RetryBatchTable(nil) != nil {
+		t.Error("RetryBatchTable built a table on an unloaded deployment")
+	}
+
+	// Without a prior BatchTable call the retry builds the table from
+	// scratch; it must serve like the lazily built one.
+	d := loadHalfFast(t, DefaultConfig(RedisLike, 5), w)
+	tab := d.RetryBatchTable(nil)
+	if tab == nil {
+		t.Fatal("RetryBatchTable did not build a fresh table")
+	}
+	if d.BatchTable() != tab {
+		t.Error("BatchTable does not return the retried table")
+	}
+}

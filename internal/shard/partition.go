@@ -76,8 +76,17 @@ func Split(w *ycsb.Workload, shards, vnodes int, withOps bool) (*Partition, erro
 	}
 
 	// Pass 2: split the trace, preserving per-shard op order. A
-	// batchable parent without the ops requirement is split in packed
-	// form only (one uint32+uint8 per op instead of a 16-byte Op).
+	// stream-backed parent is spooled into per-shard .mtrc temp files
+	// (O(frame) memory, stream.go); withOps is moot there — a streamed
+	// sub falls back per-op frame by frame on its own. A batchable
+	// parent without the ops requirement is split in packed form only
+	// (one uint32+uint8 per op instead of a 16-byte Op).
+	if w.Stream != nil {
+		if err := splitStream(w, p, datasets, local); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
 	pt := w.Packed()
 	if pt.Batchable() && !withOps {
 		perShard := make([]int, shards)

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"mnemo/internal/kvstore"
 	"mnemo/internal/ycsb"
 )
 
@@ -112,15 +113,18 @@ func NewProfiler(space *AddressSpace, rate int, seed int64) *Profiler {
 // each request touches all pages of its record, and each touch is
 // recorded with probability 1/rate.
 func (p *Profiler) Observe(w *ycsb.Workload) {
-	for _, op := range w.Ops {
-		first, count := p.space.Pages(op.Key)
+	// ForEachOp covers every trace backing (ops, packed, streamed); a
+	// stream decode error truncates the observation, matching the
+	// best-effort contract of the ycsb pattern helpers.
+	_ = w.ForEachOp(func(key int, _ kvstore.OpKind) {
+		first, count := p.space.Pages(key)
 		for pg := first; pg < first+count; pg++ {
 			if p.rate == 1 || p.rng.Intn(p.rate) == 0 {
 				p.counts[pg]++
 				p.samples++
 			}
 		}
-	}
+	})
 }
 
 // Samples reports how many page observations were collected.

@@ -1,0 +1,447 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mnemo/internal/kvstore"
+	"mnemo/internal/ycsb"
+)
+
+// lcg is the deterministic op-sequence generator of the tests and the
+// golden fixture: self-contained arithmetic, so the fixture's expected
+// content never depends on the workload generator's evolution.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+// genOps produces n deterministic ops over the given key-space with
+// roughly 80% reads, 15% writes, 5% deletes.
+func genOps(seed uint64, keys, n int) ([]uint32, []uint8) {
+	r := lcg(seed)
+	ks := make([]uint32, n)
+	kinds := make([]uint8, n)
+	for i := range ks {
+		ks[i] = uint32(r.next() % uint64(keys))
+		switch v := r.next() % 100; {
+		case v < 80:
+			kinds[i] = uint8(kvstore.Read)
+		case v < 95:
+			kinds[i] = uint8(kvstore.Write)
+		default:
+			kinds[i] = uint8(kvstore.Delete)
+		}
+	}
+	return ks, kinds
+}
+
+// encode writes a complete trace to memory via the production Writer.
+func encode(t *testing.T, name string, sizes []int32, names []string, keys []uint32, kinds []uint8) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, name, sizes, names, uint64(len(keys)))
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if err := w.Append(keys, kinds); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// decodeAll streams every frame of raw through the Reader, returning
+// the concatenated ops and the per-frame rw flags.
+func decodeAll(t *testing.T, raw []byte) (keys []uint32, kinds []uint8, rws []bool, f *File) {
+	t.Helper()
+	f, err := New(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	it, err := f.Frames()
+	if err != nil {
+		t.Fatalf("Frames: %v", err)
+	}
+	for {
+		fk, fd, rw, err := it.Next()
+		if err == io.EOF {
+			return keys, kinds, rws, f
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		keys = append(keys, fk...)
+		kinds = append(kinds, fd...)
+		rws = append(rws, rw)
+	}
+}
+
+func TestRoundTripCanonical(t *testing.T) {
+	const nk = 37
+	sizes := make([]int32, nk)
+	for i := range sizes {
+		sizes[i] = int32(100 + i*13)
+	}
+	keys, kinds := genOps(1, nk, 10_000) // 3 frames: 4096+4096+1808
+	raw := encode(t, "roundtrip", sizes, nil, keys, kinds)
+
+	gk, gd, rws, f := decodeAll(t, raw)
+	h := f.Header
+	if h.Name != "roundtrip" || h.Keys != nk || h.Requests != 10_000 || !h.Canonical() {
+		t.Fatalf("header = %+v", h)
+	}
+	for i, s := range h.Sizes {
+		if s != sizes[i] {
+			t.Fatalf("size[%d] = %d, want %d", i, s, sizes[i])
+		}
+	}
+	if h.KeyNames != nil {
+		t.Fatalf("canonical trace carries key names")
+	}
+	if len(gk) != len(keys) {
+		t.Fatalf("decoded %d ops, wrote %d", len(gk), len(keys))
+	}
+	for i := range keys {
+		if gk[i] != keys[i] || gd[i] != kinds[i] {
+			t.Fatalf("op %d = (%d,%d), want (%d,%d)", i, gk[i], gd[i], keys[i], kinds[i])
+		}
+	}
+	// Every frame's rw flag must match its content.
+	off := 0
+	for fi, rw := range rws {
+		n := FrameOps
+		if off+n > len(kinds) {
+			n = len(kinds) - off
+		}
+		want := true
+		for _, k := range kinds[off : off+n] {
+			if k > 1 {
+				want = false
+			}
+		}
+		if rw != want {
+			t.Fatalf("frame %d rw = %v, content says %v", fi, rw, want)
+		}
+		off += n
+	}
+
+	// The independent validator must agree in full.
+	sum, err := Validate(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if sum.Ops != 10_000 || sum.Frames != 3 || sum.Header.Name != "roundtrip" {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestRoundTripNamedKeys(t *testing.T) {
+	sizes := []int32{10, 20, 30}
+	names := []string{"alpha", "user:42", ""}
+	keys := []uint32{0, 1, 2, 1}
+	kinds := []uint8{0, 1, 2, 1}
+	raw := encode(t, "named", sizes, names, keys, kinds)
+	_, _, _, f := decodeAll(t, raw)
+	if f.Header.Canonical() {
+		t.Fatalf("named trace decoded as canonical")
+	}
+	for i, n := range f.Header.KeyNames {
+		if n != names[i] {
+			t.Fatalf("key name %d = %q, want %q", i, n, names[i])
+		}
+	}
+}
+
+func TestIndependentIterators(t *testing.T) {
+	sizes := make([]int32, 5)
+	for i := range sizes {
+		sizes[i] = 8
+	}
+	keys, kinds := genOps(2, 5, 9000)
+	raw := encode(t, "iters", sizes, nil, keys, kinds)
+	f, err := New(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Frames()
+	b, _ := f.Frames()
+	ak, _, _, err := a.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := append([]uint32(nil), ak...)
+	// Drain b fully; a's buffered first frame must be unaffected because
+	// the iterators share nothing but the read-only source.
+	for {
+		if _, _, _, err := b.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ak2, _, _, err := a.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != FrameOps || len(ak2) != FrameOps {
+		t.Fatalf("frame lengths %d, %d", len(first), len(ak2))
+	}
+	for i := range first {
+		if first[i] != keys[i] {
+			t.Fatalf("iterator a frame 1 diverged at %d", i)
+		}
+		if ak2[i] != keys[FrameOps+i] {
+			t.Fatalf("iterator a frame 2 diverged at %d", i)
+		}
+	}
+}
+
+func TestWriterRejects(t *testing.T) {
+	sizes := []int32{1, 2}
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, "x", nil, nil, 0); err == nil {
+		t.Fatal("empty key space accepted")
+	}
+	if _, err := NewWriter(&buf, "x", sizes, []string{"only-one"}, 0); err == nil {
+		t.Fatal("name/size mismatch accepted")
+	}
+	w, err := NewWriter(&buf, "x", sizes, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]uint32{2}, []uint8{0}); err == nil {
+		t.Fatal("out-of-range key accepted")
+	}
+	if err := w.Append([]uint32{0}, []uint8{3}); err == nil {
+		t.Fatal("out-of-legend kind accepted")
+	}
+	if err := w.Append([]uint32{0, 1}, []uint8{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("short trace (2 of 4 declared ops) closed clean")
+	}
+}
+
+// frameOffset locates the first frame in a valid encoded trace.
+func frameOffset(raw []byte) int {
+	hdrLen := int(binary.LittleEndian.Uint32(raw[6:10]))
+	return preludeLen + hdrLen + 4
+}
+
+// refixFrameCRC recomputes the first frame's checksum after a test
+// mutated its bytes, so the corruption under test is reached.
+func refixFrameCRC(raw []byte) {
+	fo := frameOffset(raw)
+	n := int(binary.LittleEndian.Uint32(raw[fo : fo+4]))
+	end := fo + frameHeadLen + n*5
+	binary.LittleEndian.PutUint32(raw[end:end+4], crc32.ChecksumIEEE(raw[fo:end]))
+}
+
+func TestRejectsCorruption(t *testing.T) {
+	sizes := make([]int32, 4)
+	for i := range sizes {
+		sizes[i] = 64
+	}
+	keys, kinds := genOps(3, 4, 600)
+	kinds[5] = uint8(kvstore.Delete) // ensure a structural op exists
+	pristine := encode(t, "corrupt", sizes, nil, keys, kinds)
+
+	cases := []struct {
+		name     string
+		mutate   func(raw []byte) []byte
+		sentinel error
+	}{
+		{"bad magic", func(r []byte) []byte { r[0] = 'X'; return r }, ErrBadMagic},
+		{"bad version", func(r []byte) []byte { r[4] = 99; return r }, ErrBadVersion},
+		{"header crc", func(r []byte) []byte { r[preludeLen] ^= 0xFF; return r }, ErrChecksum},
+		{"header length runaway", func(r []byte) []byte {
+			binary.LittleEndian.PutUint32(r[6:10], math.MaxUint32)
+			return r
+		}, ErrTruncated},
+		{"truncated mid-frame", func(r []byte) []byte { return r[:frameOffset(r)+10] }, ErrTruncated},
+		{"truncated before frames", func(r []byte) []byte { return r[:frameOffset(r)] }, ErrTruncated},
+		{"trailing garbage", func(r []byte) []byte { return append(r, 0xAB) }, ErrSchema},
+		{"frame crc", func(r []byte) []byte { r[frameOffset(r)+frameHeadLen] ^= 0xFF; return r }, ErrChecksum},
+		{"key out of range", func(r []byte) []byte {
+			fo := frameOffset(r)
+			binary.LittleEndian.PutUint32(r[fo+frameHeadLen:], 4) // keys are [0,4)
+			refixFrameCRC(r)
+			return r
+		}, ErrSchema},
+		{"kind out of legend", func(r []byte) []byte {
+			fo := frameOffset(r)
+			n := int(binary.LittleEndian.Uint32(r[fo : fo+4]))
+			r[fo+frameHeadLen+n*4] = OpKinds
+			refixFrameCRC(r)
+			return r
+		}, ErrSchema},
+		{"rw flag lie", func(r []byte) []byte {
+			fo := frameOffset(r) // first frame holds the Delete at op 5
+			r[fo+4] |= FrameReadWrite
+			refixFrameCRC(r)
+			return r
+		}, ErrSchema},
+		{"zero-op frame", func(r []byte) []byte {
+			fo := frameOffset(r)
+			binary.LittleEndian.PutUint32(r[fo:fo+4], 0)
+			refixFrameCRC(r)
+			return r
+		}, ErrSchema},
+		{"over-declared requests", func(r []byte) []byte {
+			// Bump the declared total; the file's frames now undershoot.
+			off := preludeLen + 2 + 2 + 4
+			binary.LittleEndian.PutUint64(r[off:], 601)
+			end := preludeLen + int(binary.LittleEndian.Uint32(r[6:10]))
+			binary.LittleEndian.PutUint32(r[end:end+4], crc32.ChecksumIEEE(r[preludeLen:end]))
+			return r
+		}, ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := tc.mutate(append([]byte(nil), pristine...))
+			rerr := readAll(raw)
+			if rerr == nil {
+				t.Fatalf("reader accepted %s", tc.name)
+			}
+			if !errors.Is(rerr, tc.sentinel) {
+				t.Fatalf("reader error %v, want sentinel %v", rerr, tc.sentinel)
+			}
+			var fe *FormatError
+			if !errors.As(rerr, &fe) {
+				t.Fatalf("reader error %v is not a *FormatError", rerr)
+			}
+			if _, verr := Validate(bytes.NewReader(raw), int64(len(raw))); verr == nil {
+				t.Fatalf("validator accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+// readAll decodes header and every frame via the Reader, returning the
+// first error.
+func readAll(raw []byte) error {
+	f, err := New(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		return err
+	}
+	it, err := f.Frames()
+	if err != nil {
+		return err
+	}
+	for {
+		if _, _, _, err := it.Next(); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+	}
+}
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	spec := ycsb.Spec{
+		Name:      "rt",
+		Keys:      50,
+		Requests:  9000,
+		Dist:      ycsb.DistSpec{Kind: ycsb.Zipfian, Theta: 0.99},
+		ReadRatio: 0.8,
+		Sizes:     ycsb.SizeThumbnail,
+		Seed:      7,
+	}
+	w, err := ycsb.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rt.mtrc")
+	if err := WriteWorkload(w, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RequestCount() != len(w.Ops) {
+		t.Fatalf("stream declares %d requests, workload has %d", got.RequestCount(), len(w.Ops))
+	}
+	if len(got.Dataset.Records) != len(w.Dataset.Records) {
+		t.Fatalf("dataset %d records, want %d", len(got.Dataset.Records), len(w.Dataset.Records))
+	}
+	for i, rec := range got.Dataset.Records {
+		want := w.Dataset.Records[i]
+		if rec.Key != want.Key || rec.ID != want.ID || rec.Size != want.Size {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, want)
+		}
+	}
+	i := 0
+	if err := got.ForEachOp(func(key int, kind kvstore.OpKind) {
+		if op := w.Ops[i]; key != op.Key || kind != op.Kind {
+			t.Fatalf("op %d = (%d,%v), want (%d,%v)", i, key, kind, op.Key, op.Kind)
+		}
+		i++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(w.Ops) {
+		t.Fatalf("stream yielded %d ops, want %d", i, len(w.Ops))
+	}
+}
+
+// TestGenerateFileMatchesGenerate is the generation-side bit-identity
+// anchor: generating straight to disk must produce the exact op
+// sequence the in-memory generator produces for the same spec.
+func TestGenerateFileMatchesGenerate(t *testing.T) {
+	spec := ycsb.Spec{
+		Name:      "genfile",
+		Keys:      80,
+		Requests:  10_000,
+		Dist:      ycsb.DistSpec{Kind: ycsb.Hotspot, HotSetFraction: 0.2, HotOpnFraction: 0.9},
+		ReadRatio: 0.7,
+		Sizes:     ycsb.SizeTextPost,
+		Seed:      11,
+	}
+	mem, err := ycsb.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gen.mtrc")
+	streamed, err := GenerateFile(spec, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Spec != spec {
+		t.Fatalf("reopened spec = %+v, want %+v", streamed.Spec, spec)
+	}
+	i := 0
+	if err := streamed.ForEachOp(func(key int, kind kvstore.OpKind) {
+		if op := mem.Ops[i]; key != op.Key || kind != op.Kind {
+			t.Fatalf("op %d = (%d,%v), want (%d,%v)", i, key, kind, op.Key, op.Kind)
+		}
+		i++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(mem.Ops) {
+		t.Fatalf("streamed %d ops, generated %d", i, len(mem.Ops))
+	}
+}
+
+func TestOpenRejectsMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "absent.mtrc")); err == nil {
+		t.Fatal("opened a missing file")
+	}
+	if _, err := os.Stat("testdata"); err != nil {
+		t.Skip("no testdata directory")
+	}
+}

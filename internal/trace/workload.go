@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+
+	"mnemo/internal/kvstore"
+	"mnemo/internal/ycsb"
+)
+
+// Bridges between the on-disk container and ycsb.Workload: opening a
+// trace as a streamed workload, spilling an in-memory workload to disk,
+// and generating a trace straight to disk in O(frame) memory.
+
+// fileStream adapts a *File to the ycsb.TraceStream contract.
+type fileStream struct{ f *File }
+
+func (s fileStream) Requests() int { return s.f.Requests() }
+
+func (s fileStream) Frames() (ycsb.FrameIter, error) { return s.f.Frames() }
+
+// Open opens a .mtrc trace as a streamed workload: the dataset is
+// reconstructed from the schema header (O(keys) memory) and the request
+// trace stays on disk, yielded frame by frame during replay.
+func Open(path string) (*ycsb.Workload, error) {
+	f, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return AsWorkload(f), nil
+}
+
+// AsWorkload wraps an opened trace file as a streamed ycsb.Workload.
+func AsWorkload(f *File) *ycsb.Workload {
+	h := &f.Header
+	ds := ycsb.Dataset{Records: make([]ycsb.Record, h.Keys)}
+	for i := range ds.Records {
+		name := ""
+		if h.Canonical() {
+			name = ycsb.KeyName(i)
+		} else {
+			name = h.KeyNames[i]
+		}
+		size := int(h.Sizes[i])
+		ds.Records[i] = ycsb.Record{Key: name, ID: kvstore.KeyID(name), Size: size}
+		ds.TotalBytes += int64(size)
+	}
+	return &ycsb.Workload{
+		Spec: ycsb.Spec{
+			Name:     h.Name,
+			Keys:     h.Keys,
+			Requests: int(h.Requests),
+			UseCase:  "streamed trace",
+		},
+		Dataset: ds,
+		Stream:  fileStream{f},
+	}
+}
+
+// Stream exposes the file as a ycsb.TraceStream without rebuilding a
+// dataset from the header — for callers (the shard partitioner) that
+// already hold the matching dataset.
+func (f *File) Stream() ycsb.TraceStream { return fileStream{f} }
+
+// CreateDataset is Create with the schema derived from the dataset: the
+// value-size table verbatim, key names only when not canonical. The
+// shard partitioner uses it to spool per-shard sub-traces.
+func CreateDataset(path, name string, ds *ycsb.Dataset, requests uint64) (*Writer, error) {
+	sizes, names := datasetSchema(ds)
+	return Create(path, name, sizes, names, requests)
+}
+
+// datasetSchema derives the writer's header inputs from a dataset:
+// the value-size table, and the per-key names unless every key is the
+// canonical generated name (in which case names is nil and the file
+// omits the key-name block).
+func datasetSchema(ds *ycsb.Dataset) (sizes []int32, names []string) {
+	sizes = make([]int32, len(ds.Records))
+	canonical := true
+	for i := range ds.Records {
+		sizes[i] = int32(ds.Records[i].Size)
+		if canonical && ds.Records[i].Key != ycsb.KeyName(i) {
+			canonical = false
+		}
+	}
+	if canonical {
+		return sizes, nil
+	}
+	names = make([]string, len(ds.Records))
+	for i := range ds.Records {
+		names[i] = ds.Records[i].Key
+	}
+	return sizes, names
+}
+
+// WriteWorkload spills a workload's trace to a .mtrc file, whatever its
+// backing (Ops, packed, or another stream). The workload's key strings
+// round-trip: generated canonical names are elided from the file,
+// arbitrary names (Redis MONITOR captures) are carried per key.
+func WriteWorkload(w *ycsb.Workload, path string) (err error) {
+	sizes, names := datasetSchema(&w.Dataset)
+	wr, err := Create(path, w.Spec.Name, sizes, names, uint64(w.RequestCount()))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			wr.Close()
+			os.Remove(path)
+		}
+	}()
+	var keys [FrameOps]uint32
+	var kinds [FrameOps]uint8
+	n := 0
+	var appendErr error
+	if err = w.ForEachOp(func(key int, kind kvstore.OpKind) {
+		if appendErr != nil {
+			return
+		}
+		keys[n] = uint32(key)
+		kinds[n] = uint8(kind)
+		n++
+		if n == FrameOps {
+			appendErr = wr.Append(keys[:n], kinds[:n])
+			n = 0
+		}
+	}); err != nil {
+		return err
+	}
+	if appendErr != nil {
+		err = appendErr
+		return err
+	}
+	if n > 0 {
+		if err = wr.Append(keys[:n], kinds[:n]); err != nil {
+			return err
+		}
+	}
+	err = wr.Close()
+	return err
+}
+
+// GenerateFile generates a workload's trace straight to a .mtrc file in
+// O(frame) memory — the streamed twin of ycsb.Generate — and returns it
+// reopened as a streamed workload. This is how cmd/workloadgen emits
+// 100M+-op traces without holding them.
+func GenerateFile(spec ycsb.Spec, path string) (*ycsb.Workload, error) {
+	var wr *Writer
+	_, err := ycsb.GenerateStream(spec,
+		func(ds *ycsb.Dataset) error {
+			sizes, names := datasetSchema(ds)
+			var cerr error
+			wr, cerr = Create(path, spec.Name, sizes, names, uint64(spec.Requests))
+			return cerr
+		},
+		func(keys []uint32, kinds []uint8) error { return wr.Append(keys, kinds) })
+	if err != nil {
+		if wr != nil {
+			wr.Close()
+			os.Remove(path)
+		}
+		return nil, err
+	}
+	if err := wr.Close(); err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	w, err := Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reopening generated trace: %w", err)
+	}
+	// The generated trace carries the full spec, not just the header's
+	// dimensions — layout previews and reports read it.
+	spec.Requests = w.Spec.Requests
+	w.Spec = spec
+	return w, nil
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Writer encodes a .mtrc trace incrementally: the schema header is
+// written up front from the declared dimensions, Append buffers ops and
+// emits a frame every FrameOps of them, and Close flushes the final
+// partial frame and verifies the declared request total was met. Memory
+// use is one frame regardless of trace length, which is what lets
+// cmd/workloadgen emit 100M+-op traces without holding them.
+type Writer struct {
+	dst     *bufio.Writer
+	closer  io.Closer // underlying file when created via Create; nil otherwise
+	keys    int
+	declare uint64
+	written uint64
+	closed  bool
+
+	n        int // buffered ops
+	bufKeys  [FrameOps]uint32
+	bufKinds [FrameOps]uint8
+	scratch  []byte // one encoded frame, reused
+}
+
+// NewWriter starts a .mtrc stream on dst. name is the workload name;
+// sizes is the per-key value-size table (its length is the key-space
+// size); keyNames supplies the per-key strings, or nil when every key
+// is the canonical generated name (ycsb.KeyName); requests is the op
+// total the frames must sum to. The header is written immediately.
+func NewWriter(dst io.Writer, name string, sizes []int32, keyNames []string, requests uint64) (*Writer, error) {
+	keys := len(sizes)
+	if keys == 0 || keys > MaxKeys {
+		return nil, fmt.Errorf("trace: key-space size %d outside [1, %d]", keys, MaxKeys)
+	}
+	if keyNames != nil && len(keyNames) != keys {
+		return nil, fmt.Errorf("trace: %d key names for %d keys", len(keyNames), keys)
+	}
+	if len(name) > MaxNameLen {
+		return nil, fmt.Errorf("trace: workload name length %d exceeds %d", len(name), MaxNameLen)
+	}
+	w := &Writer{
+		dst:     bufio.NewWriterSize(dst, 1<<16),
+		keys:    keys,
+		declare: requests,
+		scratch: make([]byte, 0, frameLen(FrameOps)),
+	}
+
+	var flags uint16
+	if keyNames == nil {
+		flags |= FlagCanonicalKeys
+	}
+	hdr := make([]byte, 0, fixedHeaderLen+len(name))
+	hdr = binary.LittleEndian.AppendUint16(hdr, flags)
+	hdr = append(hdr, OpKinds, 0)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(keys))
+	hdr = binary.LittleEndian.AppendUint64(hdr, requests)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(name)))
+	hdr = append(hdr, name...)
+	for _, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("trace: negative value size %d", s)
+		}
+		hdr = binary.LittleEndian.AppendUint32(hdr, uint32(s))
+	}
+	if keyNames != nil {
+		for _, kn := range keyNames {
+			if len(kn) > MaxNameLen {
+				return nil, fmt.Errorf("trace: key name length %d exceeds %d", len(kn), MaxNameLen)
+			}
+			hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(kn)))
+			hdr = append(hdr, kn...)
+		}
+	}
+
+	pre := make([]byte, 0, preludeLen)
+	pre = append(pre, Magic...)
+	pre = binary.LittleEndian.AppendUint16(pre, Version)
+	pre = binary.LittleEndian.AppendUint32(pre, uint32(len(hdr)))
+	if _, err := w.dst.Write(pre); err != nil {
+		return nil, err
+	}
+	if _, err := w.dst.Write(hdr); err != nil {
+		return nil, err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(hdr))
+	if _, err := w.dst.Write(crc[:]); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Create is NewWriter onto a freshly created file; Close closes it.
+func Create(path, name string, sizes []int32, keyNames []string, requests uint64) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f, name, sizes, keyNames, requests)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.closer = f
+	return w, nil
+}
+
+// Append buffers a batch of ops (keys[i] is a key index, kinds[i] its
+// op kind), emitting full frames as the buffer fills. Batches of any
+// length are accepted; frame boundaries are the writer's business.
+func (w *Writer) Append(keys []uint32, kinds []uint8) error {
+	if w.closed {
+		return fmt.Errorf("trace: Append after Close")
+	}
+	if len(keys) != len(kinds) {
+		return fmt.Errorf("trace: %d keys vs %d kinds", len(keys), len(kinds))
+	}
+	for i := range keys {
+		if int(keys[i]) >= w.keys {
+			return fmt.Errorf("trace: key index %d outside key space %d", keys[i], w.keys)
+		}
+		if kinds[i] >= OpKinds {
+			return fmt.Errorf("trace: op kind %d outside legend %d", kinds[i], OpKinds)
+		}
+		w.bufKeys[w.n] = keys[i]
+		w.bufKinds[w.n] = kinds[i]
+		w.n++
+		if w.n == FrameOps {
+			if err := w.flushFrame(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushFrame encodes and writes the buffered ops as one frame.
+func (w *Writer) flushFrame() error {
+	n := w.n
+	if n == 0 {
+		return nil
+	}
+	w.n = 0
+	w.written += uint64(n)
+	if w.written > w.declare {
+		return fmt.Errorf("trace: %d ops appended, %d declared", w.written, w.declare)
+	}
+	var flags uint8 = FrameReadWrite
+	for _, k := range w.bufKinds[:n] {
+		if k > 1 { // beyond Write: Delete (and any future structural kind)
+			flags &^= FrameReadWrite
+			break
+		}
+	}
+	buf := w.scratch[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = append(buf, flags)
+	for _, k := range w.bufKeys[:n] {
+		buf = binary.LittleEndian.AppendUint32(buf, k)
+	}
+	buf = append(buf, w.bufKinds[:n]...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	w.scratch = buf[:0]
+	_, err := w.dst.Write(buf)
+	return err
+}
+
+// Close flushes the final partial frame, verifies the op total matches
+// the declared request count, flushes buffered bytes and closes the
+// underlying file if Create opened one.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.flushFrame()
+	if err == nil && w.written != w.declare {
+		err = fmt.Errorf("trace: %d ops written, %d declared", w.written, w.declare)
+	}
+	if ferr := w.dst.Flush(); err == nil {
+		err = ferr
+	}
+	if w.closer != nil {
+		if cerr := w.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

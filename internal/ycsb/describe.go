@@ -40,7 +40,7 @@ func Describe(w *Workload) Profile {
 	p := Profile{
 		Name:         w.Spec.Name,
 		Keys:         len(w.Dataset.Records),
-		Requests:     len(w.Ops),
+		Requests:     w.RequestCount(),
 		ReadFraction: w.ReadFraction(),
 		TotalBytes:   w.Dataset.TotalBytes,
 	}

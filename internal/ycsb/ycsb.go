@@ -10,6 +10,7 @@ package ycsb
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sync"
@@ -217,16 +218,45 @@ type Op struct {
 }
 
 // Workload is a generated dataset plus request trace — the full workload
-// descriptor Mnemo consumes.
+// descriptor Mnemo consumes. The trace has three possible backings, in
+// lookup order: materialized Ops, the packed struct-of-arrays encoding
+// (shard sub-workloads), or a Stream (an on-disk .mtrc trace yielded
+// frame by frame, for traces larger than memory).
 type Workload struct {
 	Spec    Spec
 	Dataset Dataset
 	Ops     []Op
 
+	// Stream backs the trace with an external frame source instead of
+	// in-memory ops. A streamed workload has nil Ops and a nil packed
+	// encoding; replay consumes frames directly (internal/client), and
+	// the trace-wide helpers below iterate the stream.
+	Stream TraceStream
+
 	// packed caches the struct-of-arrays trace encoding; built at most
 	// once (Packed), shared by every deployment replaying this workload.
 	packedOnce sync.Once
 	packed     *PackedTrace
+}
+
+// FrameIter yields a trace's frames in order. The returned slices alias
+// iterator-owned buffers valid until the next call; rw reports that the
+// frame holds only Read and Write ops (the batched kernel's per-frame
+// precondition). The iterator ends with io.EOF.
+type FrameIter interface {
+	Next() (keys []uint32, kinds []uint8, rw bool, err error)
+}
+
+// TraceStream is a re-iterable source of trace frames — the contract an
+// on-disk trace (internal/trace) satisfies. Frames must return a fresh,
+// independent iterator positioned at the first frame on every call:
+// repetitions, retried shards and trace-wide statistics each stream the
+// trace again from the start.
+type TraceStream interface {
+	// Requests is the total op count across all frames.
+	Requests() int
+	// Frames starts a new iteration from the first frame.
+	Frames() (FrameIter, error)
 }
 
 // PackedTrace is the struct-of-arrays encoding of a request trace for
@@ -254,6 +284,10 @@ func (t *PackedTrace) Batchable() bool { return t != nil && t.readWriteOnly }
 // callers must not mutate it, and it goes stale if Ops is modified after
 // the first call.
 func (w *Workload) Packed() *PackedTrace {
+	if w.Stream != nil {
+		// A streamed trace is never materialized; replay consumes frames.
+		return nil
+	}
 	w.packedOnce.Do(func() {
 		if len(w.Dataset.Records) > math.MaxUint32 {
 			return
@@ -298,10 +332,14 @@ func FromPacked(spec Spec, ds Dataset, keys []uint32, kinds []uint8) *Workload {
 }
 
 // RequestCount returns the trace length regardless of representation:
-// Ops when materialized, the packed encoding otherwise.
+// Ops when materialized, the stream's declared total, or the packed
+// encoding.
 func (w *Workload) RequestCount() int {
 	if w.Ops != nil {
 		return len(w.Ops)
+	}
+	if w.Stream != nil {
+		return w.Stream.Requests()
 	}
 	if pt := w.Packed(); pt != nil {
 		return len(pt.Keys)
@@ -309,29 +347,59 @@ func (w *Workload) RequestCount() int {
 	return 0
 }
 
-// Generate builds the workload deterministically from its spec and seed.
-func Generate(spec Spec) (*Workload, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(spec.Seed))
-	sizes := spec.Sizes.New()
-	ds := Dataset{Records: make([]Record, spec.Keys)}
-	for i := range ds.Records {
-		key := KeyName(i)
-		size := sizes.Next(rng)
-		ds.Records[i] = Record{Key: key, ID: kvstore.KeyID(key), Size: size}
-		ds.TotalBytes += int64(size)
-	}
-	chooser := spec.Dist.New(spec.Keys, spec.Requests)
-	ops := make([]Op, spec.Requests)
-	for i := range ops {
-		k := chooser.Next(rng)
-		kind := kvstore.Read
-		if rng.Float64() >= spec.ReadRatio {
-			kind = kvstore.Write
+// ForEachOp visits every trace op in order, whichever backing the trace
+// has: materialized Ops, the packed encoding, or a stream (iterated
+// frame by frame in O(frame) memory). It is the trace-wide iteration
+// primitive behind AccessCounts, TouchOrder and ReadFraction, and the
+// one policies should use instead of reaching for w.Ops. The only error
+// source is a stream that fails to decode.
+func (w *Workload) ForEachOp(fn func(key int, kind kvstore.OpKind)) error {
+	switch {
+	case w.Ops != nil:
+		for _, op := range w.Ops {
+			fn(op.Key, op.Kind)
 		}
-		ops[i] = Op{Key: k, Kind: kind}
+	case w.Stream != nil:
+		it, err := w.Stream.Frames()
+		if err != nil {
+			return err
+		}
+		for {
+			keys, kinds, _, err := it.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			for i := range keys {
+				fn(int(keys[i]), kvstore.OpKind(kinds[i]))
+			}
+		}
+	default:
+		if pt := w.Packed(); pt != nil {
+			for i := range pt.Keys {
+				fn(int(pt.Keys[i]), kvstore.OpKind(pt.Kinds[i]))
+			}
+		}
+	}
+	return nil
+}
+
+// Generate builds the workload deterministically from its spec and
+// seed. It is GenerateStream with the frames materialized — one
+// implementation, so the in-memory and streamed op sequences cannot
+// drift.
+func Generate(spec Spec) (*Workload, error) {
+	ops := make([]Op, 0, spec.Requests)
+	ds, err := GenerateStream(spec, nil, func(keys []uint32, kinds []uint8) error {
+		for i := range keys {
+			ops = append(ops, Op{Key: int(keys[i]), Kind: kvstore.OpKind(kinds[i])})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Workload{Spec: spec, Dataset: ds, Ops: ops}, nil
 }
@@ -346,17 +414,20 @@ func MustGenerate(spec Spec) *Workload {
 }
 
 // AccessCounts tallies per-key read and write counts over the trace —
-// the Req(keys) relationship the Pattern Engine extracts.
+// the Req(keys) relationship the Pattern Engine extracts. It works on
+// every trace backing (Ops, packed, stream); a stream that fails to
+// decode mid-iteration yields the counts accumulated so far — replay of
+// the same stream surfaces the error loudly.
 func (w *Workload) AccessCounts() (reads, writes []int) {
 	reads = make([]int, len(w.Dataset.Records))
 	writes = make([]int, len(w.Dataset.Records))
-	for _, op := range w.Ops {
-		if op.Kind == kvstore.Read {
-			reads[op.Key]++
+	_ = w.ForEachOp(func(key int, kind kvstore.OpKind) {
+		if kind == kvstore.Read {
+			reads[key]++
 		} else {
-			writes[op.Key]++
+			writes[key]++
 		}
-	}
+	})
 	return reads, writes
 }
 
@@ -367,12 +438,12 @@ func (w *Workload) AccessCounts() (reads, writes []int) {
 func (w *Workload) TouchOrder() []int {
 	seen := make([]bool, len(w.Dataset.Records))
 	order := make([]int, 0, len(w.Dataset.Records))
-	for _, op := range w.Ops {
-		if !seen[op.Key] {
-			seen[op.Key] = true
-			order = append(order, op.Key)
+	_ = w.ForEachOp(func(key int, _ kvstore.OpKind) {
+		if !seen[key] {
+			seen[key] = true
+			order = append(order, key)
 		}
-	}
+	})
 	for i := range seen {
 		if !seen[i] {
 			order = append(order, i)
@@ -390,6 +461,11 @@ func (w *Workload) TouchOrder() []int {
 func (w *Workload) Downsample(factor int, seed int64) *Workload {
 	if factor <= 0 {
 		panic(fmt.Sprintf("ycsb: downsample factor %d must be positive", factor))
+	}
+	if w.Stream != nil {
+		// Downsampling materializes the surviving ops; a streamed trace
+		// must be regenerated (or captured) at the reduced rate instead.
+		panic("ycsb: downsample is not supported on streamed traces")
 	}
 	out := &Workload{Spec: w.Spec, Dataset: w.Dataset}
 	out.Spec.Name = fmt.Sprintf("%s/ds%d", w.Spec.Name, factor)
@@ -410,16 +486,81 @@ func (w *Workload) Downsample(factor int, seed int64) *Workload {
 	return out
 }
 
-// ReadFraction reports the measured fraction of reads in the trace.
+// ReadFraction reports the measured fraction of reads in the trace, on
+// any trace backing.
 func (w *Workload) ReadFraction() float64 {
-	if len(w.Ops) == 0 {
-		return 0
-	}
-	reads := 0
-	for _, op := range w.Ops {
-		if op.Kind == kvstore.Read {
+	reads, total := 0, 0
+	_ = w.ForEachOp(func(_ int, kind kvstore.OpKind) {
+		total++
+		if kind == kvstore.Read {
 			reads++
 		}
+	})
+	if total == 0 {
+		return 0
 	}
-	return float64(reads) / float64(len(w.Ops))
+	return float64(reads) / float64(total)
+}
+
+// StreamFrameOps is the frame granularity of GenerateStream, equal to
+// the batched replay kernel's block size and the .mtrc frame bound.
+const StreamFrameOps = 4096
+
+// GenerateStream is Generate for traces too large to materialize: the
+// dataset is built eagerly (it is O(keys), the part every consumer
+// needs resident) and the request trace is emitted through the emit
+// callback in StreamFrameOps-sized batches, using memory bounded by one
+// batch. begin, if non-nil, runs once between the dataset build and the
+// first frame — a trace writer uses it to emit its schema header, whose
+// value-size table comes from the dataset. The op sequence is
+// bit-identical to Generate's for the same spec — the RNG draw order is
+// the same — so a trace written through emit replays exactly like the
+// in-memory workload.
+func GenerateStream(spec Spec, begin func(ds *Dataset) error, emit func(keys []uint32, kinds []uint8) error) (Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return Dataset{}, err
+	}
+	if spec.Keys > math.MaxUint32 {
+		return Dataset{}, fmt.Errorf("ycsb: spec %q: %d keys exceed the packed key index range", spec.Name, spec.Keys)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	sizes := spec.Sizes.New()
+	ds := Dataset{Records: make([]Record, spec.Keys)}
+	for i := range ds.Records {
+		key := KeyName(i)
+		size := sizes.Next(rng)
+		ds.Records[i] = Record{Key: key, ID: kvstore.KeyID(key), Size: size}
+		ds.TotalBytes += int64(size)
+	}
+	if begin != nil {
+		if err := begin(&ds); err != nil {
+			return Dataset{}, err
+		}
+	}
+	chooser := spec.Dist.New(spec.Keys, spec.Requests)
+	var keys [StreamFrameOps]uint32
+	var kinds [StreamFrameOps]uint8
+	n := 0
+	for i := 0; i < spec.Requests; i++ {
+		k := chooser.Next(rng)
+		kind := kvstore.Read
+		if rng.Float64() >= spec.ReadRatio {
+			kind = kvstore.Write
+		}
+		keys[n] = uint32(k)
+		kinds[n] = uint8(kind)
+		n++
+		if n == StreamFrameOps {
+			if err := emit(keys[:n], kinds[:n]); err != nil {
+				return Dataset{}, err
+			}
+			n = 0
+		}
+	}
+	if n > 0 {
+		if err := emit(keys[:n], kinds[:n]); err != nil {
+			return Dataset{}, err
+		}
+	}
+	return ds, nil
 }

@@ -35,6 +35,7 @@ import (
 	"mnemo/internal/server"
 	"mnemo/internal/shard"
 	"mnemo/internal/simclock"
+	"mnemo/internal/trace"
 	"mnemo/internal/ycsb"
 )
 
@@ -436,6 +437,9 @@ func ProfileContext(ctx context.Context, w *Workload, opts Options) (*Report, er
 	if err != nil {
 		return nil, err
 	}
+	if w != nil && w.Stream != nil && opts.EpochOps > 0 {
+		return nil, fmt.Errorf("mnemo: EpochOps (adaptive replay) does not support streamed traces; materialize the workload or set EpochOps to 0")
+	}
 	pol, err := opts.resolvePolicy(opts.Obs)
 	if err != nil {
 		return nil, err
@@ -672,6 +676,42 @@ func DescribeWorkload(w *Workload) WorkloadProfile { return ycsb.Describe(w) }
 // LoadWorkloadCSV reads a workload trace in the mnemo-workload v1 CSV
 // format (as produced by Workload.WriteCSV or cmd/workloadgen).
 func LoadWorkloadCSV(r io.Reader) (*Workload, error) { return ycsb.ReadCSV(r) }
+
+// OpenTrace opens a binary .mtrc trace (as produced by cmd/workloadgen
+// -o trace.mtrc, or WriteTrace) as a streamed workload: the dataset is
+// reconstructed from the schema header and the request trace stays on
+// disk, replayed frame by frame in O(frame) resident memory — traces
+// far larger than RAM profile fine. Streamed workloads measure through
+// every pipeline except adaptive replay (Options.EpochOps must be 0).
+func OpenTrace(path string) (*Workload, error) { return trace.Open(path) }
+
+// WriteTrace spills a workload's trace to a binary .mtrc file, whatever
+// its in-memory backing. Key names round-trip (generated canonical
+// names are elided from the file; imported names are carried per key).
+func WriteTrace(w *Workload, path string) error { return trace.WriteWorkload(w, path) }
+
+// ValidateTrace schema-checks a .mtrc file — every header field, frame
+// checksum, key index and op kind — without building a workload, and
+// reports its dimensions. It shares no decode code with the streaming
+// reader, so the two implementations cross-check each other.
+func ValidateTrace(path string) (TraceSummary, error) {
+	s, err := trace.ValidateFile(path)
+	if err != nil {
+		return TraceSummary{}, err
+	}
+	return TraceSummary{Name: s.Header.Name, Keys: s.Header.Keys,
+		Requests: int64(s.Header.Requests), Frames: s.Frames,
+		ReadWriteFrames: s.RWFrames}, nil
+}
+
+// TraceSummary reports a validated .mtrc trace's dimensions.
+type TraceSummary struct {
+	Name            string
+	Keys            int
+	Requests        int64
+	Frames          int
+	ReadWriteFrames int
+}
 
 // LoadRedisMonitor imports a workload descriptor from a Redis MONITOR
 // capture — the practical way to collect a production cache's key and
