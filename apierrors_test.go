@@ -65,6 +65,12 @@ func TestOptionsValidation(t *testing.T) {
 		{"epochs on static-only policy", Options{EpochOps: 4096, Policy: "mnemot"}, "static-only"},
 		{"epochs on default policy", Options{EpochOps: 4096}, "static-only"},
 		{"epochs on unknown policy", Options{EpochOps: 4096, Policy: "no_such"}, "unknown policy"},
+		{"unknown policy param", Options{Policy: "freqdecay", PolicyParams: map[string]float64{"rate": 3}}, `unknown param "rate"`},
+		{"param below min", Options{Policy: "freqdecay", PolicyParams: map[string]float64{"decay": 0}}, "outside [0.01,1]"},
+		{"param above max", Options{Policy: "knapsack", PolicyParams: map[string]float64{"rungs": 9}}, "outside [1,6]"},
+		{"fractional integer param", Options{Policy: "freqdecay", PolicyParams: map[string]float64{"epochs": 2.5}}, "must be an integer"},
+		{"params on fixed policy", Options{Policy: "mnemot", PolicyParams: map[string]float64{"decay": 0.5}}, "no tunable parameters"},
+		{"params on default policy", Options{PolicyParams: map[string]float64{"decay": 0.5}}, "no tunable parameters"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -79,6 +85,45 @@ func TestOptionsValidation(t *testing.T) {
 	// PriceFactor 1 is the edge of the legal (0,1] range.
 	if _, err := Profile(w, Options{PriceFactor: 1}); err != nil {
 		t.Fatalf("PriceFactor 1 rejected: %v", err)
+	}
+}
+
+// TestTuneOptionErrors exercises the Tune entry point's rejections —
+// both its own option checks and the search config validation below it.
+func TestTuneOptionErrors(t *testing.T) {
+	w := tinyAPIWorkload(t)
+	ctx := context.Background()
+	cases := []struct {
+		name  string
+		opts  Options
+		topts TuneOptions
+		want  string
+	}{
+		{"missing SLO", Options{}, TuneOptions{}, "SLO"},
+		{"policy pinned", Options{SLO: 0.1, Policy: "mnemot"}, TuneOptions{}, "TuneOptions.Policies"},
+		{"params pinned", Options{SLO: 0.1, PolicyParams: map[string]float64{"decay": 0.5}}, TuneOptions{}, "TuneOptions.Policies"},
+		{"adaptive measurement", Options{SLO: 0.1, EpochOps: 4096}, TuneOptions{}, "statically"},
+		{"bad measurement opts", Options{SLO: 0.1, Runs: -1}, TuneOptions{}, "Runs"},
+		{"negative budget", Options{SLO: 0.1}, TuneOptions{Budget: -1}, "Budget"},
+		{"excess budget", Options{SLO: 0.1}, TuneOptions{Budget: 1 << 30}, "above the cap"},
+		{"negative workers", Options{SLO: 0.1}, TuneOptions{Workers: -1}, "Workers"},
+		{"unknown search policy", Options{SLO: 0.1}, TuneOptions{Policies: []string{"nope"}}, "unknown policy"},
+		{"duplicate search policy", Options{SLO: 0.1}, TuneOptions{Policies: []string{"touch", "touch"}}, "listed twice"},
+		{"budget below policies", Options{SLO: 0.1}, TuneOptions{Budget: 3}, "below the 8 policies"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Tune(ctx, w, tc.opts, tc.topts); err == nil {
+				t.Fatalf("options %+v / %+v accepted", tc.opts, tc.topts)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// TuneWithSpec validates the recipe too.
+	if _, _, err := TuneWithSpec(ctx, TuneWorkloadRecipe{Name: "no_such"}, Options{SLO: 0.1}, TuneOptions{}); err == nil {
+		t.Fatal("unknown recipe accepted by TuneWithSpec")
 	}
 }
 

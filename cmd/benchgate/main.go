@@ -80,6 +80,12 @@ var gates = []gate{
 	// holds streamed replay within the format's acceptance bar of the
 	// in-memory path rather than the global ±25% envelope.
 	{Bench: "BenchmarkReplayStreamed", Legacy: "Batched", Current: "Streamed", Metric: "ns/req", Tolerance: 0.10},
+	// mnemo-tune's reason to exist: the naive sweep measures a fresh
+	// Fast+Slow baseline for every candidate config, the memoized sweep
+	// shares one content-addressed measurement across all 32. Each
+	// iteration starts from a cold ArtifactCache, so the ratio is pure
+	// within-sweep memoization.
+	{Bench: "BenchmarkTuneSweep", Legacy: "Naive", Current: "Memoized", Metric: "ns/op"},
 }
 
 func main() {

@@ -11,7 +11,7 @@
 //	fig8a fig8b fig8c fig8d fig8f fig9 table4 downsample
 //	ablation-llc ablation-noise ablation-knapsack ablation-anchor
 //	ablation-sizeaware modeb policy-compare adaptive-compare ext-tails
-//	ext-tech ycsb-core cluster-sweep
+//	ext-tech ycsb-core cluster-sweep tune-sweep
 //
 // Flags:
 //
@@ -225,6 +225,10 @@ var all = []experiment{
 		r, err := experiments.ClusterSweep(s, seed)
 		return renderTo(w, r, err)
 	}},
+	{"tune-sweep", func(s experiments.Scale, seed int64, w io.Writer) error {
+		r, err := experiments.TuneSweep(s, seed)
+		return renderTo(w, r, err)
+	}},
 }
 
 func main() {
@@ -328,10 +332,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *listPolicies {
+		var entries []report.CatalogEntry
 		for _, e := range registry.Entries() {
-			fmt.Fprintf(stdout, "%-12s %s\n", e.Name, e.Description)
+			ce := report.CatalogEntry{Name: e.Name, Description: e.Description}
+			for _, p := range e.Params {
+				ce.Params = append(ce.Params, report.CatalogParam{
+					Name: p.Name, Min: p.Min, Max: p.Max, Default: p.Default,
+					Integer: p.Integer, Log: p.Log, Description: p.Description,
+				})
+			}
+			entries = append(entries, ce)
 		}
-		return nil
+		return report.PolicyCatalog(stdout, entries)
 	}
 	scale := experiments.Full
 	if *quick {

@@ -208,3 +208,28 @@ func TestRunClusterShardFaultFlags(t *testing.T) {
 		t.Error("cluster sweep output missing under shard chaos")
 	}
 }
+
+func TestRunTuneSweepQuick(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "7", "tune-sweep"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"mnemo-tune search", "trending", "news_feed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tune-sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunListPoliciesParams(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list-policies"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"knapsack", "anchor", "rungs", "decay", "default 3"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("catalog missing %q:\n%s", want, stdout.String())
+		}
+	}
+}

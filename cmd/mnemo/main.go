@@ -18,7 +18,11 @@
 //	-policy name      tiering policy (see -list-policies; default touch)
 //	-compare a,b,...  profile extra policies against the same baseline
 //	                  measurement; comparison lands on stderr and in -html
-//	-list-policies    print the tiering-policy catalog and exit
+//	-list-policies    print the tiering-policy catalog (with each
+//	                  policy's tunable parameter space) and exit
+//	-config file      replay a tuned-config spec written by
+//	                  cmd/mnemo-tune and verify its advised outcome
+//	                  bit-identically; composes with -o for the curve
 //	-mode name        deprecated alias: standalone | mnemot
 //	-slo pct          permissible slowdown, e.g. 0.10 (0 = no advice)
 //	-p factor         SlowMem:FastMem per-byte price ratio (default 0.2)
@@ -110,15 +114,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		monitor      = fs.Bool("monitor", false, "with -workload -, parse stdin as a Redis MONITOR capture")
 		defSize      = fs.Int("default-size", 1024, "record size for keys a MONITOR capture never writes")
 		metrics      = fs.String("metrics", "", "dump run metrics (Prometheus text format) to this file ('-' = stderr)")
+		configPath   = fs.String("config", "", "replay a tuned-config spec (cmd/mnemo-tune JSON) and verify it bit-identically")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *listPol {
-		for _, p := range mnemo.Policies() {
-			fmt.Fprintf(stdout, "%-12s %s\n", p.Name, p.Description)
-		}
-		return nil
+		return report.PolicyCatalog(stdout, policyCatalog())
+	}
+	if *configPath != "" {
+		return replayTunedConfig(*configPath, *outPath, stdout, stderr)
 	}
 	policyName, err := resolvePolicyName(*policy, *mode)
 	if err != nil {
@@ -294,6 +299,66 @@ func dumpMetrics(path string, sink *mnemo.Sink, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "metrics written to %s\n", path)
 	}
 	return report.ObsTimeline(stderr, sink)
+}
+
+// replayTunedConfig regenerates a tuned spec's workload, re-evaluates
+// the tuned policy configuration and verifies the advised outcome
+// matches the spec's expected block bit-identically — the reproduction
+// contract of cmd/mnemo-tune. The replayed estimate curve lands on
+// outPath like a normal profiling run's.
+func replayTunedConfig(path, outPath string, stdout, stderr io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	spec, err := mnemo.DecodeTuneSpec(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("-config %s: %w", path, err)
+	}
+	ev, err := mnemo.ReplayTuneSpec(context.Background(), spec)
+	if err != nil {
+		return fmt.Errorf("-config %s: %w", path, err)
+	}
+	fmt.Fprintf(stderr, "tuned spec %s: %s (seed %d) on %s, policy %s\n",
+		path, spec.Workload.Name, spec.Workload.Seed, spec.Engine, ev.PolicyName)
+	fmt.Fprintf(stderr,
+		"replay matches the spec bit-identically: cost %.4f of FastMem-only, slowdown %.4f (SLO %.0f%%), %s FastMem (%d keys)\n",
+		ev.CostFactor, ev.Slowdown, spec.SLO*100, report.FormatBytes(ev.FastBytes), ev.KeysInFast)
+	switch outPath {
+	case "":
+		return nil
+	case "-":
+		return ev.Curve().WriteCSV(stdout)
+	default:
+		out, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := ev.Curve().WriteCSV(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "curve written to %s\n", outPath)
+		return nil
+	}
+}
+
+// policyCatalog adapts the public policy listing (descriptions plus
+// tunable parameter spaces) for -list-policies rendering.
+func policyCatalog() []report.CatalogEntry {
+	var out []report.CatalogEntry
+	for _, p := range mnemo.Policies() {
+		e := report.CatalogEntry{Name: p.Name, Description: p.Description}
+		for _, pr := range p.Params {
+			e.Params = append(e.Params, report.CatalogParam{
+				Name: pr.Name, Min: pr.Min, Max: pr.Max, Default: pr.Default,
+				Integer: pr.Integer, Log: pr.Log, Description: pr.Description,
+			})
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // resolvePolicyName folds the deprecated -mode spelling into -policy.

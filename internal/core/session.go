@@ -25,6 +25,17 @@ type Session struct {
 	cfg Config // normalized
 	w   *ycsb.Workload
 
+	// shared, when non-nil, is the cross-session content-addressed
+	// artifact store (NewSharedSession): artifacts missing from this
+	// session's own cache are served from — and computed into — the
+	// shared cache under (workload hash, config)-derived keys, so
+	// sessions differing only in policy parameters share one baseline
+	// measurement. whash memoizes the workload fingerprint (guarded by
+	// mu; valid when whashed).
+	shared  *ArtifactCache
+	whash   uint64
+	whashed bool
+
 	mu        sync.Mutex
 	baselines *Baselines
 	measures  int // completed Measure executions (see MeasureCount)
@@ -49,6 +60,35 @@ func NewSession(cfg Config, w *ycsb.Workload) (*Session, error) {
 		orderings: map[string]Ordering{},
 		curves:    map[string]*Curve{},
 	}, nil
+}
+
+// NewSharedSession is NewSession backed by a cross-session artifact
+// cache: the session's Measure/Analyze/Estimate artifacts are keyed by
+// content (workload hash, measurement config, policy name) in the cache,
+// so any number of sessions over the same workload — one per candidate
+// config, say — execute exactly one Fast+Slow baseline measurement
+// between them. A nil cache degrades to a plain session.
+func NewSharedSession(cfg Config, w *ycsb.Workload, cache *ArtifactCache) (*Session, error) {
+	s, err := NewSession(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	s.shared = cache
+	return s, nil
+}
+
+// workloadHashLocked resolves the session's workload fingerprint through
+// the shared cache (which memoizes it per workload pointer).
+func (s *Session) workloadHashLocked() (uint64, error) {
+	if s.whashed {
+		return s.whash, nil
+	}
+	h, err := s.shared.WorkloadHash(s.w)
+	if err != nil {
+		return 0, fmt.Errorf("core: hashing workload: %w", err)
+	}
+	s.whash, s.whashed = h, true
+	return h, nil
 }
 
 // sink returns the session's observability sink (nil when the config
@@ -87,6 +127,37 @@ func (s *Session) measureLocked(ctx context.Context) (Baselines, error) {
 		s.cacheHit("baselines", "Fast+Slow baselines")
 		return *s.baselines, nil
 	}
+	if s.shared != nil {
+		whash, err := s.workloadHashLocked()
+		if err != nil {
+			return Baselines{}, err
+		}
+		b, computed, err := s.shared.sharedBaselines(whash, s.cfg, func() (Baselines, error) {
+			return s.runMeasurement(ctx)
+		})
+		if err != nil {
+			return Baselines{}, err
+		}
+		if !computed {
+			s.cacheHit("baselines", "shared artifact cache")
+		} else {
+			s.measures++
+		}
+		s.baselines = &b
+		return b, nil
+	}
+	b, err := s.runMeasurement(ctx)
+	if err != nil {
+		return Baselines{}, err
+	}
+	s.baselines = &b
+	s.measures++
+	return b, nil
+}
+
+// runMeasurement executes the Sensitivity Engine's Fast+Slow baseline
+// sweep — the expensive stage everything above caches.
+func (s *Session) runMeasurement(ctx context.Context) (Baselines, error) {
 	span := s.sink().StartSpan("measure")
 	se, err := NewSensitivityEngine(s.cfg)
 	if err != nil {
@@ -97,8 +168,6 @@ func (s *Session) measureLocked(ctx context.Context) (Baselines, error) {
 		return Baselines{}, err
 	}
 	span.End(b.Fast.Runtime + b.Slow.Runtime)
-	s.baselines = &b
-	s.measures++
 	return b, nil
 }
 
@@ -128,6 +197,34 @@ func (s *Session) analyzeLocked(ctx context.Context, p TieringPolicy) (Ordering,
 		s.cacheHit("ordering", "policy "+p.Name())
 		return ord, nil
 	}
+	if s.shared != nil {
+		whash, err := s.workloadHashLocked()
+		if err != nil {
+			return Ordering{}, err
+		}
+		ord, computed, err := s.shared.sharedOrdering(whash, p.Name(), s.cfg.Server.Seed, func() (Ordering, error) {
+			return s.runAnalyze(ctx, p)
+		})
+		if err != nil {
+			return Ordering{}, err
+		}
+		if !computed {
+			s.cacheHit("ordering", "shared artifact cache, policy "+p.Name())
+		}
+		s.orderings[p.Name()] = ord
+		return ord, nil
+	}
+	ord, err := s.runAnalyze(ctx, p)
+	if err != nil {
+		return Ordering{}, err
+	}
+	s.orderings[p.Name()] = ord
+	return ord, nil
+}
+
+// runAnalyze executes the policy's Pattern Engine and validates the
+// resulting ordering covers the dataset.
+func (s *Session) runAnalyze(ctx context.Context, p TieringPolicy) (Ordering, error) {
 	span := s.sink().StartSpan("analyze")
 	ord, err := p.Order(ctx, s.w)
 	if err != nil {
@@ -138,7 +235,6 @@ func (s *Session) analyzeLocked(ctx context.Context, p TieringPolicy) (Ordering,
 			p.Name(), len(ord.Keys), len(s.w.Dataset.Records))
 	}
 	span.End(0)
-	s.orderings[p.Name()] = ord
 	return ord, nil
 }
 
@@ -160,6 +256,10 @@ func (s *Session) estimateLocked(ctx context.Context, p TieringPolicy) (*Curve, 
 		s.cacheHit("curve", "policy "+p.Name())
 		return c, nil
 	}
+	// Run (and Report assembly generally) reads the baselines and
+	// ordering artifacts directly, so resolve them even when the curve
+	// itself will be a shared-cache hit — through the shared cache these
+	// are hits too, never new measurements.
 	b, err := s.measureLocked(ctx)
 	if err != nil {
 		return nil, err
@@ -168,20 +268,41 @@ func (s *Session) estimateLocked(ctx context.Context, p TieringPolicy) (*Curve, 
 	if err != nil {
 		return nil, err
 	}
-	// The estimate span covers only the curve construction itself; the
-	// measure and analyze stages it may trigger record their own spans.
-	span := s.sink().StartSpan("estimate")
-	ee, err := NewEstimateEngine(s.cfg.PriceFactor)
+	build := func() (*Curve, error) {
+		// The estimate span covers only the curve construction itself;
+		// the measure and analyze stages it may trigger record their own
+		// spans.
+		span := s.sink().StartSpan("estimate")
+		ee, err := NewEstimateEngine(s.cfg.PriceFactor)
+		if err != nil {
+			return nil, err
+		}
+		ee.SetSizeAware(s.cfg.SizeAwareEstimate)
+		c, err := ee.Curve(s.w, b, ord)
+		if err != nil {
+			return nil, err
+		}
+		span.End(0)
+		s.sink().Eventf(obs.EventCurveBuilt, "estimate", 0, "policy %s: %d curve points", p.Name(), len(c.Points))
+		return c, nil
+	}
+	var c *Curve
+	if s.shared != nil {
+		whash, herr := s.workloadHashLocked()
+		if herr != nil {
+			return nil, herr
+		}
+		var computed bool
+		c, computed, err = s.shared.sharedCurve(whash, s.cfg, p.Name(), build)
+		if err == nil && !computed {
+			s.cacheHit("curve", "shared artifact cache, policy "+p.Name())
+		}
+	} else {
+		c, err = build()
+	}
 	if err != nil {
 		return nil, err
 	}
-	ee.SetSizeAware(s.cfg.SizeAwareEstimate)
-	c, err := ee.Curve(s.w, b, ord)
-	if err != nil {
-		return nil, err
-	}
-	span.End(0)
-	s.sink().Eventf(obs.EventCurveBuilt, "estimate", 0, "policy %s: %d curve points", p.Name(), len(c.Points))
 	s.curves[p.Name()] = c
 	return c, nil
 }

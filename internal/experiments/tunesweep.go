@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"mnemo/internal/report"
+	"mnemo/internal/server"
+	"mnemo/internal/tune"
+	"mnemo/internal/ycsb"
+)
+
+// TuneSweepRow is one workload's tuning outcome.
+type TuneSweepRow struct {
+	Workload string
+	// Evals is how many candidate configurations the search evaluated.
+	Evals int
+	// Measurements is how many Fast+Slow baseline measurements those
+	// evaluations actually executed; the artifact cache guarantees 1.
+	// A naive sweep would execute Evals of them.
+	Measurements int64
+	// BestDefault / DefaultCost name the cheapest registered policy at
+	// default parameters and its advised cost factor.
+	BestDefault string
+	DefaultCost float64
+	// Winner / WinnerCost are the tuned configuration and its cost.
+	Winner     string
+	WinnerCost float64
+	// Gain is DefaultCost − WinnerCost (positive = tuning beat every
+	// default).
+	Gain float64
+}
+
+// TuneSweepResult summarizes mnemo-tune's search across the stock
+// workloads: what the tuned configuration saves over the best
+// default-parameter policy, and how memoization collapses the sweep's
+// measurement bill to one baseline per workload.
+type TuneSweepResult struct {
+	Engine server.Engine
+	SLO    float64
+	Budget int
+	Rows   []TuneSweepRow
+}
+
+// TuneSweep runs the mnemo-tune search (DESIGN.md §17) on two stock
+// workloads at this scale and reports the winner against the
+// default-parameter baselines. Each workload gets its own tuner so the
+// per-workload measurement count is visible; within a workload every
+// candidate shares one memoized baseline measurement.
+func TuneSweep(scale Scale, seed int64) (*TuneSweepResult, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	budget := 48
+	if scale.Name == "quick" {
+		budget = 16
+	}
+	res := &TuneSweepResult{Engine: server.RedisLike, SLO: SLO, Budget: budget}
+	for _, spec := range []ycsb.Spec{ycsb.Trending(seed), ycsb.NewsFeed(seed)} {
+		w, err := scale.workload(spec)
+		if err != nil {
+			return nil, err
+		}
+		cfg := tune.Config{
+			Core:   scale.coreConfig(server.RedisLike, seed),
+			SLO:    SLO,
+			Budget: budget,
+			Seed:   seed,
+		}
+		r, err := tune.New().Run(context.Background(), cfg, w)
+		if err != nil {
+			return nil, fmt.Errorf("tune %s: %w", w.Spec.Name, err)
+		}
+		res.Rows = append(res.Rows, TuneSweepRow{
+			Workload:     w.Spec.Name,
+			Evals:        len(r.Evals),
+			Measurements: r.Stats.Measurements,
+			BestDefault:  r.Defaults[0].PolicyName,
+			DefaultCost:  r.Defaults[0].CostFactor,
+			Winner:       r.Winner.PolicyName,
+			WinnerCost:   r.Winner.CostFactor,
+			Gain:         r.Gain(),
+		})
+	}
+	return res, nil
+}
+
+// Render implements the experiment output.
+func (r *TuneSweepResult) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("mnemo-tune search (%s, %.0f%% SLO, budget %d; memoized baselines)",
+			engineLabel(r.Engine), r.SLO*100, r.Budget),
+		"workload", "evals", "measurements", "best default", "cost", "tuned winner", "cost", "gain")
+	for _, row := range r.Rows {
+		t.AddRow(row.Workload, row.Evals, row.Measurements,
+			row.BestDefault, fmt.Sprintf("%.4f", row.DefaultCost),
+			row.Winner, fmt.Sprintf("%.4f", row.WinnerCost),
+			fmt.Sprintf("%+.4f", row.Gain))
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The tune-sweep experiment amortizes every candidate onto one baseline
+// measurement per workload, and its winner never loses to the best
+// default-parameter policy.
+func TestTuneSweepQuick(t *testing.T) {
+	res, err := TuneSweep(Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 workload rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Measurements != 1 {
+			t.Errorf("%s: %d baseline measurements, want 1 (memoization broke)",
+				row.Workload, row.Measurements)
+		}
+		if row.Evals < len(res.Rows) {
+			t.Errorf("%s: only %d evals", row.Workload, row.Evals)
+		}
+		if row.WinnerCost > row.DefaultCost {
+			t.Errorf("%s: winner cost %v worse than best default %v",
+				row.Workload, row.WinnerCost, row.DefaultCost)
+		}
+		if row.Gain != row.DefaultCost-row.WinnerCost {
+			t.Errorf("%s: gain %v inconsistent with costs", row.Workload, row.Gain)
+		}
+	}
+	var out strings.Builder
+	if err := res.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mnemo-tune search", "trending", "news_feed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}

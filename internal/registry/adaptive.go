@@ -84,10 +84,20 @@ func AdaptiveFreq(decay float64) core.EpochPolicy {
 	return adaptiveFreqPolicy{decay: decay}
 }
 
-type adaptiveFreqPolicy struct{ decay float64 }
+type adaptiveFreqPolicy struct {
+	// name is the parameter-qualified instance name; empty for the
+	// default decay.
+	name  string
+	decay float64
+}
 
 // Name implements core.TieringPolicy.
-func (adaptiveFreqPolicy) Name() string { return "adaptive-freq" }
+func (p adaptiveFreqPolicy) Name() string {
+	if p.name == "" {
+		return "adaptive-freq"
+	}
+	return p.name
+}
 
 // Order implements core.TieringPolicy — the static degenerate case:
 // whole-trace access frequency, descending.
@@ -100,7 +110,7 @@ func (p adaptiveFreqPolicy) Order(_ context.Context, w *ycsb.Workload) (core.Ord
 	for i, k := range stats {
 		score[i] = float64(k.Accesses())
 	}
-	return orderingOf("adaptive-freq", stats, scoreOrder(score)), nil
+	return orderingOf(p.Name(), stats, scoreOrder(score)), nil
 }
 
 // Begin implements server.EpochSource.

@@ -25,6 +25,31 @@ const (
 	DefaultDecay  = 0.5
 )
 
+// Tunable surfaces of the parameterized policies (Entry.Params). Bounds
+// are the domains the policies themselves validate; defaults match the
+// parameterless registry constructors, so a default vector resolves to
+// the plain policy.
+var (
+	decayParam = Param{Name: "decay", Min: 0.01, Max: 1, Default: DefaultDecay, Log: true,
+		Description: "per-epoch score retention factor (1 = plain frequency)"}
+	freqDecaySpace = ParamSpace{
+		decayParam,
+		{Name: "epochs", Min: 1, Max: 64, Default: DefaultEpochs, Integer: true,
+			Description: "trace windows the decay is applied between"},
+	}
+	pageSampleSpace = ParamSpace{
+		{Name: "rate", Min: 1, Max: 1 << 20, Default: DefaultSampleRate, Integer: true, Log: true,
+			Description: "page touches per sampled observation (PEBS-style)"},
+	}
+	knapsackSpace = ParamSpace{
+		{Name: "anchor", Min: 0, Max: 1, Default: 0,
+			Description: "extra exact-DP rung at this fraction of the dataset (0 = off)"},
+		{Name: "rungs", Min: 1, Max: 6, Default: 3, Integer: true,
+			Description: "halving capacity ladder depth: rungs at 1/2^n … 1/2 of the dataset"},
+	}
+	adaptiveFreqSpace = ParamSpace{decayParam}
+)
+
 // keyStats tallies the per-key access pattern, mirroring what the core
 // pattern engines compute internally.
 func keyStats(w *ycsb.Workload) []core.KeyStat {
@@ -84,11 +109,19 @@ func FreqDecay(epochs int, decay float64) core.TieringPolicy {
 }
 
 type freqDecayPolicy struct {
+	// name is the parameter-qualified instance name; empty for the
+	// default-constructed policy.
+	name   string
 	epochs int
 	decay  float64
 }
 
-func (freqDecayPolicy) Name() string { return "freqdecay" }
+func (p freqDecayPolicy) Name() string {
+	if p.name == "" {
+		return "freqdecay"
+	}
+	return p.name
+}
 
 func (p freqDecayPolicy) Order(_ context.Context, w *ycsb.Workload) (core.Ordering, error) {
 	if p.epochs <= 0 {
@@ -125,7 +158,7 @@ func (p freqDecayPolicy) Order(_ context.Context, w *ycsb.Workload) (core.Orderi
 		}
 		return order[a] < order[b]
 	})
-	return orderingOf("freqdecay", stats, order), nil
+	return orderingOf(p.Name(), stats, order), nil
 }
 
 // PageSample wraps the generic page-granularity sampling profiler
@@ -200,23 +233,72 @@ func (p *PageSamplePolicy) Order(_ context.Context, w *ycsb.Workload) (core.Orde
 }
 
 // KnapsackExact orders keys by solving the 0/1 knapsack exactly at a
-// ladder of FastMem capacities (1/8, 1/4, 1/2 and 3/4 of the dataset):
-// a key's priority is the smallest capacity whose optimal packing
-// includes it, with MnemoT's density order inside each rung. Weights are
-// coarsened to page units — doubling the unit until the DP table fits —
-// the same trick the knapsack ablation uses, so the policy stays usable
-// on full-size workloads.
+// ladder of FastMem capacities (1/8, 1/4, 1/2 of the dataset by
+// default): a key's priority is the smallest capacity whose optimal
+// packing includes it, with MnemoT's density order inside each rung.
+// Weights are coarsened to page units — doubling the unit until the DP
+// table fits — the same trick the knapsack ablation uses, so the policy
+// stays usable on full-size workloads.
 var KnapsackExact core.TieringPolicy = knapsackPolicy{}
 
-type knapsackPolicy struct{}
+// knapsackPolicy generalizes the ladder: rungs halving capacities
+// (1/2^rungs … 1/2 of the dataset) plus an optional anchor rung at an
+// arbitrary capacity fraction. The anchor is the tunable that lets the
+// policy beat pure density ordering: an exact DP solved at the fraction
+// the advisor will actually cut at exploits the knapsack integrality
+// gap that the greedy density order leaves on the table.
+type knapsackPolicy struct {
+	// name is the parameter-qualified instance name; empty for the
+	// default ladder.
+	name string
+	// rungs is the halving-ladder depth (0 = the default 3).
+	rungs int
+	// anchor, in (0,1], inserts an extra exact rung at that fraction of
+	// the dataset's page units; 0 disables it.
+	anchor float64
+}
 
-func (knapsackPolicy) Name() string { return "knapsack" }
+func (p knapsackPolicy) Name() string {
+	if p.name == "" {
+		return "knapsack"
+	}
+	return p.name
+}
 
 // dpBudget caps the DP table at n·capacity cells; capacities beyond it
 // are coarsened.
 const dpBudget = 20_000_000
 
-func (knapsackPolicy) Order(ctx context.Context, w *ycsb.Workload) (core.Ordering, error) {
+// capacityLadder builds the ascending capacity rungs in page units.
+func (p knapsackPolicy) capacityLadder(totalUnits int64) []int64 {
+	rungs := p.rungs
+	if rungs == 0 {
+		rungs = 3
+	}
+	caps := make([]int64, 0, rungs+1)
+	for den := int64(1) << uint(rungs); den >= 2; den /= 2 {
+		caps = append(caps, totalUnits/den)
+	}
+	if p.anchor > 0 {
+		anchorCap := int64(p.anchor * float64(totalUnits))
+		i := sort.Search(len(caps), func(i int) bool { return caps[i] >= anchorCap })
+		if i == len(caps) || caps[i] != anchorCap {
+			caps = append(caps, 0)
+			copy(caps[i+1:], caps[i:])
+			caps[i] = anchorCap
+		}
+	}
+	// Drop degenerate rungs (tiny datasets can floor a fraction to 0).
+	out := caps[:0]
+	for _, c := range caps {
+		if c > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (p knapsackPolicy) Order(ctx context.Context, w *ycsb.Workload) (core.Ordering, error) {
 	stats := keyStats(w)
 	const pageUnit = int64(4096)
 	items := make([]knapsack.Item, len(stats))
@@ -229,16 +311,15 @@ func (knapsackPolicy) Order(ctx context.Context, w *ycsb.Workload) (core.Orderin
 		items[i] = knapsack.Item{Weight: units, Profit: float64(k.Accesses())}
 		totalUnits += units
 	}
-	fractions := []int64{8, 4, 2} // denominators for 1/8, 1/4, 1/2
+	capacities := p.capacityLadder(totalUnits)
 	tiers := make([]int, len(stats))
 	for i := range tiers {
-		tiers[i] = len(fractions) + 1 // never optimal at any rung
+		tiers[i] = len(capacities) + 1 // never optimal at any rung
 	}
-	for tier, den := range fractions {
+	for tier, capUnits := range capacities {
 		if err := ctx.Err(); err != nil {
 			return core.Ordering{}, err
 		}
-		capUnits := totalUnits / den
 		// Coarsen until the DP table fits the budget.
 		unit := int64(1)
 		for int64(len(items)+1)*(capUnits/unit+1) > dpBudget {
@@ -258,8 +339,8 @@ func (knapsackPolicy) Order(ctx context.Context, w *ycsb.Workload) (core.Orderin
 			}
 		}
 	}
-	// Last explicit rung: everything "picked at 3/4 capacity" is
-	// approximated by density to keep the DP ladder short.
+	// Keys outside every rung's optimal packing are approximated by
+	// density to keep the DP ladder short.
 	order := make([]int, len(stats))
 	for i := range order {
 		order[i] = i
@@ -280,5 +361,5 @@ func (knapsackPolicy) Order(ctx context.Context, w *ycsb.Workload) (core.Orderin
 		}
 		return order[a] < order[b]
 	})
-	return orderingOf("knapsack", stats, order), nil
+	return orderingOf(p.Name(), stats, order), nil
 }

@@ -34,6 +34,16 @@ type Entry struct {
 	Name        string
 	Description string
 	New         func(seed int64) core.TieringPolicy
+	// Params is the policy's typed tunable surface (nil for policies
+	// without one). Search drivers read bounds, defaults and scales from
+	// it; NewParams validates vectors against it.
+	Params ParamSpace
+	// FromParams constructs the policy from a complete parameter vector
+	// (every param of the space present and in bounds — NewParams
+	// guarantees both). The returned instance must carry a
+	// parameter-qualified Name so Session's name-keyed artifact caches
+	// never collide across vectors. nil for policies without params.
+	FromParams func(seed int64, v map[string]float64) (core.TieringPolicy, error)
 }
 
 var (
@@ -151,21 +161,49 @@ func init() {
 		Name:        "freqdecay",
 		Description: "HybridTier-style exponentially decayed access frequency",
 		New:         func(int64) core.TieringPolicy { return FreqDecay(DefaultEpochs, DefaultDecay) },
+		Params:      freqDecaySpace,
+		FromParams: func(_ int64, v map[string]float64) (core.TieringPolicy, error) {
+			return freqDecayPolicy{
+				name:   qualifiedName("freqdecay", v),
+				epochs: int(v["epochs"]),
+				decay:  v["decay"],
+			}, nil
+		},
 	})
 	MustRegister(Entry{
 		Name:        "pagesample",
 		Description: "generic page-granularity sampling profiler (mode 2b)",
 		New:         func(seed int64) core.TieringPolicy { return PageSample(DefaultSampleRate, seed) },
+		Params:      pageSampleSpace,
+		FromParams: func(seed int64, v map[string]float64) (core.TieringPolicy, error) {
+			// PageSample already qualifies non-default rates in its name.
+			return PageSample(int(v["rate"]), seed), nil
+		},
 	})
 	MustRegister(Entry{
 		Name:        "knapsack",
 		Description: "exact 0/1-knapsack DP over staged FastMem capacities",
 		New:         func(int64) core.TieringPolicy { return knapsackPolicy{} },
+		Params:      knapsackSpace,
+		FromParams: func(_ int64, v map[string]float64) (core.TieringPolicy, error) {
+			return knapsackPolicy{
+				name:   qualifiedName("knapsack", v),
+				rungs:  int(v["rungs"]),
+				anchor: v["anchor"],
+			}, nil
+		},
 	})
 	MustRegister(Entry{
 		Name:        "adaptive-freq",
 		Description: "adaptive HybridTier-style online decayed frequency (epoch migration)",
 		New:         func(int64) core.TieringPolicy { return AdaptiveFreq(DefaultDecay) },
+		Params:      adaptiveFreqSpace,
+		FromParams: func(_ int64, v map[string]float64) (core.TieringPolicy, error) {
+			return adaptiveFreqPolicy{
+				name:  qualifiedName("adaptive-freq", v),
+				decay: v["decay"],
+			}, nil
+		},
 	})
 	MustRegister(Entry{
 		Name:        "adaptive-mnemot",

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// prefetchTrace builds a small multi-frame trace for iterator tests.
+func prefetchTrace(t *testing.T) *File {
+	t.Helper()
+	sizes := make([]int32, 5)
+	for i := range sizes {
+		sizes[i] = 64
+	}
+	keys, kinds := genOps(3, 5, 3*FrameOps)
+	raw := encode(t, "prefetch", sizes, nil, keys, kinds)
+	f, err := New(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// An iterator abandoned mid-trace must not leak its prefetch goroutine:
+// once the FrameReader is collected, the finalizer releases the
+// goroutine blocked on its channels.
+func TestFrameReaderAbandonmentLeaksNoGoroutine(t *testing.T) {
+	f := prefetchTrace(t)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		it, err := f.Frames()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := it.Next(); err != nil {
+			t.Fatal(err)
+		}
+		// Abandon mid-trace: the error-return path of every replay loop.
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		runtime.GC() // one cycle queues the finalizers, the next reclaims
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("%d goroutines after abandoning 8 iterators, started with %d", n, base)
+	}
+}
+
+// EOF is sticky: Next keeps returning io.EOF after the trace ends, and
+// the returned slices stay nil.
+func TestFrameReaderStickyEOF(t *testing.T) {
+	f := prefetchTrace(t)
+	it, err := f.Frames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	for {
+		_, _, _, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames++
+	}
+	if frames != 3 {
+		t.Fatalf("decoded %d frames, want 3", frames)
+	}
+	for i := 0; i < 3; i++ {
+		keys, kinds, _, err := it.Next()
+		if err != io.EOF {
+			t.Fatalf("Next after EOF = %v, want io.EOF", err)
+		}
+		if keys != nil || kinds != nil {
+			t.Fatalf("Next after EOF returned data")
+		}
+	}
+}
+
+// The one-frame prefetch must not outrun the consumer: a frame handed
+// out by Next stays intact while the iterator decodes ahead.
+func TestFrameReaderHandedFrameStable(t *testing.T) {
+	f := prefetchTrace(t)
+	it, err := f.Frames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, kinds, _, err := it.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapKeys := append([]uint32(nil), keys...)
+	snapKinds := append([]uint8(nil), kinds...)
+	// Give the prefetcher every chance to decode ahead into the other
+	// buffer before we compare.
+	time.Sleep(20 * time.Millisecond)
+	runtime.Gosched()
+	for i := range keys {
+		if keys[i] != snapKeys[i] || kinds[i] != snapKinds[i] {
+			t.Fatalf("op %d mutated while the frame was held", i)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package tune
+
+import (
+	"math"
+
+	"mnemo/internal/registry"
+)
+
+// DefaultGrid returns n deterministic candidates spanning the registry:
+// every registered policy at its defaults first, then a fixed spread of
+// parameter variations over the tunable spaces, then (if n is larger
+// still) a golden-ratio sweep of knapsack anchors. The same n always
+// yields the same candidates — the benchmark and smoke-test workload.
+func DefaultGrid(n int) []Candidate {
+	var out []Candidate
+	add := func(c Candidate) {
+		if len(out) < n {
+			out = append(out, c)
+		}
+	}
+	for _, name := range registry.Names() {
+		add(Candidate{Policy: name})
+	}
+	for _, c := range []Candidate{
+		{Policy: "freqdecay", Params: map[string]float64{"decay": 0.1}},
+		{Policy: "freqdecay", Params: map[string]float64{"decay": 0.25}},
+		{Policy: "freqdecay", Params: map[string]float64{"decay": 0.8}},
+		{Policy: "freqdecay", Params: map[string]float64{"decay": 0.3, "epochs": 4}},
+		{Policy: "freqdecay", Params: map[string]float64{"decay": 0.5, "epochs": 16}},
+		{Policy: "freqdecay", Params: map[string]float64{"decay": 0.7, "epochs": 32}},
+		{Policy: "knapsack", Params: map[string]float64{"anchor": 0.05}},
+		{Policy: "knapsack", Params: map[string]float64{"anchor": 0.1}},
+		{Policy: "knapsack", Params: map[string]float64{"anchor": 0.15}},
+		{Policy: "knapsack", Params: map[string]float64{"anchor": 0.25}},
+		{Policy: "knapsack", Params: map[string]float64{"anchor": 0.4}},
+		{Policy: "knapsack", Params: map[string]float64{"anchor": 0.2, "rungs": 2}},
+		{Policy: "knapsack", Params: map[string]float64{"anchor": 0.3, "rungs": 5}},
+		{Policy: "pagesample", Params: map[string]float64{"rate": 500}},
+		{Policy: "pagesample", Params: map[string]float64{"rate": 1000}},
+		{Policy: "pagesample", Params: map[string]float64{"rate": 2000}},
+		{Policy: "pagesample", Params: map[string]float64{"rate": 8000}},
+		{Policy: "pagesample", Params: map[string]float64{"rate": 16000}},
+		{Policy: "adaptive-freq", Params: map[string]float64{"decay": 0.2}},
+		{Policy: "adaptive-freq", Params: map[string]float64{"decay": 0.35}},
+		{Policy: "adaptive-freq", Params: map[string]float64{"decay": 0.65}},
+		{Policy: "adaptive-freq", Params: map[string]float64{"decay": 0.8}},
+		{Policy: "freqdecay", Params: map[string]float64{"decay": 0.15, "epochs": 2}},
+		{Policy: "freqdecay", Params: map[string]float64{"decay": 0.9, "epochs": 64}},
+	} {
+		add(c)
+	}
+	// Low-discrepancy anchors fill any remainder without repeats.
+	for i := 0; len(out) < n; i++ {
+		frac := math.Mod(float64(i+1)*0.6180339887498949, 1)
+		anchor := math.Round((0.02+0.96*frac)*1e4) / 1e4
+		add(Candidate{Policy: "knapsack", Params: map[string]float64{"anchor": anchor}})
+	}
+	return out
+}

@@ -181,6 +181,14 @@ type Options struct {
 	// default), "mnemot", "tahoe", "freqdecay", "pagesample" or
 	// "knapsack". Empty means "touch".
 	Policy string
+	// PolicyParams tunes the named Policy: a (possibly partial) parameter
+	// vector over its registered parameter space — e.g.
+	// {"decay": 0.25} for "freqdecay" or {"anchor": 0.17} for
+	// "knapsack". Params absent from the vector keep their defaults;
+	// unknown names, out-of-bounds values and vectors on policies
+	// without a tunable surface are rejected. See Policies() for each
+	// policy's space, and Tune to search it automatically.
+	PolicyParams map[string]float64
 	// UseMnemoT is the pre-registry switch to MnemoT's weighted tiering
 	// ordering.
 	//
@@ -368,7 +376,15 @@ func (o Options) resolvePolicy(sink *Sink) (core.TieringPolicy, error) {
 	if name == "" {
 		name = "touch"
 	}
-	p, err := registry.NewObs(name, o.Seed, sink)
+	var (
+		p   core.TieringPolicy
+		err error
+	)
+	if len(o.PolicyParams) > 0 {
+		p, err = registry.NewParamsObs(name, o.Seed, o.PolicyParams, sink)
+	} else {
+		p, err = registry.NewObs(name, o.Seed, sink)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("mnemo: %w", err)
 	}
@@ -544,9 +560,23 @@ func NewSession(w *Workload, opts Options) (*Session, error) {
 	return core.NewSession(cfg, w)
 }
 
-// PolicyInfo describes one registered tiering policy.
+// PolicyInfo describes one registered tiering policy, including its
+// tunable parameter space (empty for fixed policies).
 type PolicyInfo struct {
 	Name        string
+	Description string
+	Params      []ParamInfo
+}
+
+// ParamInfo describes one tunable parameter of a policy: inclusive
+// bounds, the default the plain policy uses, and the scale a search
+// should explore it on.
+type ParamInfo struct {
+	Name        string
+	Min, Max    float64
+	Default     float64
+	Integer     bool
+	Log         bool
 	Description string
 }
 
@@ -555,7 +585,14 @@ func Policies() []PolicyInfo {
 	entries := registry.Entries()
 	out := make([]PolicyInfo, len(entries))
 	for i, e := range entries {
-		out[i] = PolicyInfo{Name: e.Name, Description: e.Description}
+		info := PolicyInfo{Name: e.Name, Description: e.Description}
+		for _, p := range e.Params {
+			info.Params = append(info.Params, ParamInfo{
+				Name: p.Name, Min: p.Min, Max: p.Max, Default: p.Default,
+				Integer: p.Integer, Log: p.Log, Description: p.Description,
+			})
+		}
+		out[i] = info
 	}
 	return out
 }

@@ -1,0 +1,165 @@
+package mnemo
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// Tuning a small workload through the public API produces a coherent
+// result: one shared measurement, a ranked frontier, and a winner no
+// worse than every default.
+func TestTuneAPI(t *testing.T) {
+	w, err := WorkloadByNameSized("ycsb_b", 5, 150, 3000)
+	if err != nil {
+		t.Fatalf("WorkloadByNameSized: %v", err)
+	}
+	res, err := Tune(context.Background(), w, Options{SLO: 0.10, Seed: 42},
+		TuneOptions{Budget: 24, SearchSeed: 7, Policies: []string{"mnemot", "knapsack", "freqdecay"}})
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if len(res.Evals) == 0 || len(res.Frontier) == 0 || len(res.Defaults) != 3 {
+		t.Fatalf("incoherent result: %d evals, %d frontier, %d defaults",
+			len(res.Evals), len(res.Frontier), len(res.Defaults))
+	}
+	if res.Stats.Measurements != 1 {
+		t.Fatalf("tuning executed %d baseline measurements, want 1", res.Stats.Measurements)
+	}
+	if res.Winner.CostFactor > res.Defaults[0].CostFactor {
+		t.Fatalf("winner cost %v worse than best default %v", res.Winner.CostFactor, res.Defaults[0].CostFactor)
+	}
+}
+
+// Pinned acceptance case: on the news_feed stock workload the tuned
+// configuration (a cut-targeted knapsack anchor) is strictly cheaper at
+// the SLO than every registered policy at default parameters. The win
+// is the exact-packing integrality gap just below the density
+// ordering's advised cut — the mechanism DESIGN.md §17 describes.
+func TestTunedConfigBeatsEveryDefault(t *testing.T) {
+	w, err := WorkloadByNameSized("news_feed", 5, 800, 12000)
+	if err != nil {
+		t.Fatalf("WorkloadByNameSized: %v", err)
+	}
+	res, err := Tune(context.Background(), w, Options{SLO: 0.07, Seed: 42},
+		TuneOptions{Budget: 64, SearchSeed: 7})
+	if err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if res.Gain() <= 0 {
+		t.Fatalf("tuning found no strict win: winner %s cost %v, best default %s cost %v",
+			res.Winner.PolicyName, res.Winner.CostFactor,
+			res.Defaults[0].PolicyName, res.Defaults[0].CostFactor)
+	}
+	for _, d := range res.Defaults {
+		if res.Winner.CostFactor >= d.CostFactor {
+			t.Fatalf("winner %s (cost %v) does not strictly beat default %s (cost %v)",
+				res.Winner.PolicyName, res.Winner.CostFactor, d.PolicyName, d.CostFactor)
+		}
+	}
+	if res.Winner.Slowdown > res.SLO {
+		t.Fatalf("winner violates the SLO: slowdown %v > %v", res.Winner.Slowdown, res.SLO)
+	}
+	if !strings.HasPrefix(res.Winner.PolicyName, "knapsack(") {
+		t.Logf("note: winner is %s, not an anchored knapsack", res.Winner.PolicyName)
+	}
+}
+
+// A spec produced by TuneWithSpec replays bit-identically through
+// ReplayTuneSpec after a JSON round-trip.
+func TestTuneSpecPublicRoundTrip(t *testing.T) {
+	recipe := TuneWorkloadRecipe{Name: "ycsb_b", Seed: 5, Keys: 150, Requests: 3000}
+	res, spec, err := TuneWithSpec(context.Background(), recipe, Options{SLO: 0.10, Seed: 42},
+		TuneOptions{Budget: 16, SearchSeed: 3, Policies: []string{"mnemot", "knapsack"}})
+	if err != nil {
+		t.Fatalf("TuneWithSpec: %v", err)
+	}
+	if spec.Expected.CostFactor != res.Winner.CostFactor {
+		t.Fatalf("spec expected cost %v != winner cost %v", spec.Expected.CostFactor, res.Winner.CostFactor)
+	}
+	var buf bytes.Buffer
+	if err := spec.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	decoded, err := DecodeTuneSpec(&buf)
+	if err != nil {
+		t.Fatalf("DecodeTuneSpec: %v", err)
+	}
+	ev, err := ReplayTuneSpec(context.Background(), decoded)
+	if err != nil {
+		t.Fatalf("ReplayTuneSpec: %v", err)
+	}
+	if ev.CostFactor != spec.Expected.CostFactor || ev.FastBytes != spec.Expected.FastBytes {
+		t.Fatalf("replay diverged: %+v vs expected %+v", ev, spec.Expected)
+	}
+}
+
+// PolicyParams profiles a parameterized policy instance end to end, and
+// the default vector matches the plain policy bit-identically.
+func TestProfileWithPolicyParams(t *testing.T) {
+	w, err := WorkloadByNameSized("ycsb_b", 5, 150, 3000)
+	if err != nil {
+		t.Fatalf("WorkloadByNameSized: %v", err)
+	}
+	plain, err := Profile(w, Options{Policy: "knapsack", SLO: 0.10, Seed: 42})
+	if err != nil {
+		t.Fatalf("plain Profile: %v", err)
+	}
+	viaDefaults, err := Profile(w, Options{Policy: "knapsack", SLO: 0.10, Seed: 42,
+		PolicyParams: map[string]float64{"rungs": 3, "anchor": 0}})
+	if err != nil {
+		t.Fatalf("Profile with default params: %v", err)
+	}
+	if viaDefaults.Advice.Point != plain.Advice.Point {
+		t.Fatalf("default param vector changed the advice: %+v vs %+v",
+			viaDefaults.Advice.Point, plain.Advice.Point)
+	}
+	anchored, err := Profile(w, Options{Policy: "knapsack", SLO: 0.10, Seed: 42,
+		PolicyParams: map[string]float64{"anchor": 0.3}})
+	if err != nil {
+		t.Fatalf("anchored Profile: %v", err)
+	}
+	if got, want := anchored.Ordering.Name, "knapsack(anchor=0.3,rungs=3)"; got != want {
+		t.Fatalf("anchored ordering named %q, want %q", got, want)
+	}
+}
+
+// Policies exposes each policy's tunable parameter space.
+func TestPoliciesExposeParams(t *testing.T) {
+	var knapsack *PolicyInfo
+	for _, p := range Policies() {
+		if p.Name == "knapsack" {
+			pi := p
+			knapsack = &pi
+		}
+		switch p.Name {
+		case "touch", "mnemot", "tahoe", "adaptive-mnemot":
+			if len(p.Params) != 0 {
+				t.Errorf("fixed policy %s reports params %+v", p.Name, p.Params)
+			}
+		case "freqdecay", "pagesample", "knapsack", "adaptive-freq":
+			if len(p.Params) == 0 {
+				t.Errorf("tunable policy %s reports no params", p.Name)
+			}
+		}
+	}
+	if knapsack == nil {
+		t.Fatal("knapsack not listed")
+	}
+	anchor, ok := false, false
+	for _, p := range knapsack.Params {
+		if p.Name == "anchor" {
+			anchor = true
+			if p.Min != 0 || p.Max != 1 {
+				t.Errorf("anchor bounds [%v,%v], want [0,1]", p.Min, p.Max)
+			}
+		}
+		if p.Name == "rungs" {
+			ok = p.Integer && p.Default == 3
+		}
+	}
+	if !anchor || !ok {
+		t.Fatalf("knapsack param space incomplete: %+v", knapsack.Params)
+	}
+}
